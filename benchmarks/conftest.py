@@ -1,0 +1,28 @@
+"""Shared benchmark helpers.
+
+Benchmarks default to fast mode (reduced eval sizes / profile subsets) so
+the whole suite regenerates every table and figure in minutes. Set
+``REPRO_FULL=1`` for full-size runs matching EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def fast_mode() -> bool:
+    """False when REPRO_FULL=1 is exported."""
+    return os.environ.get("REPRO_FULL", "0") != "1"
+
+
+@pytest.fixture(scope="session")
+def fast() -> bool:
+    """Fixture flavour of :func:`fast_mode`."""
+    return fast_mode()
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,12 @@
+"""Benchmark regenerating paper artifact ablations (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablations(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablations", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.extras["clamp_vs_exact"] < 0.5

@@ -1,0 +1,12 @@
+"""Benchmark regenerating paper artifact fig13 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig13_perf_energy(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig13", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert 1.5 <= result.extras["speedup"] <= 2.3

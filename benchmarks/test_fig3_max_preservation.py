@@ -1,0 +1,16 @@
+"""Benchmark regenerating paper artifact fig3 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig3_max_preservation(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig3", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert result.rows, "no rows produced"
+    by = {(r[0], r[1]): r for r in result.rows}
+    for (model, fmt), row in by.items():
+        if fmt == "mxfp4":
+            assert row[3] < row[2], "max preservation should lower mxfp4 ppl"

@@ -1,0 +1,13 @@
+"""Benchmark regenerating paper artifact fig4 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig4_group_size(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig4", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    ebws = [r[1] for r in result.rows[:-1]]
+    assert ebws == sorted(ebws)

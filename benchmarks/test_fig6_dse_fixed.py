@@ -1,0 +1,12 @@
+"""Benchmark regenerating paper artifact fig6 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_dse_fixed(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert any(r[1] == "elem-em-top1" for r in result.rows)

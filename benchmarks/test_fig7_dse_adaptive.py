@@ -1,0 +1,12 @@
+"""Benchmark regenerating paper artifact fig7 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_dse_adaptive(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert any(r[1] == "sg-em-2bit" for r in result.rows)

@@ -1,0 +1,13 @@
+"""Benchmark regenerating paper artifact tbl2 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_tbl2_zero_shot(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl2", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    loss = result.extras["mean_loss"]
+    assert loss["m2xfp"] < loss["smx4"]

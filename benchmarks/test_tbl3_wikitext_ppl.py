@@ -1,0 +1,14 @@
+"""Benchmark regenerating paper artifact tbl3 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_tbl3_wikitext_ppl(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl3", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    table = result.extras["table"]
+    for key in table["fp16"]:
+        assert table["m2xfp"][key] < table["mxfp4"][key]

@@ -1,0 +1,15 @@
+"""Benchmark regenerating paper artifact tbl4 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_tbl4_reasoning(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl4", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    loss = result.extras["loss"]
+    for (model, method), v in loss.items():
+        if method == "m2xfp":
+            assert v <= loss[(model, "mxfp4")] + 1e-9

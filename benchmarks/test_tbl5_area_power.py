@@ -1,0 +1,12 @@
+"""Benchmark regenerating paper artifact tbl5 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_tbl5_area_power(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl5", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    assert abs(result.rows[-1][2] - 1.051) < 0.02

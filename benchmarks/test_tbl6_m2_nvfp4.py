@@ -1,0 +1,14 @@
+"""Benchmark regenerating paper artifact tbl6 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_tbl6_m2_nvfp4(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl6", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    table = result.extras["table"]
+    wins = sum(table["m2-nvfp4"][k] < table["nvfp4"][k] for k in table["nvfp4"])
+    assert wins >= len(table["nvfp4"]) / 2

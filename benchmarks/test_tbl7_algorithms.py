@@ -1,0 +1,13 @@
+"""Benchmark regenerating paper artifact tbl7 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_tbl7_algorithms(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl7", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    t = result.extras["table"]
+    assert t["mr-gptq-m2xfp"][0] <= t["m2xfp"][0] * 1.05

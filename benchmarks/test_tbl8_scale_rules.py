@@ -1,0 +1,13 @@
+"""Benchmark regenerating paper artifact tbl8 (see DESIGN.md index)."""
+
+from repro.experiments import run_experiment
+
+
+def test_tbl8_scale_rules(benchmark, fast):
+    result = benchmark.pedantic(
+        lambda: run_experiment("tbl8", fast=fast), rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+    for row in result.rows:
+        assert row[2] < row[1]  # m2xfp beats mxfp4 under every rule

@@ -1,0 +1,52 @@
+"""Drive the accelerator model: area table, Fig. 13 bars, PE bit-accuracy.
+
+Run:  python examples/accelerator_sim.py
+"""
+
+import numpy as np
+
+from repro.accel import (CoreAreaModel, PETile, PETileInputs,
+                         fig13_comparison, speedup_vs)
+
+
+def main() -> None:
+    # Tbl. 5: component area/power at 28 nm.
+    model = CoreAreaModel()
+    print("component                 area(mm2)   power(mW)")
+    for c in model.components():
+        print(f"{c.name:24s} x{c.count:3d} {c.total_area_mm2:9.4f} {c.total_power_mw:10.3f}")
+    print(f"{'Total':29s}{model.total_area_mm2:9.3f} {model.total_power_mw:10.2f}\n")
+
+    # Fig. 13: normalized latency/energy on the six LLM workloads.
+    grid = fig13_comparison()
+    print("workload     " + "".join(f"{n:>14s}" for n in
+                                    ("mx-olive", "mx-ant", "mx-m-ant",
+                                     "microscopiq", "m2xfp")))
+    for wl, points in grid.items():
+        by = {p.accelerator: p for p in points}
+        cells = "".join(f"  L{by[n].norm_latency:.2f}/E{by[n].norm_energy:.2f}"
+                        for n in ("mx-olive", "mx-ant", "mx-m-ant",
+                                  "microscopiq", "m2xfp"))
+        print(f"{wl:12s}{cells}")
+    speedup, energy = speedup_vs(grid["average"])
+    print(f"\nM2XFP vs MicroScopiQ: {speedup:.2f}x speedup, "
+          f"{energy:.2f}x energy (paper: 1.91x / 1.75x)")
+
+    # The PE tile is bit-exact against the algorithmic reference.
+    pe = PETile()
+    rng = np.random.default_rng(1)
+    worst = 0.0
+    for _ in range(1000):
+        inp = PETileInputs(w_codes=rng.integers(0, 16, 8),
+                           x_codes=rng.integers(0, 16, 8),
+                           x_meta=int(rng.integers(0, 4)),
+                           sg_code=int(rng.integers(0, 4)),
+                           w_exp=int(rng.integers(-12, 12)),
+                           x_exp=int(rng.integers(-12, 12)))
+        worst = max(worst, abs(pe.multiply_accumulate(inp) - pe.reference(inp)))
+    print(f"PE fixed-point vs float reference, worst error over 1000 "
+          f"subgroups: {worst}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reproduce the Sec. 4 design space exploration on one model profile.
+
+Sweeps the four metadata strategies across subgroup sizes under fixed and
+adaptive shared scales, then prints the Pareto frontier — the analysis
+that motivates the hybrid M2XFP design.
+
+Run:  python examples/dse_explore.py
+"""
+
+from repro.dse import explore, pareto_front
+from repro.models import load_runtime
+
+
+def main() -> None:
+    rt = load_runtime("llama2-7b", n_seq=8, seq_len=64)
+    print(f"profile {rt.profile.display_name}, FP16 ppl {rt.fp16_ppl:.2f}\n")
+    for adaptive in (False, True):
+        mode = "adaptive" if adaptive else "fixed"
+        print(f"--- {mode} shared scale ---")
+        curves = explore(rt, adaptive=adaptive, sub_sizes=(16, 8, 4))
+        all_points = [p for pts in curves.values() for p in pts]
+        for kind, pts in curves.items():
+            for p in pts:
+                print(f"  {p.label:28s} ebw={p.ebw:5.3f} mse={p.mse:.4f}")
+        print("  Pareto frontier:")
+        for p in pareto_front(all_points):
+            print(f"    {p.label:26s} ebw={p.ebw:5.3f} mse={p.mse:.4f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,34 @@
+"""Quantize a synthetic LLM profile W4A4 and report perplexity per format.
+
+This is the Tbl. 3 pipeline in miniature: a calibrated teacher model, an
+evaluation corpus sampled from it, and each format's measured perplexity.
+
+Run:  python examples/llm_quantization.py [profile-key]
+"""
+
+import sys
+
+from repro import M2XFP, MXFP4, NVFP4, SMX4
+from repro.algos import MicroScopiQ, MXAnt
+from repro.eval import quantized_perplexity
+from repro.models import load_runtime
+
+
+def main(profile_key: str = "llama2-7b") -> None:
+    print(f"calibrating {profile_key} (FP16 perplexity anchored to paper)...")
+    rt = load_runtime(profile_key)
+    print(f"FP16 perplexity: {rt.fp16_ppl:.3f} "
+          f"(target {rt.profile.target_ppl})\n")
+    formats = {"smx4": SMX4(), "mxfp4": MXFP4(), "mx-ant": MXAnt(),
+               "microscopiq": MicroScopiQ(), "nvfp4": NVFP4(),
+               "m2xfp": M2XFP()}
+    print("format        EBW    perplexity   delta-nll")
+    import math
+    for name, fmt in formats.items():
+        ppl = quantized_perplexity(rt, fmt)
+        print(f"{name:12s} {fmt.ebw:5.3f}   {ppl:8.3f}   "
+              f"{math.log(ppl / rt.fp16_ppl):+.4f}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "llama2-7b")

@@ -1,0 +1,24 @@
+"""Regenerate every table and figure of the paper in one run.
+
+Run:  python examples/reproduce_all.py [--full]
+
+Fast mode (default) uses reduced evaluation sizes; ``--full`` uses the
+profile-default sizes recorded in EXPERIMENTS.md.
+"""
+
+import sys
+import time
+
+from repro.experiments import list_experiments, run_experiment
+
+
+def main(fast: bool = True) -> None:
+    for exp_id in list_experiments():
+        t0 = time.time()
+        result = run_experiment(exp_id, fast=fast)
+        print(result.render())
+        print(f"[{exp_id} took {time.time() - t0:.1f}s]\n")
+
+
+if __name__ == "__main__":
+    main(fast="--full" not in sys.argv)

@@ -1,0 +1,27 @@
+"""Command-line entry point: ``python -m repro <experiment-id> [--full]``.
+
+Lists the available experiments when invoked without arguments.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .experiments import list_experiments, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    full = "--full" in args
+    ids = [a for a in args if not a.startswith("-")]
+    if not ids:
+        print("usage: python -m repro <experiment-id> [--full]")
+        print("available experiments:", ", ".join(list_experiments()))
+        return 1
+    for exp_id in ids:
+        print(run_experiment(exp_id, fast=not full).render())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""Accelerator model: bit-accurate units + cycle/energy/area models."""
+
+from .accelerator import (ACCELERATORS, REFERENCE_8BIT, AcceleratorSpec,
+                          PerfResult, run_workload)
+from .area import (CoreAreaModel, PRIM_28NM, Primitives, decode_unit_area_um2,
+                   pe_tile_area_um2, quant_engine_area_um2)
+from .compare import (NormalizedPoint, compare_on_workload, fig13_comparison,
+                      speedup_vs)
+from .decode_unit import (FP4_TO_UINT_LUT, Top1DecodeUnit,
+                          comparator_tree_top1, lut_key)
+from .energy import TECH_28NM, BufferModel, TechConstants
+from .fixedpoint import FRAC_ACC, FRAC_FP4, FRAC_FP6, from_fixed, to_fixed
+from .memory import DispatchUnit, GroupRecord, MemoryLayout
+from .pe import PETile, PETileInputs
+from .quant_engine import QuantizationEngine
+from .systolic import (ArrayConfig, GemmShape, gemm_buffer_traffic,
+                       gemm_compute_cycles, gemm_dram_traffic)
+from .workloads import WORKLOADS, LLMWorkload, workload_for
+
+__all__ = [
+    "PETile", "PETileInputs", "Top1DecodeUnit", "comparator_tree_top1",
+    "lut_key", "FP4_TO_UINT_LUT", "QuantizationEngine",
+    "to_fixed", "from_fixed", "FRAC_FP4", "FRAC_FP6", "FRAC_ACC",
+    "TechConstants", "TECH_28NM", "BufferModel",
+    "Primitives", "PRIM_28NM", "CoreAreaModel", "pe_tile_area_um2",
+    "decode_unit_area_um2", "quant_engine_area_um2",
+    "GemmShape", "ArrayConfig", "gemm_compute_cycles", "gemm_dram_traffic",
+    "gemm_buffer_traffic", "LLMWorkload", "WORKLOADS", "workload_for",
+    "AcceleratorSpec", "PerfResult", "ACCELERATORS", "REFERENCE_8BIT",
+    "run_workload", "NormalizedPoint", "compare_on_workload",
+    "fig13_comparison", "speedup_vs", "MemoryLayout", "DispatchUnit",
+    "GroupRecord",
+]

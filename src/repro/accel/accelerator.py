@@ -1,0 +1,135 @@
+"""Accelerator configurations and the latency/energy roll-up (Fig. 13).
+
+Every accelerator is the same 32x32 array; they differ in the format each
+tensor is stored/computed in, the fraction of tensors that must fall back
+to 8-bit to match accuracy (the paper's explanation of the baselines'
+slowdown), and per-architecture decode/processing overheads:
+
+* **MX-OliVe** falls back to 8-bit on >50% of tensors (Sec. 6.3);
+* **MX-ANT / MX-M-ANT** need ~30% 8-bit fallback; M-ANT additionally pays
+  shift-and-accumulate core energy for its 16 types;
+* **MicroScopiQ** needs ~30% fallback plus ReCoN outlier-routing energy
+  and structural metadata traffic (~1.5 extra weight bits per element);
+* **M2XFP** runs everything at 4-bit + 0.5 bits of scale/metadata.
+
+The reference for normalization is the same array running W8A8 MXINT8,
+the common denominator all baselines are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import TECH_28NM, TechConstants
+from .quant_engine import QuantizationEngine
+from .systolic import (ArrayConfig, gemm_buffer_traffic, gemm_compute_cycles,
+                       gemm_dram_traffic)
+from .workloads import LLMWorkload
+
+__all__ = ["AcceleratorSpec", "PerfResult", "ACCELERATORS", "REFERENCE_8BIT",
+           "run_workload"]
+
+
+@dataclass(frozen=True)
+class AcceleratorSpec:
+    """An architecture point in the Fig. 13 comparison."""
+
+    name: str
+    weight_bits: float = 4.0          # compute width of the weight operand
+    act_bits: float = 4.0             # compute width of the activation operand
+    weight_ebw: float = 4.5           # storage width incl. scale + metadata
+    act_ebw: float = 4.5
+    fallback_8bit_fraction: float = 0.0  # fraction of GEMMs run as W8A8
+    core_energy_factor: float = 1.0      # decode/processing overhead on MACs
+    decode_overhead_factor: float = 1.0  # extra cycles on compute
+    uses_quant_engine: bool = True
+
+
+@dataclass
+class PerfResult:
+    """Latency and an energy breakdown for one workload."""
+
+    name: str
+    cycles: float
+    core_energy_j: float
+    buffer_energy_j: float
+    dram_energy_j: float
+    static_energy_j: float
+    details: dict = field(default_factory=dict)
+
+    @property
+    def latency_s(self) -> float:
+        """Seconds at the modelled frequency."""
+        return self.cycles / TECH_28NM.frequency_hz
+
+    @property
+    def total_energy_j(self) -> float:
+        """Sum of all energy components."""
+        return (self.core_energy_j + self.buffer_energy_j
+                + self.dram_energy_j + self.static_energy_j)
+
+
+ACCELERATORS: dict[str, AcceleratorSpec] = {s.name: s for s in (
+    AcceleratorSpec("mx-olive", fallback_8bit_fraction=0.55,
+                    core_energy_factor=1.10),
+    AcceleratorSpec("mx-ant", fallback_8bit_fraction=0.30,
+                    core_energy_factor=1.08),
+    AcceleratorSpec("mx-m-ant", fallback_8bit_fraction=0.30,
+                    core_energy_factor=1.22),  # shift-and-accumulate decode
+    AcceleratorSpec("microscopiq", weight_ebw=4.25 + 1.5,
+                    fallback_8bit_fraction=0.32,
+                    core_energy_factor=1.16),  # ReCoN outlier processing
+    AcceleratorSpec("m2xfp", weight_ebw=4.5, act_ebw=4.5,
+                    core_energy_factor=1.02),  # aux MAC + subgroup scaler
+)}
+
+#: Normalization baseline: the same array running MXINT8 on everything.
+REFERENCE_8BIT = AcceleratorSpec("mxint8-ref", weight_bits=8.0, act_bits=8.0,
+                                 weight_ebw=8.25, act_ebw=8.25,
+                                 uses_quant_engine=False)
+
+
+def run_workload(spec: AcceleratorSpec, workload: LLMWorkload,
+                 hw: ArrayConfig | None = None,
+                 tech: TechConstants | None = None) -> PerfResult:
+    """Latency/energy of one accelerator on one LLM workload."""
+    hw = hw or ArrayConfig()
+    tech = tech or TECH_28NM
+    qe = QuantizationEngine()
+    f8 = spec.fallback_8bit_fraction
+
+    cycles = 0.0
+    core_j = buffer_j = dram_j = 0.0
+    for g in workload.gemms():
+        # Weighted mix of native-precision and 8-bit fallback execution.
+        c4 = gemm_compute_cycles(g, hw, spec.weight_bits, spec.act_bits)
+        c8 = gemm_compute_cycles(g, hw, 8.0, 8.0)
+        compute = ((1 - f8) * c4 + f8 * c8) * spec.decode_overhead_factor
+
+        d4 = gemm_dram_traffic(g, hw, spec.weight_ebw, spec.act_ebw)
+        d8 = gemm_dram_traffic(g, hw, 8.25, 8.25)
+        dram_bytes = (1 - f8) * d4 + f8 * d8
+        mem = dram_bytes / hw.dram_bytes_per_cycle
+
+        quant = qe.cycles(g.m * g.k // qe.group_size) if spec.uses_quant_engine else 0
+        # Double buffering overlaps compute and DRAM; the quantization
+        # engine streams ahead of the array and only its fill shows up.
+        cycles += max(compute, mem) + qe.PIPELINE_DEPTH
+
+        mac_passes = g.macs * ((1 - f8) * (spec.weight_bits / 4.0) * (spec.act_bits / 4.0)
+                               + f8 * 4.0)
+        core_j += (mac_passes * tech.mac4_energy_pj * spec.core_energy_factor) * 1e-12
+        if spec.uses_quant_engine:
+            core_j += g.m * g.k * tech.quant_energy_pj_per_element * 1e-12
+            core_j += (g.m * g.k / 8.0) * tech.decode_energy_pj_per_subgroup * 1e-12
+
+        s4 = gemm_buffer_traffic(g, hw, spec.weight_ebw, spec.act_ebw)
+        s8 = gemm_buffer_traffic(g, hw, 8.25, 8.25)
+        buffer_j += ((1 - f8) * s4 + f8 * s8) * tech.sram_energy_pj_per_byte * 1e-12
+        dram_j += dram_bytes * tech.dram_energy_pj_per_byte * 1e-12
+
+    static_j = tech.static_power_mw * 1e-3 * (cycles / tech.frequency_hz)
+    return PerfResult(name=spec.name, cycles=cycles, core_energy_j=core_j,
+                      buffer_energy_j=buffer_j, dram_energy_j=dram_j,
+                      static_energy_j=static_j,
+                      details={"fallback": f8, "workload": workload.name})

@@ -1,0 +1,152 @@
+"""Analytical area/power model of the M2XFP core (Tbl. 5).
+
+Components are sums of primitive units (multipliers, adders, comparators,
+LUT entries, registers) whose per-unit costs were calibrated once against
+the paper's Synopsys DC synthesis at TSMC 28 nm / 500 MHz. The model
+therefore reproduces Tbl. 5 for the published configuration while scaling
+sensibly with array size or lane count.
+
+The PE-tile variants of Sec. 6.3 fall out of the same primitives:
+MXFP4 (no metadata logic) = 2057.6 um^2, NVFP4 (+FP8 scale path)
+= 2104.7 um^2, M2XFP (+aux MAC, subgroup scaler, metadata routing)
+= 2140.1 um^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .energy import BufferModel
+
+__all__ = ["Primitives", "PRIM_28NM", "ComponentArea", "pe_tile_area_um2",
+           "decode_unit_area_um2", "quant_engine_area_um2", "CoreAreaModel"]
+
+
+@dataclass(frozen=True)
+class Primitives:
+    """Per-unit area (um^2) and power (uW) at 28 nm, 500 MHz."""
+
+    mult4_um2: float = 156.6          # 4x4 sign-magnitude multiplier
+    adder16_um2: float = 38.0         # 16-bit adder (tree stage)
+    adder32_um2: float = 60.0         # 32-bit accumulator adder
+    reg_bit_um2: float = 1.5          # pipeline/accumulator flop
+    lut_entry_um2: float = 1.2        # one 4->3 bit LUT entry
+    comparator4_um2: float = 3.65     # 4-bit magnitude comparator
+    mux8_um2: float = 10.5            # 8:1 4-bit mux
+    shift_add_um2: float = 46.0       # shift-and-add scale unit
+    layout_overhead: float = 1.18     # routing / clock / DFT factor
+    uw_per_um2: float = 0.0987        # power density of datapath logic
+    decode_power_density: float = 1.96  # comparator trees toggle every lane
+    qe_power_density: float = 2.74      # FP16 normalize stage is activity-heavy
+
+
+PRIM_28NM = Primitives()
+
+
+@dataclass
+class ComponentArea:
+    """Area/power of one component instance."""
+
+    name: str
+    area_um2: float
+    power_mw: float
+    count: int = 1
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Area of all instances in mm^2."""
+        return self.area_um2 * self.count / 1e6
+
+    @property
+    def total_power_mw(self) -> float:
+        """Power of all instances in mW."""
+        return self.power_mw * self.count
+
+
+def _logic_area(raw_um2: float, prim: Primitives) -> float:
+    return raw_um2 * prim.layout_overhead
+
+
+def pe_tile_area_um2(prim: Primitives = PRIM_28NM, lanes: int = 8,
+                     variant: str = "m2xfp") -> float:
+    """Area of one PE tile; ``variant`` in {mxfp4, nvfp4, m2xfp}."""
+    base = (lanes * prim.mult4_um2                    # FP4 multiplier lanes
+            + (lanes - 1) * prim.adder16_um2          # adder tree
+            + prim.adder32_um2                        # accumulator add
+            + 32 * prim.reg_bit_um2                   # accumulator register
+            + 64 * prim.reg_bit_um2                   # pipeline registers
+            + 2 * prim.mux8_um2)                      # operand routing
+    if variant == "nvfp4":
+        base += 0.255 * prim.mult4_um2                # FP8-scale align logic
+    if variant == "m2xfp":
+        base += (0.30 * prim.mult4_um2                # aux DeltaX MAC slice
+                 + prim.shift_add_um2 * 0.4           # subgroup scaler
+                 + 3 * prim.reg_bit_um2)              # metadata staging
+    return _logic_area(base, prim)
+
+
+def decode_unit_area_um2(prim: Primitives = PRIM_28NM, lanes: int = 8) -> float:
+    """Area of one top-1 decode unit (LUT + comparator tree + packer)."""
+    raw = (16 * prim.lut_entry_um2
+           + (lanes - 1) * prim.comparator4_um2
+           + prim.mux8_um2
+           + 10 * prim.reg_bit_um2)
+    return _logic_area(raw, prim)
+
+
+def quant_engine_area_um2(prim: Primitives = PRIM_28NM,
+                          group_size: int = 32) -> float:
+    """Area of the streaming quantization engine (two pipeline stages)."""
+    raw = (group_size * prim.comparator4_um2 * 1.5    # max tree over FP16
+           + group_size * prim.adder16_um2 * 1.15     # normalize + round
+           + 4 * (16 * prim.lut_entry_um2)            # FP6 encode LUTs
+           + group_size * 6 * prim.reg_bit_um2        # stage registers
+           + 2 * prim.shift_add_um2 + 4 * prim.mux8_um2)
+    return _logic_area(raw, prim)
+
+
+@dataclass
+class CoreAreaModel:
+    """Full core roll-up reproducing Tbl. 5."""
+
+    n_pe_tiles: int = 128
+    n_decode_units: int = 4
+    n_quant_engines: int = 1
+    buffer_kb: float = 324.0
+    prim: Primitives = field(default_factory=lambda: PRIM_28NM)
+
+    def components(self) -> list[ComponentArea]:
+        """Component table (areas in um^2 per instance, power in mW)."""
+        prim = self.prim
+        pe = pe_tile_area_um2(prim)
+        dec = decode_unit_area_um2(prim)
+        qe = quant_engine_area_um2(prim)
+        buf = BufferModel(self.buffer_kb)
+        return [
+            ComponentArea("PE Tile", pe, pe * prim.uw_per_um2 / 1e3, self.n_pe_tiles),
+            ComponentArea("Top-1 Decode Unit", dec,
+                          dec * prim.uw_per_um2 * prim.decode_power_density / 1e3,
+                          self.n_decode_units),
+            ComponentArea("Quantization Engine", qe,
+                          qe * prim.uw_per_um2 * prim.qe_power_density / 1e3,
+                          self.n_quant_engines),
+            ComponentArea(f"Buffer ({int(self.buffer_kb)}KB)",
+                          buf.area_mm2 * 1e6, buf.power_mw, 1),
+        ]
+
+    @property
+    def total_area_mm2(self) -> float:
+        """Total core area."""
+        return sum(c.total_area_mm2 for c in self.components())
+
+    @property
+    def total_power_mw(self) -> float:
+        """Total core power."""
+        return sum(c.total_power_mw for c in self.components())
+
+    def metadata_overhead_fraction(self) -> float:
+        """Area fraction of the metadata units (decode + quant engine)."""
+        comps = {c.name.split(" (")[0]: c for c in self.components()}
+        meta = (comps["Top-1 Decode Unit"].total_area_mm2
+                + comps["Quantization Engine"].total_area_mm2)
+        return meta / self.total_area_mm2

@@ -1,0 +1,74 @@
+"""Normalized latency/energy comparison across accelerators (Fig. 13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .accelerator import (ACCELERATORS, REFERENCE_8BIT, AcceleratorSpec,
+                          PerfResult, run_workload)
+from .workloads import WORKLOADS, LLMWorkload
+
+__all__ = ["NormalizedPoint", "compare_on_workload", "fig13_comparison",
+           "speedup_vs"]
+
+
+@dataclass
+class NormalizedPoint:
+    """One bar of Fig. 13: latency and energy relative to the W8A8 reference."""
+
+    accelerator: str
+    workload: str
+    norm_latency: float
+    norm_energy: float
+    energy_breakdown: dict[str, float]
+
+
+def compare_on_workload(workload: LLMWorkload,
+                        specs: dict[str, AcceleratorSpec] | None = None
+                        ) -> list[NormalizedPoint]:
+    """Normalized points of every accelerator on one workload."""
+    specs = specs or ACCELERATORS
+    ref = run_workload(REFERENCE_8BIT, workload)
+    points = []
+    for spec in specs.values():
+        res = run_workload(spec, workload)
+        points.append(NormalizedPoint(
+            accelerator=spec.name, workload=workload.name,
+            norm_latency=res.cycles / ref.cycles,
+            norm_energy=res.total_energy_j / ref.total_energy_j,
+            energy_breakdown={
+                "core": res.core_energy_j / ref.total_energy_j,
+                "buffer": res.buffer_energy_j / ref.total_energy_j,
+                "dram": res.dram_energy_j / ref.total_energy_j,
+                "static": res.static_energy_j / ref.total_energy_j,
+            }))
+    return points
+
+
+def fig13_comparison(workload_names: list[str] | None = None
+                     ) -> dict[str, list[NormalizedPoint]]:
+    """The full Fig. 13 grid plus an 'average' pseudo-workload."""
+    names = workload_names or list(WORKLOADS)
+    grid = {name: compare_on_workload(WORKLOADS[name]) for name in names}
+    by_acc: dict[str, list[NormalizedPoint]] = {}
+    for points in grid.values():
+        for p in points:
+            by_acc.setdefault(p.accelerator, []).append(p)
+    grid["average"] = [
+        NormalizedPoint(
+            accelerator=acc, workload="average",
+            norm_latency=sum(p.norm_latency for p in pts) / len(pts),
+            norm_energy=sum(p.norm_energy for p in pts) / len(pts),
+            energy_breakdown={
+                key: sum(p.energy_breakdown[key] for p in pts) / len(pts)
+                for key in pts[0].energy_breakdown})
+        for acc, pts in by_acc.items()]
+    return grid
+
+
+def speedup_vs(points: list[NormalizedPoint], ours: str = "m2xfp",
+               other: str = "microscopiq") -> tuple[float, float]:
+    """(speedup, energy ratio) of ``ours`` over ``other`` on one workload."""
+    by_name = {p.accelerator: p for p in points}
+    a, b = by_name[other], by_name[ours]
+    return a.norm_latency / b.norm_latency, a.norm_energy / b.norm_energy

@@ -1,0 +1,63 @@
+"""Top-1 Decode Unit (Fig. 10): LUT + three-level comparator tree.
+
+The unit re-identifies the top-1 element of an 8-element subgroup from
+FP4 codes alone, so the PE knows which lane receives the metadata
+correction. FP4 is sign-magnitude, so an |value|-monotonic unsigned key
+is just the 3-bit magnitude code — implemented as an explicit 16-entry
+lookup table, like the hardware. Ties resolve to the lowest index because
+every comparator prefers its left (lower-index) operand on equality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["FP4_TO_UINT_LUT", "lut_key", "comparator_tree_top1", "Top1DecodeUnit"]
+
+#: 16-entry table mapping a packed FP4 code (sign<<3 | mag) to an unsigned
+#: magnitude key. Both signs of the same magnitude map to the same key.
+FP4_TO_UINT_LUT = np.array([c & 0x7 for c in range(16)], dtype=np.int64)
+
+
+def lut_key(packed_codes: np.ndarray) -> np.ndarray:
+    """Magnitude keys for packed FP4 codes via the lookup table."""
+    packed_codes = np.asarray(packed_codes, dtype=np.int64)
+    if np.any((packed_codes < 0) | (packed_codes > 15)):
+        raise ShapeError("packed FP4 codes must be 4-bit values")
+    return FP4_TO_UINT_LUT[packed_codes]
+
+
+def comparator_tree_top1(keys: np.ndarray) -> np.ndarray:
+    """Winner indices of a 3-level comparator tree over 8 keys per row.
+
+    Structurally mirrors the hardware: each level compares pairs and the
+    left operand wins ties, which yields the lowest index overall.
+    """
+    keys = np.atleast_2d(np.asarray(keys, dtype=np.int64))
+    if keys.shape[1] != 8:
+        raise ShapeError("the decode unit compares exactly 8 lanes")
+    idx = np.tile(np.arange(8, dtype=np.int64), (keys.shape[0], 1))
+    vals = keys
+    while vals.shape[1] > 1:
+        left_v, right_v = vals[:, 0::2], vals[:, 1::2]
+        left_i, right_i = idx[:, 0::2], idx[:, 1::2]
+        take_left = left_v >= right_v
+        vals = np.where(take_left, left_v, right_v)
+        idx = np.where(take_left, left_i, right_i)
+    return idx[:, 0]
+
+
+class Top1DecodeUnit:
+    """Functional + cost model of one decode unit (8 FP4 inputs/cycle)."""
+
+    LANES = 8
+
+    def top1(self, packed_codes: np.ndarray) -> np.ndarray:
+        """Top-1 indices for ``(n, 8)`` packed FP4 codes."""
+        return comparator_tree_top1(lut_key(packed_codes))
+
+    def cycles(self, n_subgroups: int) -> int:
+        """One subgroup per cycle, fully pipelined."""
+        return int(n_subgroups)

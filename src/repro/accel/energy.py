@@ -1,0 +1,53 @@
+"""28 nm energy/power constants and the buffer (CACTI-style) model.
+
+Per-operation energies are first-order constants calibrated so the
+component totals of Tbl. 5 and the energy breakdown shape of Fig. 13 are
+reproduced; they scale with counts, so architectural what-ifs (bigger
+arrays, other bit widths) remain meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["TechConstants", "TECH_28NM", "BufferModel"]
+
+
+@dataclass(frozen=True)
+class TechConstants:
+    """Energy/area primitives at the modelled node and frequency."""
+
+    frequency_hz: float = 500e6
+    mac4_energy_pj: float = 0.22       # one FP4x FP4 MAC (incl. accumulate)
+    sram_energy_pj_per_byte: float = 0.18
+    dram_energy_pj_per_byte: float = 14.0
+    decode_energy_pj_per_subgroup: float = 0.05
+    quant_energy_pj_per_element: float = 0.11
+    static_power_mw: float = 62.0      # leakage + clock tree of the core
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Seconds per cycle."""
+        return 1.0 / self.frequency_hz
+
+
+TECH_28NM = TechConstants()
+
+
+@dataclass(frozen=True)
+class BufferModel:
+    """CACTI-v7-calibrated SRAM cost model (per Tbl. 5: 324 KB on chip)."""
+
+    capacity_kb: float
+    area_um2_per_byte: float = 2.3328
+    power_mw_per_kb: float = 0.5441
+
+    @property
+    def area_mm2(self) -> float:
+        """Macro area of the buffer."""
+        return self.capacity_kb * 1024 * self.area_um2_per_byte / 1e6
+
+    @property
+    def power_mw(self) -> float:
+        """Dynamic + leakage power at nominal activity."""
+        return self.capacity_kb * self.power_mw_per_kb

@@ -1,0 +1,38 @@
+"""Exact dyadic fixed-point helpers for the bit-accurate PE model.
+
+All FP4/FP6 values under a power-of-two scale are dyadic rationals, so the
+PE datapath can be simulated exactly with integers: a value ``v`` with
+``frac_bits`` fractional bits is stored as ``round(v * 2**frac_bits)``,
+and every step of the pipeline is integer arithmetic. Tests then check
+the PE result equals the float reference with zero error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import FormatError
+
+__all__ = ["to_fixed", "from_fixed", "FRAC_FP4", "FRAC_FP6", "FRAC_ACC"]
+
+#: FP4 E2M1 values are multiples of 1/2.
+FRAC_FP4 = 1
+#: FP6 E2M3 values are multiples of 1/16.
+FRAC_FP6 = 4
+#: Accumulator fractional bits: products of FP4*FP6 need 5, the subgroup
+#: scale multipliers {1, 1.25, 1.5, 1.75} need 2 more.
+FRAC_ACC = 7
+
+
+def to_fixed(values: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Exactly convert dyadic rationals to integers with ``frac_bits``."""
+    scaled = np.asarray(values, dtype=np.float64) * (1 << frac_bits)
+    fixed = np.rint(scaled).astype(np.int64)
+    if not np.allclose(fixed, scaled, rtol=0, atol=0):
+        raise FormatError(f"values are not exact multiples of 2^-{frac_bits}")
+    return fixed
+
+
+def from_fixed(fixed: np.ndarray, frac_bits: int) -> np.ndarray:
+    """Integer fixed-point back to float64 (exact for our ranges)."""
+    return np.asarray(fixed, dtype=np.float64) / (1 << frac_bits)

@@ -1,0 +1,90 @@
+"""Memory organization of M2XFP tensors on the accelerator (Sec. 5.2).
+
+Maps a packed tensor (see :mod:`repro.core.packing`) onto the three
+separately contiguous on-chip regions — elements, scales, metadata — and
+models the dispatch unit that serves aligned group records to the decode
+units and PE array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.packing import PackedGroups
+from ..errors import ShapeError
+
+__all__ = ["GroupRecord", "MemoryLayout", "DispatchUnit"]
+
+
+@dataclass(frozen=True)
+class GroupRecord:
+    """One group's worth of aligned fields, as the dispatch unit emits it."""
+
+    element_bytes: np.ndarray  # group_size/2 bytes of packed FP4 codes
+    scale_byte: int            # E8M0 code
+    meta_byte: int             # packed 2-bit metadata fields
+
+
+@dataclass
+class MemoryLayout:
+    """Byte-level layout of a packed tensor in the three regions."""
+
+    packed: PackedGroups
+
+    @property
+    def element_region_bytes(self) -> int:
+        """Size of the packed-elements region."""
+        return int(self.packed.elements.size)
+
+    @property
+    def scale_region_bytes(self) -> int:
+        """Size of the scales region."""
+        return int(self.packed.scales.size)
+
+    @property
+    def metadata_region_bytes(self) -> int:
+        """Size of the metadata region."""
+        return int(self.packed.metadata.size)
+
+    @property
+    def group_stride_bytes(self) -> int:
+        """Element bytes per group (128 bits for group 32)."""
+        return self.packed.group_size // 2
+
+    def record(self, group_index: int) -> GroupRecord:
+        """Fetch one group's aligned record."""
+        if not 0 <= group_index < self.packed.n_groups:
+            raise ShapeError(f"group index {group_index} out of range")
+        stride = self.group_stride_bytes
+        meta_per_group = self.packed.metadata.size // self.packed.n_groups
+        start = group_index * meta_per_group
+        meta = int(self.packed.metadata[start]) if meta_per_group == 1 else int(
+            np.frombuffer(self.packed.metadata[start:start + meta_per_group]
+                          .tobytes(), dtype=np.uint8)[0])
+        return GroupRecord(
+            element_bytes=self.packed.elements[group_index * stride:
+                                               (group_index + 1) * stride],
+            scale_byte=int(self.packed.scales[group_index]),
+            meta_byte=meta)
+
+
+class DispatchUnit:
+    """Streams aligned group records; checks the layout stays fragment-free."""
+
+    def __init__(self, layout: MemoryLayout) -> None:
+        self.layout = layout
+
+    def stream(self):
+        """Yield every group record in address order."""
+        for i in range(self.layout.packed.n_groups):
+            yield self.layout.record(i)
+
+    @property
+    def is_aligned(self) -> bool:
+        """All three regions are multiples of their record sizes."""
+        p = self.layout.packed
+        return (p.elements.size % self.layout.group_stride_bytes == 0
+                and p.scales.size == p.n_groups
+                and p.metadata.size % p.n_groups == 0)

@@ -1,0 +1,103 @@
+"""The M2XFP processing element (Fig. 11), simulated bit-accurately.
+
+Each PE tile executes an 8-lane FP4xFP4 multiply-accumulate per cycle,
+augmented with the two metadata paths of Sec. 5.4:
+
+* **extra mantissa**: the activation top-1 lane contributes an extra
+  ``W x DeltaX`` term, where ``DeltaX = X_fp6 - X_fp4`` is the FP6
+  refinement (hidden bit zero, so it composes with the FP4 datapath);
+* **subgroup scale refinement**: the partial sum is multiplied by
+  {1.0, 1.25, 1.5, 1.75} selected by the weight's 2-bit Sg-EM code,
+  realized as shift-and-add (P + P>>2 etc.);
+* **dequantize & accumulate**: the fixed-point partial sum is scaled by
+  ``2^(E_W + E_X)`` (exponent alignment only, since scales are E8M0).
+
+Everything is integer arithmetic on dyadic fixed point, so the test suite
+can require exact equality with the algorithmic reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..formats.registry import FP4_E2M1, FP6_E2M3
+from .decode_unit import Top1DecodeUnit
+from .fixedpoint import FRAC_ACC, to_fixed
+
+__all__ = ["PETileInputs", "PETile"]
+
+_SG_NUMERATORS = np.array([4, 5, 6, 7], dtype=np.int64)  # x1.0 .. x1.75
+
+
+@dataclass
+class PETileInputs:
+    """One subgroup's worth of operands for a PE tile."""
+
+    w_codes: np.ndarray       # (8,) packed FP4 weight codes
+    x_codes: np.ndarray       # (8,) packed FP4 activation codes
+    x_meta: int               # 2-bit Elem-EM metadata for the top-1 lane
+    sg_code: int              # 2-bit Sg-EM subgroup-scale code
+    w_exp: int                # weight shared-scale exponent (E8M0)
+    x_exp: int                # activation shared-scale exponent (E8M0)
+
+
+class PETile:
+    """Bit-accurate functional model of one 8-lane M2XFP PE tile."""
+
+    LANES = 8
+
+    def __init__(self) -> None:
+        self._decode = Top1DecodeUnit()
+
+    def _fp6_refined(self, x_code: int, meta: int) -> float:
+        """Decode the FP6 magnitude selected by the bias-clamp metadata."""
+        mag = x_code & 0x7
+        fp6_code = ((mag << 2) | meta) - 1
+        fp6_code = max(0, min(FP6_E2M3.code_count - 1, fp6_code))
+        value = FP6_E2M3.grid[fp6_code]
+        return -value if x_code & 0x8 else value
+
+    def multiply_accumulate(self, inputs: PETileInputs) -> float:
+        """One subgroup's contribution to the output, exactly.
+
+        Returns ``sg_mult * 2^(Ew+Ex) * sum_i w_i * x'_i`` where the top-1
+        activation lane uses its FP6-refined value.
+        """
+        w_codes = np.asarray(inputs.w_codes, dtype=np.int64)
+        x_codes = np.asarray(inputs.x_codes, dtype=np.int64)
+        if w_codes.shape != (self.LANES,) or x_codes.shape != (self.LANES,):
+            raise ShapeError("PE tile processes subgroups of exactly 8 lanes")
+
+        w_vals = FP4_E2M1.value_of_code(w_codes)
+        x_vals = FP4_E2M1.value_of_code(x_codes)
+        w_fx = to_fixed(w_vals, 1)                     # multiples of 1/2
+        x_fx = to_fixed(x_vals, 1)
+        # Baseline FP4 MAC: products are multiples of 1/4; hold the
+        # accumulator at FRAC_ACC fractional bits.
+        acc = np.sum(w_fx * x_fx) << (FRAC_ACC - 2)
+
+        # Extra-mantissa path: W x DeltaX on the decoded top-1 lane.
+        top = int(self._decode.top1(x_codes[None, :])[0])
+        delta = self._fp6_refined(int(x_codes[top]), int(inputs.x_meta)) - x_vals[top]
+        delta_fx = to_fixed(delta, 4)                  # multiples of 1/16
+        acc += (w_fx[top] * delta_fx) << (FRAC_ACC - 5)
+
+        # Subgroup scale refinement via shift-and-add: (4 + code) / 4.
+        acc = acc * _SG_NUMERATORS[int(inputs.sg_code)]
+
+        # Dequantize: exponent alignment with the two E8M0 shared scales.
+        return float(acc) / (1 << (FRAC_ACC + 2)) * 2.0 ** (inputs.w_exp + inputs.x_exp)
+
+    def reference(self, inputs: PETileInputs) -> float:
+        """Float reference of the same computation (for equivalence tests)."""
+        w_vals = FP4_E2M1.value_of_code(np.asarray(inputs.w_codes, dtype=np.int64))
+        x_vals = FP4_E2M1.value_of_code(np.asarray(inputs.x_codes, dtype=np.int64))
+        top = int(self._decode.top1(np.asarray(inputs.x_codes)[None, :])[0])
+        x_ref = x_vals.copy()
+        x_ref[top] = self._fp6_refined(int(inputs.x_codes[top]), int(inputs.x_meta))
+        sg_mult = 1.0 + int(inputs.sg_code) / 4.0
+        return float(np.sum(w_vals * x_ref) * sg_mult
+                     * 2.0 ** (inputs.w_exp + inputs.x_exp))

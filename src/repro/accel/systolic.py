@@ -1,0 +1,103 @@
+"""First-order cycle model of the 32x32 systolic GEMM pipeline.
+
+The array computes a 32x32 output tile while streaming 8 reduction
+elements per cycle into every PE tile (128 tiles x 8 lanes = one 32x32x8
+MAC slab per cycle). Operands wider than 4 bits decompose into 4-bit
+partial passes (2 passes per 8-bit operand), which is how the 8-bit
+fallback of the baseline accelerators costs them throughput.
+
+DRAM traffic follows a blocked-tiling reuse model: output tiles of side
+``T`` (bounded by the FP32 output buffer) keep partial sums resident, so
+each operand panel is streamed ``ceil(dim / T)`` times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = ["GemmShape", "ArrayConfig", "gemm_compute_cycles", "gemm_dram_traffic",
+           "gemm_buffer_traffic"]
+
+
+@dataclass(frozen=True)
+class GemmShape:
+    """C[M, N] = A[M, K] @ B[K, N] (A: activations, B: weights)."""
+
+    m: int
+    k: int
+    n: int
+
+    @property
+    def macs(self) -> int:
+        """Multiply-accumulate count."""
+        return self.m * self.k * self.n
+
+
+@dataclass(frozen=True)
+class ArrayConfig:
+    """The modelled compute core (Tbl. 5 configuration)."""
+
+    rows: int = 32
+    cols: int = 32
+    lanes: int = 8                      # MAC lanes per PE tile
+    frequency_hz: float = 500e6
+    dram_bytes_per_cycle: float = 256.0  # ~128 GB/s at 500 MHz
+    act_buffer_bytes: int = 144 * 1024
+    weight_buffer_bytes: int = 144 * 1024
+    out_buffer_bytes: int = 36 * 1024
+
+    @property
+    def macs_per_cycle(self) -> int:
+        """Peak 4-bit MACs per cycle."""
+        return self.rows * self.cols * self.lanes
+
+    def output_tile_side(self) -> int:
+        """Largest square FP32 output tile the output buffer can hold."""
+        t = int(np.sqrt(self.out_buffer_bytes / 4))
+        return max(self.rows, (t // self.rows) * self.rows)
+
+
+def _passes(bits: float) -> int:
+    """4-bit partial-product passes needed per operand."""
+    if bits <= 0:
+        raise ConfigError("operand width must be positive")
+    return max(1, int(np.ceil(bits / 4.0)))
+
+
+def gemm_compute_cycles(shape: GemmShape, hw: ArrayConfig,
+                        weight_bits: float = 4.0, act_bits: float = 4.0) -> int:
+    """Cycles to compute one GEMM, including tile fill/drain overhead."""
+    passes = _passes(weight_bits) * _passes(act_bits)
+    tiles = int(np.ceil(shape.m / hw.rows)) * int(np.ceil(shape.n / hw.cols))
+    per_tile = int(np.ceil(shape.k / hw.lanes)) * passes + hw.rows + hw.cols
+    return tiles * per_tile
+
+
+def gemm_dram_traffic(shape: GemmShape, hw: ArrayConfig,
+                      weight_ebw: float = 4.5, act_ebw: float = 4.5,
+                      out_bytes_per_el: float = 2.0) -> float:
+    """DRAM bytes moved for one GEMM under blocked tiling."""
+    t = hw.output_tile_side()
+    a_bytes = shape.m * shape.k * act_ebw / 8.0
+    w_bytes = shape.k * shape.n * weight_ebw / 8.0
+    o_bytes = shape.m * shape.n * out_bytes_per_el
+    return (a_bytes * np.ceil(shape.n / t)
+            + w_bytes * np.ceil(shape.m / t)
+            + o_bytes)
+
+
+def gemm_buffer_traffic(shape: GemmShape, hw: ArrayConfig,
+                        weight_ebw: float = 4.5, act_ebw: float = 4.5) -> float:
+    """On-chip SRAM bytes read while streaming the GEMM.
+
+    Every operand byte is read from SRAM once per output-tile pass at
+    array granularity (the systolic broadcast amortizes the rest).
+    """
+    a_bytes = shape.m * shape.k * act_ebw / 8.0
+    w_bytes = shape.k * shape.n * weight_ebw / 8.0
+    return (a_bytes * np.ceil(shape.n / hw.cols)
+            + w_bytes * np.ceil(shape.m / hw.rows)) / 4.0 + shape.m * shape.n * 4.0

@@ -1,0 +1,67 @@
+"""LLM inference workloads: the GEMM shapes behind Fig. 13.
+
+One prefill pass at sequence length 4096, batch 1, over the real
+architectural dimensions of each evaluated model (hidden size, FFN size,
+KV heads for GQA/MQA, layer count). Only the Linear-layer GEMMs are
+modelled — the paper notes they dominate latency (~83%) at this length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .systolic import GemmShape
+
+__all__ = ["LLMWorkload", "WORKLOADS", "workload_for"]
+
+
+@dataclass(frozen=True)
+class LLMWorkload:
+    """Per-layer projection shapes replicated over the layer count."""
+
+    name: str
+    d_model: int
+    d_ff: int
+    n_layers: int
+    kv_dim: int            # K/V projection width (GQA/MQA shrink this)
+    gated_mlp: bool = True  # SwiGLU (gate+up+down) vs plain up+down
+    seq_len: int = 4096
+
+    def gemms(self) -> list[GemmShape]:
+        """All linear-layer GEMMs of one forward pass."""
+        m, d, ff = self.seq_len, self.d_model, self.d_ff
+        per_layer = [
+            GemmShape(m, d, d),            # Q projection
+            GemmShape(m, d, self.kv_dim),  # K projection
+            GemmShape(m, d, self.kv_dim),  # V projection
+            GemmShape(m, d, d),            # O projection
+            GemmShape(m, d, ff),           # up (or first MLP matmul)
+            GemmShape(m, ff, d),           # down
+        ]
+        if self.gated_mlp:
+            per_layer.append(GemmShape(m, d, ff))  # gate
+        return per_layer * self.n_layers
+
+    @property
+    def total_macs(self) -> int:
+        """Total MAC count of the workload."""
+        return sum(g.macs for g in self.gemms())
+
+
+WORKLOADS: dict[str, LLMWorkload] = {w.name: w for w in (
+    LLMWorkload("llama2-7b", d_model=4096, d_ff=11008, n_layers=32, kv_dim=4096),
+    LLMWorkload("llama3-8b", d_model=4096, d_ff=14336, n_layers=32, kv_dim=1024),
+    LLMWorkload("llama3-70b", d_model=8192, d_ff=28672, n_layers=80, kv_dim=1024),
+    LLMWorkload("opt-6.7b", d_model=4096, d_ff=16384, n_layers=32, kv_dim=4096,
+                gated_mlp=False),
+    LLMWorkload("mistral-7b", d_model=4096, d_ff=14336, n_layers=32, kv_dim=1024),
+    LLMWorkload("falcon-7b", d_model=4544, d_ff=18176, n_layers=32, kv_dim=128,
+                gated_mlp=False),
+)}
+
+
+def workload_for(name: str) -> LLMWorkload:
+    """Look up a workload with a helpful error."""
+    if name not in WORKLOADS:
+        raise KeyError(f"unknown workload {name!r}; available: {sorted(WORKLOADS)}")
+    return WORKLOADS[name]

@@ -1,0 +1,25 @@
+"""Algorithm-level comparators from the paper's evaluation (Tbls. 3, 7)."""
+
+from .ant import ANT_TYPES, MXAnt
+from .blockdialect import DIALECTS, BlockDialect, block_dialect
+from .gptq import (GPTQQuantizedLM, collect_calibration_inputs,
+                   gptq_quantize_matrix, gptq_weight_override)
+from .mant import MANT_TYPES, MXMAnt
+from .microscopiq import (MicroScopiQ, MicroScopiQWeights, MXIntActivations,
+                          microscopiq)
+from .olive import MXOliVe
+from .rotation import (RotatedFormat, block_rotation, duquant,
+                       hadamard_matrix, quarot)
+
+__all__ = [
+    "MXAnt", "ANT_TYPES", "MXMAnt", "MANT_TYPES", "MXOliVe",
+    "MicroScopiQ", "MicroScopiQWeights", "MXIntActivations", "microscopiq",
+    "BlockDialect", "DIALECTS", "block_dialect",
+    "RotatedFormat", "hadamard_matrix", "block_rotation", "quarot", "duquant",
+    "gptq_quantize_matrix", "collect_calibration_inputs",
+    "gptq_weight_override", "GPTQQuantizedLM",
+]
+
+mx_ant = MXAnt()
+mx_m_ant = MXMAnt()
+mx_olive = MXOliVe()

@@ -1,0 +1,52 @@
+"""MX-ANT: per-group adaptive numeric type selection (ANT, MICRO'22).
+
+ANT picks the best scalar type per tensor/channel among INT4, Flint4 and
+PoT4. Following the paper's Sec. 6.1, we adapt it to the group-wise MX
+setting ("MX-ANT"): every group of 32 carries an E8M0 scale plus a 2-bit
+type index choosing the grid that minimizes the group's MSE.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.e8m0 import E8M0_BITS
+from ..formats.intspec import flint4, int4, pot4
+from ..formats.registry import FP4_E2M1
+from ..mx.base import BlockFormat, QuantResult
+
+__all__ = ["MXAnt", "ANT_TYPES"]
+
+ANT_TYPES = (int4, flint4, pot4)
+
+
+class MXAnt(BlockFormat):
+    """Group-wise type-adaptive quantizer over the ANT type family."""
+
+    def __init__(self, group_size: int = 32, scale_rule: str = "floor") -> None:
+        super().__init__(f"mx-ant-g{group_size}", FP4_E2M1, group_size,
+                         scale_rule, scale_bits=E8M0_BITS,
+                         meta_bits_per_group=2)
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        n, _ = groups.shape
+        amax = np.max(np.abs(groups), axis=1)
+        best_err = np.full(n, np.inf)
+        best_dq = np.zeros_like(groups)
+        type_idx = np.zeros(n, dtype=np.int64)
+        for idx, typ in enumerate(ANT_TYPES):
+            # Per-type power-of-two scale fitted to the type's range.
+            with np.errstate(divide="ignore"):
+                e = np.where(amax > 0,
+                             np.ceil(np.log2(np.where(amax > 0, amax, 1.0)
+                                             / typ.max_value)), 0.0)
+            scales = np.exp2(np.clip(e, -127, 127))
+            dq = typ.quantize(groups / scales[:, None]) * scales[:, None]
+            err = np.sum((dq - groups) ** 2, axis=1)
+            better = err < best_err
+            best_err = np.where(better, err, best_err)
+            best_dq = np.where(better[:, None], dq, best_dq)
+            type_idx = np.where(better, idx, type_idx)
+        scales = np.exp2(np.zeros(n))
+        return QuantResult(dequantized=best_dq, scales=scales, ebw=self.ebw,
+                           details={"type_index": type_idx})

@@ -1,0 +1,93 @@
+"""BlockDialect (Tbl. 1 / Tbl. 7): block-wise fine-grained format dialects.
+
+Each group of 32 selects one of 16 "dialects" — 4-bit grids whose level
+spacing is tuned to different block shapes — via a 4-bit index. Weights
+pick the MSE-optimal dialect offline; activations use the paper-described
+efficient real-time decision, modelled here as a cheap statistic
+(crest factor bucket) instead of a full search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.e8m0 import E8M0_BITS
+from ..formats.intspec import GridSpec
+from ..formats.registry import FP4_E2M1
+from ..mx.base import BlockFormat, QuantResult
+
+__all__ = ["DIALECTS", "BlockDialect", "block_dialect"]
+
+
+def _dialect(gamma: float) -> GridSpec:
+    """A 4-bit dialect: 8 magnitude levels with power-law spacing."""
+    levels = 6.0 * (np.arange(8) / 7.0) ** gamma
+    return GridSpec(f"dialect-{gamma:.2f}", tuple(float(v) for v in levels), 4)
+
+
+#: 16 dialects spanning uniform-ish to strongly outlier-focused spacing.
+DIALECTS = tuple(_dialect(g) for g in np.linspace(0.55, 3.0, 16))
+
+
+class BlockDialect(BlockFormat):
+    """Per-group dialect selection over an E8M0 shared scale."""
+
+    def __init__(self, group_size: int = 32, scale_rule: str = "ceil",
+                 online_selection: bool = False) -> None:
+        super().__init__(f"blockdialect-g{group_size}", FP4_E2M1, group_size,
+                         scale_rule, scale_bits=E8M0_BITS,
+                         meta_bits_per_group=4)
+        self.online_selection = bool(online_selection)
+
+    def _scales(self, groups: np.ndarray) -> np.ndarray:
+        amax = np.max(np.abs(groups), axis=1)
+        e = np.where(amax > 0,
+                     np.ceil(np.log2(np.where(amax > 0, amax, 1.0) / 6.0)), 0.0)
+        return np.exp2(np.clip(e, -127, 127))
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        scales = self._scales(groups)
+        scaled = groups / scales[:, None]
+        n = groups.shape[0]
+        if self.online_selection:
+            # Crest-factor bucket: spikier blocks pick steeper dialects.
+            amax = np.max(np.abs(scaled), axis=1)
+            rms = np.sqrt(np.mean(scaled ** 2, axis=1)) + 1e-30
+            crest = np.clip(amax / rms, 1.0, 6.6)
+            idx = np.clip(((crest - 1.0) / 5.6 * 15.0).astype(np.int64), 0, 15)
+            dq = np.zeros_like(scaled)
+            for d, grid in enumerate(DIALECTS):
+                rows = idx == d
+                if np.any(rows):
+                    dq[rows] = grid.quantize(scaled[rows])
+            return QuantResult(dequantized=dq * scales[:, None], scales=scales,
+                               ebw=self.ebw, details={"dialect": idx})
+        best_err = np.full(n, np.inf)
+        best_dq = np.zeros_like(scaled)
+        idx = np.zeros(n, dtype=np.int64)
+        for d, grid in enumerate(DIALECTS):
+            dq = grid.quantize(scaled)
+            err = np.sum((dq - scaled) ** 2, axis=1)
+            better = err < best_err
+            best_err = np.where(better, err, best_err)
+            best_dq = np.where(better[:, None], dq, best_dq)
+            idx = np.where(better, d, idx)
+        return QuantResult(dequantized=best_dq * scales[:, None], scales=scales,
+                           ebw=self.ebw, details={"dialect": idx})
+
+    def quantize_weight(self, w: np.ndarray, axis: int = -1) -> np.ndarray:
+        self_online, self.online_selection = self.online_selection, False
+        try:
+            return self.quantize(w, axis=axis)
+        finally:
+            self.online_selection = self_online
+
+    def quantize_activation(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        self_online, self.online_selection = self.online_selection, True
+        try:
+            return self.quantize(x, axis=axis)
+        finally:
+            self.online_selection = self_online
+
+
+block_dialect = BlockDialect()

@@ -1,0 +1,110 @@
+"""MR-GPTQ: GPTQ-style error compensation over MX grids (Tbl. 7).
+
+Standard GPTQ column recursion adapted to group-wise MX formats: when the
+sweep reaches a group boundary, the group's shared scales are derived from
+the *current* (already compensated) weights using the target format's
+scale machinery — the OCP floor rule for MXFP4, or the Sg-EM adaptive
+subgroup-scale search for M2XFP weights. Each column is then quantized on
+the FP4 grid under those scales and its error is propagated into the
+remaining columns through the damped inverse Hessian:
+
+``w[:, j+1:] -= err_j * Hinv[j, j+1:] / Hinv[j, j]``
+
+which is the optimal (OBQ) update given that the remaining weights will be
+re-optimized in later steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.sg_em import sg_em_encode
+from ..errors import ConfigError
+from ..formats.registry import FP4_E2M1
+from ..models.quantized import QuantizedLM
+from ..models.transformer import TransformerLM
+from ..mx.base import TensorFormat
+from ..mx.scale_rules import shared_scale
+
+__all__ = ["gptq_quantize_matrix", "collect_calibration_inputs",
+           "gptq_weight_override", "GPTQQuantizedLM", "mx_scales_for_block"]
+
+
+def mx_scales_for_block(block: np.ndarray, mode: str, sub_size: int = 8) -> np.ndarray:
+    """Per-element dequantization scales for a ``(rows, group)`` block."""
+    rows, k = block.shape
+    if mode == "mxfp4":
+        amax = np.max(np.abs(block), axis=1)
+        return np.repeat(shared_scale(amax, FP4_E2M1, "floor")[:, None], k, axis=1)
+    if mode == "sg-em":
+        enc = sg_em_encode(block, sub_size=sub_size, adaptive=True)
+        base = np.exp2(enc.scale_exponents.astype(np.float64))
+        mult = 1.0 + enc.sg_codes.astype(np.float64) / 4.0
+        return np.repeat(base[:, None] * mult, sub_size, axis=1)
+    raise ConfigError(f"unknown GPTQ scale mode {mode!r}")
+
+
+def gptq_quantize_matrix(w: np.ndarray, hessian: np.ndarray, mode: str = "mxfp4",
+                         group: int = 32, damp: float = 0.05,
+                         sub_size: int = 8) -> np.ndarray:
+    """GPTQ-compensated MX quantization of ``(out, in)`` weights."""
+    w = np.array(w, dtype=np.float64)
+    n_in = w.shape[1]
+    h = np.array(hessian, dtype=np.float64)
+    h += damp * np.mean(np.diag(h)) * np.eye(n_in)
+    hinv = np.linalg.inv(h)
+    out = np.zeros_like(w)
+    scales = np.empty_like(w)
+    for j in range(n_in):
+        if j % group == 0:
+            e = min(j + group, n_in)
+            scales[:, j:e] = mx_scales_for_block(w[:, j:e], mode, sub_size)
+        s = scales[:, j]
+        q = FP4_E2M1.quantize(w[:, j] / s) * s
+        out[:, j] = q
+        err = (w[:, j] - q) / hinv[j, j]
+        if j + 1 < n_in:
+            w[:, j + 1:] -= np.outer(err, hinv[j, j + 1:])
+    return out
+
+
+def collect_calibration_inputs(model: TransformerLM,
+                               tokens: np.ndarray) -> dict[str, np.ndarray]:
+    """Per-projection input activations from a calibration forward pass."""
+    captured: dict[str, list[np.ndarray]] = {}
+
+    def record(name: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        captured.setdefault(name, []).append(x.reshape(-1, x.shape[-1]))
+        return x @ w.T
+
+    model.forward(np.atleast_2d(tokens), linear_fn=record)
+    return {name: np.concatenate(chunks, axis=0) for name, chunks in captured.items()}
+
+
+def gptq_weight_override(model: TransformerLM, calib_tokens: np.ndarray,
+                         mode: str = "mxfp4", group: int = 32,
+                         damp: float = 0.05) -> dict[str, np.ndarray]:
+    """GPTQ-quantized weights for every projection of the model."""
+    inputs = collect_calibration_inputs(model, calib_tokens)
+    override: dict[str, np.ndarray] = {}
+    for li, layer in enumerate(model.layers):
+        for name in ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"):
+            key = f"l{li}.{name}"
+            x = inputs[key]
+            hessian = x.T @ x / x.shape[0]
+            override[key] = gptq_quantize_matrix(layer[name], hessian, mode,
+                                                 group=group, damp=damp)
+    return override
+
+
+def GPTQQuantizedLM(model: TransformerLM, fmt: TensorFormat,
+                    calib_tokens: np.ndarray, mode: str = "mxfp4",
+                    group: int = 32) -> QuantizedLM:
+    """A quantized LM whose weights went through MR-GPTQ compensation.
+
+    ``fmt`` still provides the activation path (e.g. MXFP4 or M2XFP's
+    Elem-EM); ``mode`` selects the weight-scale machinery.
+    """
+    override = gptq_weight_override(model, calib_tokens, mode=mode, group=group)
+    return QuantizedLM(model, fmt, weight_override=override,
+                       calibration_tokens=calib_tokens)

@@ -1,0 +1,70 @@
+"""MX-M-ANT: mathematically adaptive numeric types (M-ANT, HPCA'25).
+
+M-ANT generalizes ANT to a dictionary of 16 data types whose grids are
+tuned to different group statistics. We adapt it to the MX setting like
+the paper does: group 32, E8M0 scale, 4-bit per-group type index. The
+dictionary spans uniform (INT), float (ExMy), power-of-two and power-law
+("stretched") grids, which is the M-ANT design space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.e8m0 import E8M0_BITS
+from ..formats.intspec import GridSpec, flint4, int4, pot4
+from ..formats.registry import FP4_E2M1
+from ..mx.base import BlockFormat, QuantResult
+
+__all__ = ["MANT_TYPES", "MXMAnt"]
+
+
+def _power_law(gamma: float) -> GridSpec:
+    """An 8-level grid with power-law spacing, normalized to max 6."""
+    levels = 6.0 * (np.arange(8) / 7.0) ** gamma
+    return GridSpec(f"pl{gamma:.2f}", tuple(float(v) for v in levels), 4)
+
+
+def _build_dictionary() -> tuple[GridSpec, ...]:
+    fp4 = GridSpec("e2m1", tuple(float(v) for v in FP4_E2M1.grid), 4)
+    power_laws = tuple(_power_law(g) for g in
+                       (0.6, 0.8, 1.2, 1.4, 1.7, 2.0, 2.4, 2.8))
+    asym = GridSpec("dense-low", (0.0, 0.25, 0.5, 0.75, 1.0, 1.5, 3.0, 6.0), 4)
+    wide = GridSpec("dense-high", (0.0, 1.0, 2.0, 3.0, 4.0, 4.75, 5.5, 6.0), 4)
+    log15 = GridSpec("log1.5", (0.0, 0.26, 0.40, 0.59, 0.89, 1.8, 2.7, 6.0), 4)
+    mid = GridSpec("mid", (0.0, 0.75, 1.5, 2.25, 3.0, 4.0, 5.0, 6.0), 4)
+    return (int4, flint4, pot4, fp4, asym, wide, log15, mid) + power_laws
+
+
+MANT_TYPES = _build_dictionary()
+assert len(MANT_TYPES) == 16
+
+
+class MXMAnt(BlockFormat):
+    """Group-wise 16-type adaptive quantizer (MX-adapted M-ANT)."""
+
+    def __init__(self, group_size: int = 32, scale_rule: str = "floor") -> None:
+        super().__init__(f"mx-m-ant-g{group_size}", FP4_E2M1, group_size,
+                         scale_rule, scale_bits=E8M0_BITS,
+                         meta_bits_per_group=4)
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        n, _ = groups.shape
+        amax = np.max(np.abs(groups), axis=1)
+        best_err = np.full(n, np.inf)
+        best_dq = np.zeros_like(groups)
+        type_idx = np.zeros(n, dtype=np.int64)
+        for idx, typ in enumerate(MANT_TYPES):
+            with np.errstate(divide="ignore"):
+                e = np.where(amax > 0,
+                             np.ceil(np.log2(np.where(amax > 0, amax, 1.0)
+                                             / typ.max_value)), 0.0)
+            scales = np.exp2(np.clip(e, -127, 127))
+            dq = typ.quantize(groups / scales[:, None]) * scales[:, None]
+            err = np.sum((dq - groups) ** 2, axis=1)
+            better = err < best_err
+            best_err = np.where(better, err, best_err)
+            best_dq = np.where(better[:, None], dq, best_dq)
+            type_idx = np.where(better, idx, type_idx)
+        return QuantResult(dequantized=best_dq, scales=np.ones(n), ebw=self.ebw,
+                           details={"type_index": type_idx})

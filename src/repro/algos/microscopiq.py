@@ -1,0 +1,114 @@
+"""MicroScopiQ (ISCA'25): outlier-aware microscaling, adapted per Sec. 6.1.
+
+Weights are split into inlier and outlier blocks; outlier blocks keep
+their top elements at higher precision (modelled as INT8 refinement of the
+top-2 per group) at the cost of heavy structural metadata (24-bit
+permutation list + 16-bit identifier + 8-bit MXScale per block, Tbl. 1).
+Activations use naive MXINT quantization — the weakness the paper
+identifies for W4A4 operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.e8m0 import E8M0_BITS
+from ..formats.intspec import IntSpec
+from ..formats.registry import FP4_E2M1
+from ..mx.base import BlockFormat, QuantResult, TensorFormat
+
+__all__ = ["MicroScopiQWeights", "MXIntActivations", "MicroScopiQ", "microscopiq"]
+
+#: Structural metadata per outlier block (permutation + identifier + scale).
+STRUCTURAL_META_BITS = 48
+
+
+class MicroScopiQWeights(BlockFormat):
+    """Inlier/outlier block split with INT8 top-2 refinement."""
+
+    def __init__(self, group_size: int = 32, scale_rule: str = "floor",
+                 outlier_block_fraction: float = 0.25) -> None:
+        super().__init__(f"microscopiq-w-g{group_size}", FP4_E2M1, group_size,
+                         scale_rule, scale_bits=E8M0_BITS,
+                         meta_bits_per_group=int(STRUCTURAL_META_BITS
+                                                 * outlier_block_fraction))
+        self.outlier_block_fraction = float(outlier_block_fraction)
+        self._int8 = IntSpec("int8", 8)
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        scales = self.group_scales(groups)
+        scaled = groups / scales[:, None]
+        dq = self.element.quantize(scaled)
+
+        # Blocks with the highest max/mean ratio are outlier blocks.
+        amax = np.max(np.abs(groups), axis=1)
+        amean = np.mean(np.abs(groups), axis=1) + 1e-30
+        ratio = amax / amean
+        n = groups.shape[0]
+        n_outlier = max(1, int(round(self.outlier_block_fraction * n)))
+        outlier_rows = np.argsort(-ratio)[:n_outlier]
+
+        # Outlier blocks: top-2 magnitudes re-quantized on an INT8 grid
+        # aligned to the block max (the extra bits the metadata pays for).
+        sub = scaled[outlier_rows]
+        order = np.argsort(-np.abs(sub), axis=1)[:, :2]
+        top_vals = np.take_along_axis(sub, order, axis=1)
+        bmax = np.max(np.abs(sub), axis=1, keepdims=True) + 1e-30
+        refined = self._int8.quantize(top_vals / bmax * 127.0) / 127.0 * bmax
+        block_dq = dq[outlier_rows]
+        np.put_along_axis(block_dq, order, refined, axis=1)
+        dq[outlier_rows] = block_dq
+        return QuantResult(dequantized=dq * scales[:, None], scales=scales,
+                           ebw=self.ebw, details={"outlier_rows": outlier_rows})
+
+
+class MXIntActivations(BlockFormat):
+    """Naive MXINT4: uniform INT grid under a floor-rule pow-2 scale."""
+
+    def __init__(self, group_size: int = 32, bits: int = 4) -> None:
+        element = IntSpec(f"int{bits}", bits)
+        super().__init__(f"mxint{bits}-g{group_size}", element, group_size,
+                         scale_rule="floor", scale_bits=E8M0_BITS)
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        imax = self.element.max_value
+        p = 2.0 ** np.floor(np.log2(imax))
+        amax = np.max(np.abs(groups), axis=1)
+        e = np.where(amax > 0,
+                     np.floor(np.log2(np.where(amax > 0, amax, 1.0) / p)), 0.0)
+        scales = np.exp2(np.clip(e, -127, 127))
+        q = self.element.quantize(groups / scales[:, None])
+        return QuantResult(dequantized=q * scales[:, None], scales=scales, ebw=self.ebw)
+
+
+class MicroScopiQ(TensorFormat):
+    """The full MicroScopiQ recipe: hybrid weights + MXINT activations."""
+
+    def __init__(self, group_size: int = 32) -> None:
+        self.weights = MicroScopiQWeights(group_size)
+        self.activations = MXIntActivations(group_size, bits=4)
+        self.name = f"microscopiq-g{group_size}"
+
+    @property
+    def ebw(self) -> float:
+        return self.weights.ebw
+
+    @property
+    def weight_ebw(self) -> float:
+        return self.weights.ebw
+
+    @property
+    def activation_ebw(self) -> float:
+        return self.activations.ebw
+
+    def quantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self.activations.quantize(x, axis=axis)
+
+    def quantize_weight(self, w: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self.weights.quantize(w, axis=axis)
+
+    def quantize_activation(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self.activations.quantize(x, axis=axis)
+
+
+microscopiq = MicroScopiQ()

@@ -1,0 +1,57 @@
+"""MX-OliVe: outlier-victim pair quantization adapted to MX groups.
+
+OliVe (ISCA'23) stores an outlier at extended precision by *sacrificing*
+its neighbor (the "victim", forced to zero) and reusing the victim's bits.
+That trade is profitable tensor-wide, where outliers are rare; inside a
+32-element MX group the sacrificed neighbor often carries significant
+signal, which is exactly why the paper finds MX-OliVe underperforming
+plain MXFP4 on several models (Tbl. 3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.e8m0 import E8M0_BITS
+from ..formats.floatspec import FloatSpec
+from ..formats.registry import FP4_E2M1
+from ..mx.base import BlockFormat, QuantResult
+
+__all__ = ["MXOliVe"]
+
+# The outlier encoding: an 8-bit "adaptive bias float" with wide range,
+# standing in for OliVe's abfloat (sign + 4-bit exponent + 3-bit mantissa).
+_OUTLIER_FORMAT = FloatSpec("abfloat8", exp_bits=4, man_bits=3, bias=7)
+
+
+class MXOliVe(BlockFormat):
+    """MXFP4 plus outlier-victim pairs inside each group."""
+
+    def __init__(self, group_size: int = 32, scale_rule: str = "floor",
+                 outlier_ratio_threshold: float = 2.0) -> None:
+        super().__init__(f"mx-olive-g{group_size}", FP4_E2M1, group_size,
+                         scale_rule, scale_bits=E8M0_BITS,
+                         meta_bits_per_group=group_size // 8)
+        self.outlier_ratio_threshold = float(outlier_ratio_threshold)
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        scales = self.group_scales(groups)
+        scaled = groups / scales[:, None]
+        dq = self.element.quantize(scaled)
+
+        # An element is an outlier when it dominates the rest of its group.
+        order = np.argsort(np.abs(groups), axis=1)
+        top = order[:, -1]
+        second = order[:, -2]
+        rows = np.arange(groups.shape[0])
+        top_abs = np.abs(groups[rows, top])
+        second_abs = np.abs(groups[rows, second])
+        is_outlier = top_abs >= self.outlier_ratio_threshold * np.maximum(second_abs, 1e-30)
+
+        # Victim: the pair partner (adjacent index), zeroed to free its bits.
+        victim = top ^ 1
+        outlier_dq = _OUTLIER_FORMAT.quantize(scaled[rows, top])
+        dq[rows[is_outlier], top[is_outlier]] = outlier_dq[is_outlier]
+        dq[rows[is_outlier], victim[is_outlier]] = 0.0
+        return QuantResult(dequantized=dq * scales[:, None], scales=scales,
+                           ebw=self.ebw, details={"outliers": is_outlier})

@@ -1,0 +1,116 @@
+"""Rotation-based outlier-free quantization: QuaRot and DuQuant (Tbl. 7).
+
+Both schemes multiply weights and activations by an orthogonal transform
+before quantization so outliers spread across channels; because the GEMM
+operand rotations cancel (``Q_A(xH) Q_W(WH)^T = x W^T`` up to quantization
+noise), fake quantization with self-inverting wrappers is *exactly*
+equivalent to running the rotated GEMM:
+
+``x_hat = Q_A(xH) H^T`` and ``W_hat = Q_W(WH) H^T`` give
+``x_hat W_hat^T = Q_A(xH) Q_W(WH)^T``.
+
+QuaRot uses block Hadamard transforms; DuQuant uses a channel permutation
+followed by block-diagonal random rotations (its calibrated zigzag
+permutation is simplified to a seeded one, which preserves the mechanism
+of redistributing outliers across blocks).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..mx.base import TensorFormat
+
+__all__ = ["hadamard_matrix", "block_rotation", "RotatedFormat",
+           "quarot", "duquant"]
+
+
+def hadamard_matrix(n: int) -> np.ndarray:
+    """Normalized Hadamard matrix for power-of-two ``n``."""
+    if n & (n - 1) != 0 or n < 1:
+        raise ShapeError(f"Hadamard size must be a power of two, got {n}")
+    h = np.array([[1.0]])
+    while h.shape[0] < n:
+        h = np.block([[h, h], [h, -h]])
+    return h / np.sqrt(n)
+
+
+def block_rotation(dim: int, block: int = 16, kind: str = "hadamard",
+                   seed: int = 0) -> np.ndarray:
+    """Block-diagonal orthogonal transform over ``dim`` channels."""
+    if dim % block != 0:
+        raise ShapeError(f"dim {dim} not divisible by rotation block {block}")
+    n_blocks = dim // block
+    out = np.zeros((dim, dim))
+    rng = np.random.default_rng(seed)
+    for b in range(n_blocks):
+        if kind == "hadamard":
+            q = hadamard_matrix(block)
+        elif kind == "random":
+            q, _ = np.linalg.qr(rng.standard_normal((block, block)))
+        else:
+            raise ShapeError(f"unknown rotation kind {kind!r}")
+        s = slice(b * block, (b + 1) * block)
+        out[s, s] = q
+    return out
+
+
+class RotatedFormat(TensorFormat):
+    """An inner format applied in a rotated channel basis."""
+
+    def __init__(self, name: str, inner: TensorFormat, kind: str = "hadamard",
+                 block: int = 16, permute: bool = False, seed: int = 7) -> None:
+        self.name = name
+        self.inner = inner
+        self.kind = kind
+        self.block = int(block)
+        self.permute = bool(permute)
+        self.seed = int(seed)
+        self._cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @property
+    def ebw(self) -> float:
+        return self.inner.ebw
+
+    def _transform(self, dim: int) -> tuple[np.ndarray, np.ndarray]:
+        """(forward, inverse) transforms for a channel dimension."""
+        if dim not in self._cache:
+            rot = block_rotation(dim, self.block, self.kind, self.seed + dim)
+            if self.permute:
+                perm = np.random.default_rng(self.seed + 13 * dim).permutation(dim)
+                rot = rot[perm]  # permute channels before rotating
+            self._cache[dim] = (rot.T, rot)  # x @ rot.T rotates channels
+        return self._cache[dim]
+
+    def _apply(self, x: np.ndarray, axis: int, weight: bool) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        axis = axis % x.ndim
+        moved = np.moveaxis(x, axis, -1)
+        fwd, inv = self._transform(moved.shape[-1])
+        rotated = moved @ fwd
+        if weight:
+            q = self.inner.quantize_weight(rotated, axis=-1)
+        else:
+            q = self.inner.quantize_activation(rotated, axis=-1)
+        return np.moveaxis(q @ inv, -1, axis)
+
+    def quantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self._apply(x, axis, weight=False)
+
+    def quantize_weight(self, w: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self._apply(w, axis, weight=True)
+
+    def quantize_activation(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self._apply(x, axis, weight=False)
+
+
+def quarot(inner: TensorFormat) -> RotatedFormat:
+    """QuaRot: Hadamard rotation + the given base quantizer."""
+    return RotatedFormat(f"quarot[{inner.name}]", inner, kind="hadamard")
+
+
+def duquant(inner: TensorFormat) -> RotatedFormat:
+    """DuQuant: permutation + block random rotations + base quantizer."""
+    return RotatedFormat(f"duquant[{inner.name}]", inner, kind="random",
+                         permute=True)

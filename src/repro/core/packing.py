@@ -1,0 +1,143 @@
+"""Bit-exact packed memory layout for M2XFP tensors (Sec. 5.2).
+
+Each group of 32 elements is stored as three separately contiguous
+streams, exactly as the accelerator's memory organization requires:
+
+* a 128-bit block of packed 4-bit element codes (two codes per byte,
+  low nibble first);
+* an 8-bit E8M0 shared scale;
+* 8 bits of metadata (four 2-bit fields for the default subgroup size 8,
+  packed low bits first).
+
+Keeping the streams separate preserves alignment and lets the dispatch
+unit index scale/metadata/elements independently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .elem_em import ElemEMEncoding
+from .sg_em import SgEMEncoding
+
+__all__ = ["PackedGroups", "pack_nibbles", "unpack_nibbles", "pack_fields",
+           "unpack_fields", "pack_elem_em", "unpack_elem_em",
+           "pack_sg_em", "unpack_sg_em"]
+
+
+def pack_nibbles(codes: np.ndarray) -> np.ndarray:
+    """Pack 4-bit codes (values 0-15) two per byte, low nibble first."""
+    codes = np.asarray(codes, dtype=np.int64).reshape(-1)
+    if codes.size % 2 != 0:
+        raise ShapeError("nibble packing requires an even element count")
+    if np.any((codes < 0) | (codes > 15)):
+        raise ShapeError("nibble values must be in [0, 15]")
+    pairs = codes.reshape(-1, 2)
+    return (pairs[:, 0] | (pairs[:, 1] << 4)).astype(np.uint8)
+
+
+def unpack_nibbles(packed: np.ndarray, count: int) -> np.ndarray:
+    """Invert :func:`pack_nibbles` into ``count`` 4-bit codes."""
+    packed = np.asarray(packed, dtype=np.uint8)
+    out = np.empty(packed.size * 2, dtype=np.int64)
+    out[0::2] = packed & 0xF
+    out[1::2] = packed >> 4
+    return out[:count]
+
+
+def pack_fields(values: np.ndarray, width: int) -> np.ndarray:
+    """Pack fixed-width bit fields into bytes, low bits first."""
+    values = np.asarray(values, dtype=np.int64).reshape(-1)
+    if np.any((values < 0) | (values >= (1 << width))):
+        raise ShapeError(f"field values must fit in {width} bits")
+    per_byte = 8 // width
+    if values.size % per_byte != 0:
+        raise ShapeError(f"need a multiple of {per_byte} fields of width {width}")
+    shaped = values.reshape(-1, per_byte)
+    out = np.zeros(shaped.shape[0], dtype=np.int64)
+    for i in range(per_byte):
+        out |= shaped[:, i] << (i * width)
+    return out.astype(np.uint8)
+
+
+def unpack_fields(packed: np.ndarray, width: int, count: int) -> np.ndarray:
+    """Invert :func:`pack_fields` into ``count`` fields."""
+    packed = np.asarray(packed, dtype=np.uint8).astype(np.int64)
+    per_byte = 8 // width
+    mask = (1 << width) - 1
+    out = np.empty(packed.size * per_byte, dtype=np.int64)
+    for i in range(per_byte):
+        out[i::per_byte] = (packed >> (i * width)) & mask
+    return out[:count]
+
+
+@dataclass
+class PackedGroups:
+    """The three contiguous streams of a packed M2XFP tensor."""
+
+    elements: np.ndarray   # uint8, group_size/2 bytes per group
+    scales: np.ndarray     # uint8, 1 byte per group (E8M0 code)
+    metadata: np.ndarray   # uint8, meta bits packed per group
+    n_groups: int
+    group_size: int
+    sub_size: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Total footprint of the three streams."""
+        return int(self.elements.size + self.scales.size + self.metadata.size)
+
+    @property
+    def bits_per_element(self) -> float:
+        """Measured storage cost, comparable against the analytic EBW."""
+        return self.total_bytes * 8 / (self.n_groups * self.group_size)
+
+
+def _pack_common(sign: np.ndarray, mag: np.ndarray, exps: np.ndarray,
+                 fields: np.ndarray, sub_size: int) -> PackedGroups:
+    n, k = mag.shape
+    codes = (np.asarray(sign) << 3) | np.asarray(mag)
+    elements = pack_nibbles(codes)
+    scales = (np.asarray(exps, dtype=np.int64) + 127).astype(np.uint8)
+    metadata = pack_fields(fields.reshape(-1), 2)
+    return PackedGroups(elements=elements, scales=scales, metadata=metadata,
+                        n_groups=n, group_size=k, sub_size=sub_size)
+
+
+def pack_elem_em(enc: ElemEMEncoding) -> PackedGroups:
+    """Pack an Elem-EM (activation) encoding into the Sec. 5.2 layout."""
+    if enc.top_k != 1:
+        raise ShapeError("the packed layout stores top-1 metadata only")
+    return _pack_common(enc.sign_codes, enc.mag_codes, enc.scale_exponents,
+                        enc.metadata[:, :, 0], enc.sub_size)
+
+
+def unpack_elem_em(packed: PackedGroups) -> ElemEMEncoding:
+    """Recover an :class:`ElemEMEncoding` from its packed streams."""
+    n, k = packed.n_groups, packed.group_size
+    codes = unpack_nibbles(packed.elements, n * k).reshape(n, k)
+    n_sub = k // packed.sub_size
+    meta = unpack_fields(packed.metadata, 2, n * n_sub).reshape(n, n_sub, 1)
+    return ElemEMEncoding(sign_codes=codes >> 3, mag_codes=codes & 0x7,
+                          scale_exponents=packed.scales.astype(np.int64) - 127,
+                          metadata=meta, sub_size=packed.sub_size, top_k=1)
+
+
+def pack_sg_em(enc: SgEMEncoding) -> PackedGroups:
+    """Pack an Sg-EM (weight) encoding into the Sec. 5.2 layout."""
+    return _pack_common(enc.sign_codes, enc.mag_codes, enc.scale_exponents,
+                        enc.sg_codes, enc.sub_size)
+
+
+def unpack_sg_em(packed: PackedGroups) -> SgEMEncoding:
+    """Recover an :class:`SgEMEncoding` from its packed streams."""
+    n, k = packed.n_groups, packed.group_size
+    codes = unpack_nibbles(packed.elements, n * k).reshape(n, k)
+    n_sub = k // packed.sub_size
+    sg = unpack_fields(packed.metadata, 2, n * n_sub).reshape(n, n_sub)
+    return SgEMEncoding(sign_codes=codes >> 3, mag_codes=codes & 0x7,
+                        scale_exponents=packed.scales.astype(np.int64) - 127,
+                        sg_codes=sg, sub_size=packed.sub_size)

@@ -1,0 +1,12 @@
+"""Encoding design space exploration (paper Sec. 4)."""
+
+from .explorer import DSEPoint, explore, reference_points, sweep_strategy
+from .pareto import dominates, pareto_front
+from .strategies import (PAPER_STRATEGIES, PAPER_SUBGROUP_SIZES, StrategyPoint,
+                         build_strategy)
+
+__all__ = [
+    "StrategyPoint", "build_strategy", "PAPER_STRATEGIES",
+    "PAPER_SUBGROUP_SIZES", "DSEPoint", "sweep_strategy", "explore",
+    "reference_points", "pareto_front", "dominates",
+]

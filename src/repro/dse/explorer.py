@@ -1,0 +1,67 @@
+"""The EBW-guided design space exploration of Sec. 4 (Figs. 6-7)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..eval.mse import model_output_mse
+from ..models.profiles import ProfileRuntime
+from ..mx.base import TensorFormat
+from ..mx.mxfp import MXFP4
+from ..mx.nvfp import NVFP4
+from .strategies import (PAPER_STRATEGIES, PAPER_SUBGROUP_SIZES, StrategyPoint,
+                         build_strategy)
+
+__all__ = ["DSEPoint", "sweep_strategy", "explore", "reference_points"]
+
+
+@dataclass
+class DSEPoint:
+    """One (EBW, MSE) measurement in the design space."""
+
+    label: str
+    ebw: float
+    mse: float
+    strategy: str
+    sub_size: int
+    adaptive: bool
+
+
+def _measure(runtime: ProfileRuntime, fmt: TensorFormat, max_seq: int) -> float:
+    return model_output_mse(runtime, fmt, max_seq=max_seq)
+
+
+def sweep_strategy(runtime: ProfileRuntime, kind: str, adaptive: bool = False,
+                   sub_sizes: tuple[int, ...] = PAPER_SUBGROUP_SIZES,
+                   max_seq: int = 4) -> list[DSEPoint]:
+    """MSE-vs-EBW curve of one strategy across subgroup sizes."""
+    points = []
+    for s in sub_sizes:
+        point = StrategyPoint(kind=kind, sub_size=s, adaptive=adaptive)
+        fmt = build_strategy(point)
+        points.append(DSEPoint(label=point.label, ebw=fmt.ebw,
+                               mse=_measure(runtime, fmt, max_seq),
+                               strategy=kind, sub_size=s, adaptive=adaptive))
+    return points
+
+
+def reference_points(runtime: ProfileRuntime, max_seq: int = 4) -> list[DSEPoint]:
+    """The MXFP4 and NVFP4 anchors plotted in Figs. 6-7."""
+    out = []
+    for fmt, label in ((MXFP4(), "mxfp4"), (NVFP4(), "nvfp4")):
+        out.append(DSEPoint(label=label, ebw=fmt.ebw,
+                            mse=_measure(runtime, fmt, max_seq),
+                            strategy=label, sub_size=0, adaptive=False))
+    return out
+
+
+def explore(runtime: ProfileRuntime, adaptive: bool,
+            kinds: tuple[str, ...] | None = None,
+            sub_sizes: tuple[int, ...] = PAPER_SUBGROUP_SIZES,
+            max_seq: int = 4) -> dict[str, list[DSEPoint]]:
+    """Full strategy sweep for one model profile (one panel of Fig. 6/7)."""
+    kinds = kinds or PAPER_STRATEGIES
+    curves = {kind: sweep_strategy(runtime, kind, adaptive, sub_sizes, max_seq)
+              for kind in kinds}
+    curves["references"] = reference_points(runtime, max_seq)
+    return curves

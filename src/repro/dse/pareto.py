@@ -1,0 +1,20 @@
+"""Pareto-frontier extraction over (EBW, MSE) points."""
+
+from __future__ import annotations
+
+from .explorer import DSEPoint
+
+__all__ = ["pareto_front", "dominates"]
+
+
+def dominates(a: DSEPoint, b: DSEPoint) -> bool:
+    """True if ``a`` is at least as good as ``b`` on both axes and better on one."""
+    return (a.ebw <= b.ebw and a.mse <= b.mse
+            and (a.ebw < b.ebw or a.mse < b.mse))
+
+
+def pareto_front(points: list[DSEPoint]) -> list[DSEPoint]:
+    """Non-dominated subset, sorted by EBW ascending."""
+    front = [p for p in points
+             if not any(dominates(q, p) for q in points if q is not p)]
+    return sorted(front, key=lambda p: (p.ebw, p.mse))

@@ -1,0 +1,122 @@
+"""The metadata strategy registry for the encoding design space (Sec. 4.1).
+
+Four strategies x two shared-scale modes, each instantiable at any
+subgroup size — the axes of Figs. 5-7. ``build_strategy`` returns a
+:class:`~repro.mx.base.TensorFormat` so the explorer can drive any point
+through the standard evaluation path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.elem_em import ElemEM
+from ..core.elem_ee import ElemEE
+from ..core.sg_em import SgEM
+from ..core.sg_ee import SgEE
+from ..errors import ConfigError
+from ..mx.base import TensorFormat
+
+__all__ = ["StrategyPoint", "build_strategy", "PAPER_STRATEGIES",
+           "PAPER_SUBGROUP_SIZES"]
+
+
+@dataclass(frozen=True)
+class StrategyPoint:
+    """One (strategy, subgroup size, scale mode) point of the DSE."""
+
+    kind: str           # elem-em-top1 | elem-em-top2 | elem-ee |
+    #                     sg-em-1bit | sg-em-2bit | sg-ee-1bit | sg-ee-2bit
+    sub_size: int
+    adaptive: bool = False
+    group_size: int = 32
+
+    @property
+    def label(self) -> str:
+        """Display label matching the paper's legend."""
+        suffix = "-adaptive" if self.adaptive else ""
+        return f"{self.kind}{suffix}-s{self.sub_size}"
+
+
+#: The strategies plotted in Figs. 6-7.
+PAPER_STRATEGIES = ("elem-em-top1", "elem-em-top2", "sg-em-1bit",
+                    "sg-em-2bit", "sg-ee-1bit", "sg-ee-2bit")
+
+#: Subgroup sweep "32 -> 2" from the figures.
+PAPER_SUBGROUP_SIZES = (32, 16, 8, 4, 2)
+
+
+def build_strategy(point: StrategyPoint) -> TensorFormat:
+    """Instantiate the tensor format for a DSE point."""
+    g, s = point.group_size, point.sub_size
+    if point.kind == "elem-em-top1":
+        return ElemEM(g, s, top_k=1)
+    if point.kind == "elem-em-top2":
+        return ElemEM(g, s, top_k=min(2, s))
+    if point.kind == "elem-ee":
+        return ElemEE(g, s, meta_bits=2)
+    if point.kind == "sg-em-1bit":
+        # 1-bit refinement: multipliers {1.0, 1.5} via the restricted search.
+        return _SgEM1Bit(g, s, adaptive=point.adaptive)
+    if point.kind == "sg-em-2bit":
+        return SgEM(g, s, adaptive=point.adaptive)
+    if point.kind == "sg-ee-1bit":
+        return SgEE(g, s, meta_bits=1, adaptive=point.adaptive)
+    if point.kind == "sg-ee-2bit":
+        return SgEE(g, s, meta_bits=2, adaptive=point.adaptive)
+    raise ConfigError(f"unknown strategy kind {point.kind!r}")
+
+
+class _SgEM1Bit(SgEM):
+    """Sg-EM restricted to one metadata bit (multipliers 1.0 / 1.5)."""
+
+    def __init__(self, group_size: int, sub_size: int, adaptive: bool) -> None:
+        super().__init__(group_size, sub_size, adaptive=adaptive)
+        self.name = self.name.replace("sg-em", "sg-em-1b")
+
+    @property
+    def meta_bits_per_group(self) -> int:
+        return self.group_size // self.sub_size
+
+    def quantize(self, x, axis: int = -1):
+        # Reuse the 2-bit search but mask the odd multipliers by rounding
+        # codes down to {0, 2} — equivalent to searching {1.0, 1.5}.
+        from ..formats.grouping import from_groups, to_groups
+        from .strategies import _sg_em_1bit_quantize  # self-import for clarity
+        groups, view = to_groups(x, self.group_size, axis=axis)
+        return from_groups(_sg_em_1bit_quantize(groups, self.sub_size,
+                                                self.adaptive), view)
+
+
+def _sg_em_1bit_quantize(groups, sub_size: int, adaptive: bool):
+    """Sg-EM search over the 1-bit multiplier set {1.0, 1.5}."""
+    import numpy as np
+
+    from ..formats.e8m0 import clamp_exponent
+    from ..formats.registry import FP4_E2M1
+    from ..mx.scale_rules import shared_scale_exponent
+
+    n, k = groups.shape
+    n_sub = k // sub_size
+    subs = groups.reshape(n, n_sub, sub_size)
+    amax = np.max(np.abs(groups), axis=1)
+    base_e = shared_scale_exponent(amax, FP4_E2M1, "floor")
+    biases = (-1, 0, 1) if adaptive else (0,)
+    best_err = np.full(n, np.inf)
+    best_dq = np.zeros_like(subs)
+    for bias in biases:
+        scale = np.exp2(clamp_exponent(base_e + bias).astype(np.float64))
+        sub_err = np.full((n, n_sub), np.inf)
+        sub_dq = np.zeros_like(subs)
+        for mult in (1.0, 1.5):
+            s = scale[:, None, None] * mult
+            q = FP4_E2M1.quantize(subs / s) * s
+            err = np.sum((q - subs) ** 2, axis=2)
+            better = err < sub_err
+            sub_err = np.where(better, err, sub_err)
+            sub_dq = np.where(better[:, :, None], q, sub_dq)
+        group_err = np.sum(sub_err, axis=1)
+        improved = group_err < best_err
+        best_err = np.where(improved, group_err, best_err)
+        best_dq = np.where(improved[:, None, None], sub_dq, best_dq)
+    return best_dq.reshape(n, k)

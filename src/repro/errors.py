@@ -1,0 +1,17 @@
+"""Exception hierarchy for the repro library."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class FormatError(ReproError):
+    """A numeric format was mis-specified or a value cannot be encoded."""
+
+
+class ShapeError(ReproError):
+    """An array does not have the shape an operation requires."""
+
+
+class ConfigError(ReproError):
+    """An experiment or hardware configuration is invalid."""

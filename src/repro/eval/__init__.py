@@ -1,0 +1,16 @@
+"""Evaluation harness: perplexity, output MSE, synthetic task accuracy."""
+
+from .harness import accuracy_table, average_accuracy_loss
+from .mse import model_output_mse, tensor_mse
+from .perplexity import perplexity_table, quantized_perplexity
+from .tasks import (REASONING_TASKS, ZERO_SHOT_TASKS, TaskItems, TaskSpec,
+                    accuracy, build_task_items, evaluate_format_on_task,
+                    score_items)
+
+__all__ = [
+    "quantized_perplexity", "perplexity_table",
+    "model_output_mse", "tensor_mse",
+    "TaskSpec", "TaskItems", "ZERO_SHOT_TASKS", "REASONING_TASKS",
+    "build_task_items", "score_items", "accuracy", "evaluate_format_on_task",
+    "accuracy_table", "average_accuracy_loss",
+]

@@ -1,0 +1,35 @@
+"""Grid runners shared by the experiment scripts."""
+
+from __future__ import annotations
+
+from ..models.profiles import load_runtime
+from ..mx.base import TensorFormat
+from .tasks import TaskSpec, build_task_items, evaluate_format_on_task
+
+__all__ = ["accuracy_table", "average_accuracy_loss"]
+
+
+def accuracy_table(profile_key: str, tasks: dict[str, TaskSpec],
+                   fp16_targets: dict[str, float],
+                   formats: dict[str, TensorFormat],
+                   n_seq: int | None = None,
+                   seq_len: int | None = None) -> dict[str, dict[str, float]]:
+    """Accuracy grid ``{format: {task: percent}}`` incl. the fp16 row."""
+    runtime = load_runtime(profile_key, n_seq=n_seq, seq_len=seq_len)
+    table: dict[str, dict[str, float]] = {"fp16": {}}
+    for name in formats:
+        table[name] = {}
+    for task_name, spec in tasks.items():
+        items = build_task_items(runtime, spec)
+        target = fp16_targets[task_name]
+        table["fp16"][task_name] = evaluate_format_on_task(runtime, items, None, target)
+        for name, fmt in formats.items():
+            table[name][task_name] = evaluate_format_on_task(runtime, items, fmt, target)
+    return table
+
+
+def average_accuracy_loss(table: dict[str, dict[str, float]], fmt_name: str) -> float:
+    """Mean accuracy drop of a format vs the fp16 row (percentage points)."""
+    fp16 = table["fp16"]
+    fmt = table[fmt_name]
+    return sum(fp16[t] - fmt[t] for t in fp16) / len(fp16)

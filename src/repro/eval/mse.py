@@ -1,0 +1,37 @@
+"""Model-output MSE vs the FP16 baseline — the Figs. 6-7 DSE metric.
+
+The paper measures mean squared error between the logits of the fully
+quantized model (weights *and* activations) and the FP16 model on the same
+input text. We normalize by the FP16 logit second moment so values are
+comparable across profiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.profiles import ProfileRuntime
+from ..models.quantized import QuantizedLM
+from ..mx.base import TensorFormat
+
+__all__ = ["model_output_mse", "tensor_mse"]
+
+
+def model_output_mse(runtime: ProfileRuntime, fmt: TensorFormat,
+                     max_seq: int | None = 6) -> float:
+    """Normalized logit MSE of a quantized model against FP16."""
+    tokens = runtime.tokens[:max_seq] if max_seq else runtime.tokens
+    ref = runtime.model.forward(tokens)
+    qlm = QuantizedLM(runtime.model, fmt, calibration_tokens=runtime.calib_tokens)
+    out = qlm.forward(tokens)
+    return float(np.mean((out - ref) ** 2) / np.mean(ref ** 2))
+
+
+def tensor_mse(x: np.ndarray, fmt: TensorFormat, weight_path: bool = False) -> float:
+    """Normalized tensor-level quantization MSE of a format."""
+    x = np.asarray(x, dtype=np.float64)
+    dq = fmt.quantize_weight(x) if weight_path else fmt.quantize_activation(x)
+    denom = float(np.mean(x ** 2))
+    if denom == 0.0:
+        return 0.0
+    return float(np.mean((dq - x) ** 2) / denom)

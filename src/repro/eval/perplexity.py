@@ -1,0 +1,37 @@
+"""Perplexity evaluation of quantized models (the Tbl. 3 / 6 / 8 metric)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..models.profiles import ProfileRuntime, load_runtime
+from ..models.quantized import Fp16Format, QuantizedLM
+from ..mx.base import TensorFormat
+
+__all__ = ["quantized_perplexity", "perplexity_table"]
+
+
+def quantized_perplexity(runtime: ProfileRuntime, fmt: TensorFormat) -> float:
+    """Wikitext-style perplexity of ``fmt`` applied W&A on a profile."""
+    if isinstance(fmt, Fp16Format):
+        return runtime.fp16_ppl
+    qlm = QuantizedLM(runtime.model, fmt, calibration_tokens=runtime.calib_tokens)
+    return qlm.perplexity(runtime.tokens)
+
+
+def perplexity_table(profile_keys: list[str], formats: dict[str, TensorFormat],
+                     n_seq: int | None = None,
+                     seq_len: int | None = None) -> dict[str, dict[str, float]]:
+    """Perplexity grid: ``{format_name: {profile_key: ppl}}``.
+
+    Always includes an ``fp16`` row as the reference.
+    """
+    table: dict[str, dict[str, float]] = {"fp16": {}}
+    for name in formats:
+        table[name] = {}
+    for key in profile_keys:
+        runtime = load_runtime(key, n_seq=n_seq, seq_len=seq_len)
+        table["fp16"][key] = runtime.fp16_ppl
+        for name, fmt in formats.items():
+            table[name][key] = quantized_perplexity(runtime, fmt)
+    return table

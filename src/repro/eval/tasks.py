@@ -1,0 +1,139 @@
+"""Synthetic zero-shot / reasoning task accuracy (Tbls. 2 and 4).
+
+Each task is a set of multiple-choice items built from the profile's own
+teacher model: a context sampled from the teacher plus ``n_choices``
+candidate continuations sampled at an item temperature. Models score items
+by total continuation log-likelihood and answer with the argmax, exactly
+like lm-evaluation-harness scores such tasks.
+
+Gold labels agree with the *teacher's* argmax with probability ``p``
+calibrated so the FP16 model hits the paper's reported accuracy; otherwise
+the gold is uniform over the choices. A quantized model can therefore only
+lose accuracy through argmax flips caused by logit perturbation — the same
+mechanism the paper measures. Reasoning tasks use lower sampling
+temperatures and longer continuations, which tighten decision margins and
+reproduce their larger sensitivity to 4-bit noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..models.layers import softmax
+from ..models.profiles import ProfileRuntime
+from ..models.quantized import QuantizedLM
+from ..mx.base import TensorFormat
+
+__all__ = ["TaskSpec", "TaskItems", "ZERO_SHOT_TASKS", "REASONING_TASKS",
+           "build_task_items", "score_items", "accuracy",
+           "evaluate_format_on_task"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Difficulty/shape parameters of a synthetic benchmark task."""
+
+    name: str
+    n_choices: int = 4
+    n_items: int = 48
+    context_len: int = 20
+    cont_len: int = 8
+    temperature: float = 1.3
+    seed: int = 0
+
+
+#: Analogues of the six lm-eval zero-shot tasks in Tbl. 2.
+ZERO_SHOT_TASKS: dict[str, TaskSpec] = {t.name: t for t in (
+    TaskSpec("arc-e", n_choices=4, seed=101),
+    TaskSpec("arc-c", n_choices=4, temperature=1.15, seed=102),
+    TaskSpec("hellaswag", n_choices=4, cont_len=12, seed=103),
+    TaskSpec("piqa", n_choices=2, seed=104),
+    TaskSpec("winogrande", n_choices=2, temperature=1.15, seed=105),
+    TaskSpec("boolq", n_choices=2, cont_len=6, seed=106),
+)}
+
+#: Analogues of the five reasoning suites in Tbl. 4 (tighter margins).
+REASONING_TASKS: dict[str, TaskSpec] = {t.name: t for t in (
+    TaskSpec("aime", n_choices=4, temperature=1.02, cont_len=20, seed=201),
+    TaskSpec("math-500", n_choices=4, temperature=1.05, cont_len=16, seed=202),
+    TaskSpec("gsm8k", n_choices=4, temperature=1.08, cont_len=14, seed=203),
+    TaskSpec("gpqa", n_choices=4, temperature=1.03, cont_len=16, seed=204),
+    TaskSpec("livecodebench", n_choices=4, temperature=1.02, cont_len=20, seed=205),
+)}
+
+
+@dataclass
+class TaskItems:
+    """Materialized items: contexts, choice continuations, teacher scores."""
+
+    spec: TaskSpec
+    contexts: np.ndarray        # (n_items, context_len)
+    choices: np.ndarray         # (n_items, n_choices, cont_len)
+    teacher_scores: np.ndarray  # (n_items, n_choices)
+
+
+def build_task_items(runtime: ProfileRuntime, spec: TaskSpec) -> TaskItems:
+    """Sample a task's items from the profile's teacher model."""
+    model = runtime.model
+    rng = np.random.default_rng(runtime.profile.seed * 7919 + spec.seed)
+    contexts = model.sample(spec.n_items, spec.context_len, rng)
+    repeated = np.repeat(contexts, spec.n_choices, axis=0)
+    conts = model.continue_sequences(repeated, spec.cont_len, rng,
+                                     temperature=spec.temperature)
+    choices = conts.reshape(spec.n_items, spec.n_choices, spec.cont_len)
+    teacher = score_items(model.forward, contexts, choices)
+    return TaskItems(spec=spec, contexts=contexts, choices=choices,
+                     teacher_scores=teacher)
+
+
+def score_items(forward, contexts: np.ndarray, choices: np.ndarray) -> np.ndarray:
+    """Continuation log-likelihood of every (item, choice) pair."""
+    n_items, n_choices, cont_len = choices.shape
+    ctx_len = contexts.shape[1]
+    seqs = np.concatenate(
+        [np.repeat(contexts, n_choices, axis=0),
+         choices.reshape(n_items * n_choices, cont_len)], axis=1)
+    logits = forward(seqs)
+    logp = np.log(softmax(logits) + 1e-30)
+    # Token at position t is predicted by logits at t-1.
+    scores = np.zeros(n_items * n_choices)
+    for j in range(cont_len):
+        pos = ctx_len + j
+        tok = seqs[:, pos]
+        scores += logp[np.arange(seqs.shape[0]), pos - 1, tok]
+    return scores.reshape(n_items, n_choices)
+
+
+def gold_labels(items: TaskItems, fp16_accuracy: float,
+                rng: np.random.Generator) -> np.ndarray:
+    """Labels agreeing with the teacher argmax at the calibrated rate."""
+    k = items.spec.n_choices
+    if not 0.0 <= fp16_accuracy <= 1.0:
+        raise ConfigError("fp16_accuracy must be a fraction in [0, 1]")
+    p = (fp16_accuracy - 1.0 / k) / (1.0 - 1.0 / k)
+    p = float(np.clip(p, 0.0, 1.0))
+    teacher_best = np.argmax(items.teacher_scores, axis=1)
+    random_pick = rng.integers(0, k, size=teacher_best.shape[0])
+    use_teacher = rng.random(teacher_best.shape[0]) < p
+    return np.where(use_teacher, teacher_best, random_pick)
+
+
+def accuracy(scores: np.ndarray, gold: np.ndarray) -> float:
+    """Fraction of items whose argmax matches the gold label (percent)."""
+    return float(np.mean(np.argmax(scores, axis=1) == gold)) * 100.0
+
+
+def evaluate_format_on_task(runtime: ProfileRuntime, items: TaskItems,
+                            fmt: TensorFormat | None,
+                            fp16_accuracy: float) -> float:
+    """Accuracy (percent) of a format on a task; ``None`` = FP16."""
+    rng = np.random.default_rng(items.spec.seed * 31337 + runtime.profile.seed)
+    gold = gold_labels(items, fp16_accuracy / 100.0, rng)
+    if fmt is None:
+        return accuracy(items.teacher_scores, gold)
+    qlm = QuantizedLM(runtime.model, fmt, calibration_tokens=runtime.calib_tokens)
+    scores = score_items(qlm.forward, items.contexts, items.choices)
+    return accuracy(scores, gold)

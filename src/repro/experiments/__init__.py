@@ -1,0 +1,7 @@
+"""Experiment runners reproducing every table and figure of the paper."""
+
+from .registry import EXPERIMENTS, list_experiments, run_experiment
+from .report import ExperimentResult, format_table
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments",
+           "ExperimentResult", "format_table"]

@@ -1,0 +1,30 @@
+"""Fig. 13: normalized latency and energy vs MX accelerator baselines."""
+
+from __future__ import annotations
+
+from ..accel.compare import fig13_comparison, speedup_vs
+from .report import ExperimentResult
+
+__all__ = ["run", "PAPER_HEADLINE"]
+
+PAPER_HEADLINE = {"speedup_vs_microscopiq": 1.91, "energy_vs_microscopiq": 1.75}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Normalized bars (W8A8 MXINT8 reference = 1.0) + headline ratios."""
+    grid = fig13_comparison()
+    headers = ["workload", "accelerator", "norm latency", "norm energy",
+               "core", "buffer", "dram", "static"]
+    rows = []
+    for wl, points in grid.items():
+        for p in points:
+            rows.append([wl, p.accelerator, p.norm_latency, p.norm_energy,
+                         p.energy_breakdown["core"], p.energy_breakdown["buffer"],
+                         p.energy_breakdown["dram"], p.energy_breakdown["static"]])
+    speedup, energy = speedup_vs(grid["average"])
+    notes = (f"m2xfp vs microscopiq (average): speedup {speedup:.2f}x "
+             f"(paper {PAPER_HEADLINE['speedup_vs_microscopiq']}x), energy "
+             f"{energy:.2f}x (paper {PAPER_HEADLINE['energy_vs_microscopiq']}x)")
+    return ExperimentResult("fig13", "Normalized latency/energy comparison",
+                            headers, rows, notes=notes,
+                            extras={"speedup": speedup, "energy_ratio": energy})

@@ -1,0 +1,33 @@
+"""Fig. 3: 4-bit perplexity with and without max-value preservation."""
+
+from __future__ import annotations
+
+from ..eval.perplexity import quantized_perplexity
+from ..models.profiles import load_runtime
+from ..mx import MXFP4, NVFP4, SMX4, GroupFP4, MaxPreserving
+from .report import ExperimentResult
+
+__all__ = ["run", "PAPER_SHAPE"]
+
+PAPER_SHAPE = ("MXFP4 and SMX4 degrade sharply; preserving the group max in "
+               "FP16 brings MXFP4 close to FP4/NVFP4")
+
+
+def _formats():
+    return {"fp4": GroupFP4(), "mxfp4": MXFP4(), "nvfp4": NVFP4(), "smx4": SMX4()}
+
+
+def run(profile_keys: tuple[str, ...] = ("llama3-8b", "llama3-70b"),
+        fast: bool = False) -> ExperimentResult:
+    """Perplexity of the four 4-bit formats, +/- max preservation."""
+    n_seq, seq_len = (8, 64) if fast else (None, None)
+    headers = ["model", "format", "ppl (plain)", "ppl (+max fp16)", "fp16 ppl"]
+    rows = []
+    for key in profile_keys:
+        rt = load_runtime(key, n_seq=n_seq, seq_len=seq_len)
+        for name, fmt in _formats().items():
+            plain = quantized_perplexity(rt, fmt)
+            kept = quantized_perplexity(rt, MaxPreserving(fmt))
+            rows.append([rt.profile.display_name, name, plain, kept, rt.fp16_ppl])
+    return ExperimentResult("fig3", "Max-value preservation ablation",
+                            headers, rows, notes=PAPER_SHAPE)

@@ -1,0 +1,33 @@
+"""Fig. 6: encoding DSE under the fixed shared scale (MSE vs EBW)."""
+
+from __future__ import annotations
+
+from ..dse import explore
+from ..models.profiles import load_runtime
+from .report import ExperimentResult
+
+__all__ = ["run", "DEFAULT_PROFILES"]
+
+DEFAULT_PROFILES = ("llama2-7b", "llama3-8b", "falcon-7b", "mistral-7b")
+
+
+def run(profile_keys: tuple[str, ...] = DEFAULT_PROFILES,
+        fast: bool = False, adaptive: bool = False) -> ExperimentResult:
+    """Strategy sweep; Elem-EM should dominate the 4.5-4.75 EBW band."""
+    keys = profile_keys[:2] if fast else profile_keys
+    n_seq, seq_len = (8, 64) if fast else (None, None)
+    sub_sizes = (16, 8, 4) if fast else (32, 16, 8, 4, 2)
+    headers = ["model", "strategy", "subgroup", "ebw", "output mse"]
+    rows = []
+    for key in keys:
+        rt = load_runtime(key, n_seq=n_seq, seq_len=seq_len)
+        curves = explore(rt, adaptive=adaptive, sub_sizes=sub_sizes)
+        for kind, points in curves.items():
+            for p in points:
+                rows.append([rt.profile.display_name, kind, p.sub_size or "-",
+                             p.ebw, p.mse])
+    mode = "adaptive" if adaptive else "fixed"
+    exp_id = "fig7" if adaptive else "fig6"
+    return ExperimentResult(exp_id, f"Encoding DSE ({mode} shared scale)",
+                            headers, rows,
+                            notes="MSE is normalized model-output MSE vs FP16")

@@ -1,0 +1,15 @@
+"""Fig. 7: encoding DSE with the adaptive shared scale enabled."""
+
+from __future__ import annotations
+
+from .fig6_dse_fixed import DEFAULT_PROFILES
+from .fig6_dse_fixed import run as _run_fixed
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(profile_keys: tuple[str, ...] = DEFAULT_PROFILES,
+        fast: bool = False) -> ExperimentResult:
+    """Same sweep as Fig. 6 with MSE-searched shared scales."""
+    return _run_fixed(profile_keys, fast=fast, adaptive=True)

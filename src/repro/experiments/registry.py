@@ -1,0 +1,43 @@
+"""Experiment registry: id -> runner, one per paper table/figure."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from . import (ablations, fig3_max_preservation, fig4_group_size,
+               fig6_dse_fixed, fig7_dse_adaptive, fig13_perf_energy,
+               tbl2_zero_shot, tbl3_wikitext_ppl, tbl4_reasoning,
+               tbl5_area_power, tbl6_m2_nvfp4, tbl7_algorithms,
+               tbl8_scale_rules)
+from .report import ExperimentResult
+
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "fig3": fig3_max_preservation.run,
+    "fig4": fig4_group_size.run,
+    "fig6": fig6_dse_fixed.run,
+    "fig7": fig7_dse_adaptive.run,
+    "tbl2": tbl2_zero_shot.run,
+    "tbl3": tbl3_wikitext_ppl.run,
+    "tbl4": tbl4_reasoning.run,
+    "tbl5": tbl5_area_power.run,
+    "fig13": fig13_perf_energy.run,
+    "tbl6": tbl6_m2_nvfp4.run,
+    "tbl7": tbl7_algorithms.run,
+    "tbl8": tbl8_scale_rules.run,
+    "ablations": ablations.run,
+}
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"tbl3"``)."""
+    if experiment_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; "
+                       f"available: {sorted(EXPERIMENTS)}")
+    return EXPERIMENTS[experiment_id](**kwargs)
+
+
+def list_experiments() -> list[str]:
+    """All experiment ids in paper order."""
+    return list(EXPERIMENTS)

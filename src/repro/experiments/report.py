@@ -1,0 +1,44 @@
+"""Result containers and ASCII table rendering for experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+def format_table(headers: list[str], rows: list[list]) -> str:
+    """Render a plain-text table with right-aligned numeric cells."""
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return f"{v:.3f}" if abs(v) < 100 else f"{v:.1f}"
+        return str(v)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+              else len(headers[i]) for i in range(len(headers))]
+    lines = [" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for r in text_rows:
+        lines.append(" | ".join(r[i].rjust(widths[i]) for i in range(len(headers))))
+    return "\n".join(lines)
+
+
+@dataclass
+class ExperimentResult:
+    """A reproduced table/figure: rows plus provenance notes."""
+
+    experiment_id: str
+    title: str
+    headers: list[str]
+    rows: list[list]
+    notes: str = ""
+    extras: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Human-readable report block."""
+        out = [f"== {self.experiment_id}: {self.title} ==",
+               format_table(self.headers, self.rows)]
+        if self.notes:
+            out.append(f"notes: {self.notes}")
+        return "\n".join(out)

@@ -1,0 +1,49 @@
+"""Tbl. 2: zero-shot accuracy on six tasks, five formats, three models."""
+
+from __future__ import annotations
+
+from ..core.m2xfp import M2XFP
+from ..eval.harness import accuracy_table, average_accuracy_loss
+from ..eval.tasks import ZERO_SHOT_TASKS
+from ..mx import MXFP4, NVFP4, SMX4
+from .report import ExperimentResult
+
+__all__ = ["run", "PAPER_FP16_ACCURACY"]
+
+#: The paper's FP16 rows — the calibration anchor for each (model, task).
+PAPER_FP16_ACCURACY: dict[str, dict[str, float]] = {
+    "llama2-7b": {"arc-e": 74.58, "arc-c": 46.25, "hellaswag": 75.99,
+                  "piqa": 79.11, "winogrande": 69.06, "boolq": 77.71},
+    "llama3-8b": {"arc-e": 77.49, "arc-c": 53.33, "hellaswag": 79.15,
+                  "piqa": 80.85, "winogrande": 72.53, "boolq": 81.28},
+    "mistral-7b": {"arc-e": 78.24, "arc-c": 52.13, "hellaswag": 80.46,
+                   "piqa": 82.26, "winogrande": 73.80, "boolq": 82.14},
+}
+
+
+def _formats():
+    return {"smx4": SMX4(), "mxfp4": MXFP4(), "nvfp4": NVFP4(), "m2xfp": M2XFP()}
+
+
+def run(profile_keys: tuple[str, ...] = ("llama2-7b", "llama3-8b", "mistral-7b"),
+        fast: bool = False) -> ExperimentResult:
+    """Zero-shot grid; M2XFP should post the lowest average loss."""
+    keys = profile_keys[:1] if fast else profile_keys
+    n_seq, seq_len = (8, 64) if fast else (None, None)
+    task_names = list(ZERO_SHOT_TASKS)
+    headers = ["model", "method"] + task_names + ["avg", "avg loss"]
+    rows = []
+    losses: dict[str, list[float]] = {}
+    for key in keys:
+        table = accuracy_table(key, ZERO_SHOT_TASKS, PAPER_FP16_ACCURACY[key],
+                               _formats(), n_seq=n_seq, seq_len=seq_len)
+        for method, cells in table.items():
+            avg = sum(cells.values()) / len(cells)
+            loss = 0.0 if method == "fp16" else average_accuracy_loss(table, method)
+            losses.setdefault(method, []).append(loss)
+            rows.append([key, method] + [cells[t] for t in task_names] + [avg, loss])
+    mean_loss = {m: sum(v) / len(v) for m, v in losses.items() if m != "fp16"}
+    notes = ("mean accuracy loss (points): "
+             + ", ".join(f"{m}={v:.2f}" for m, v in sorted(mean_loss.items())))
+    return ExperimentResult("tbl2", "Zero-shot accuracy", headers, rows,
+                            notes=notes, extras={"mean_loss": mean_loss})

@@ -1,0 +1,46 @@
+"""Tbl. 3: Wikitext perplexity vs the MX accelerator baselines."""
+
+from __future__ import annotations
+
+from ..algos import BlockDialect, MicroScopiQ, MXAnt, MXMAnt, MXOliVe
+from ..core.m2xfp import M2XFP
+from ..eval.perplexity import perplexity_table
+from .report import ExperimentResult
+
+__all__ = ["run", "PAPER_TBL3", "DEFAULT_PROFILES"]
+
+DEFAULT_PROFILES = ("llama2-7b", "llama3-8b", "llama3-70b", "opt-6.7b",
+                    "mistral-7b", "falcon-7b")
+
+#: Paper-reported rows for side-by-side comparison in EXPERIMENTS.md.
+PAPER_TBL3 = {
+    "fp16": [5.47, 6.14, 2.85, 10.86, 5.32, 6.59],
+    "mxfp4": [7.15, 8.30, 4.84, 19.21, 6.56, 7.59],
+    "mx-ant": [6.30, 8.22, 4.65, 12.76, 6.04, 7.35],
+    "mx-m-ant": [6.12, 7.83, 4.54, 12.45, 5.89, 7.32],
+    "mx-olive": [7.46, 11.33, 6.84, 36.80, 6.77, 8.40],
+    "microscopiq": [6.24, 8.33, 4.75, 12.65, 6.00, 7.45],
+    "blockdialect": [5.84, 7.05, 3.76, 11.31, 5.65, 6.94],
+    "m2xfp": [5.77, 6.84, 3.56, 11.34, 5.58, 6.88],
+}
+
+
+def _formats():
+    from ..mx import MXFP4
+    return {"mxfp4": MXFP4(), "mx-ant": MXAnt(), "mx-m-ant": MXMAnt(),
+            "mx-olive": MXOliVe(), "microscopiq": MicroScopiQ(),
+            "blockdialect": BlockDialect(), "m2xfp": M2XFP()}
+
+
+def run(profile_keys: tuple[str, ...] = DEFAULT_PROFILES,
+        fast: bool = False) -> ExperimentResult:
+    """Perplexity grid; M2XFP should post the lowest row on most models."""
+    keys = profile_keys[:2] if fast else profile_keys
+    n_seq, seq_len = (8, 64) if fast else (None, None)
+    table = perplexity_table(list(keys), _formats(), n_seq=n_seq, seq_len=seq_len)
+    headers = ["method"] + list(keys)
+    rows = [[method] + [table[method][k] for k in keys] for method in table]
+    return ExperimentResult("tbl3", "Wikitext perplexity vs accelerators",
+                            headers, rows,
+                            notes="lower is better; fp16 row is the calibration anchor",
+                            extras={"table": table})

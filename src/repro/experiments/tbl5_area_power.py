@@ -1,0 +1,41 @@
+"""Tbl. 5: area and power of the M2XFP core components at 28 nm."""
+
+from __future__ import annotations
+
+from ..accel.area import CoreAreaModel, pe_tile_area_um2
+from .report import ExperimentResult
+
+__all__ = ["run", "PAPER_TBL5"]
+
+PAPER_TBL5 = {
+    "PE Tile": (128, 0.2739, 27.021, 2140.12),
+    "Top-1 Decode Unit": (4, 0.0003, 0.064, 82.91),
+    "Quantization Engine": (1, 0.0024, 0.663, 2451.47),
+    "Buffer (324KB)": (1, 0.7740, 176.268, None),
+    "Total": (None, 1.051, 204.02, None),
+}
+
+PAPER_PE_VARIANTS = {"mxfp4": 2057.6, "nvfp4": 2104.7, "m2xfp": 2140.1}
+
+
+def run(fast: bool = False) -> ExperimentResult:
+    """Component breakdown plus the PE-variant area comparison."""
+    model = CoreAreaModel()
+    headers = ["component", "count", "area (mm2)", "power (mW)",
+               "paper area (mm2)", "paper power (mW)"]
+    rows = []
+    for comp in model.components():
+        p_count, p_area, p_power, _ = PAPER_TBL5[comp.name]
+        rows.append([comp.name, comp.count, comp.total_area_mm2,
+                     comp.total_power_mw, p_area, p_power])
+    rows.append(["Total", "", model.total_area_mm2, model.total_power_mw,
+                 PAPER_TBL5["Total"][1], PAPER_TBL5["Total"][2]])
+    variant_rows = {v: pe_tile_area_um2(variant=v) for v in PAPER_PE_VARIANTS}
+    notes = ("PE tile variants (um2): "
+             + ", ".join(f"{v}={a:.1f} (paper {PAPER_PE_VARIANTS[v]})"
+                         for v, a in variant_rows.items())
+             + f"; metadata units are {model.metadata_overhead_fraction()*100:.2f}% "
+               "of core area (paper: 0.26%)")
+    return ExperimentResult("tbl5", "Area and power breakdown (28 nm)",
+                            headers, rows, notes=notes,
+                            extras={"pe_variants": variant_rows})

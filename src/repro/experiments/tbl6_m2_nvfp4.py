@@ -1,0 +1,31 @@
+"""Tbl. 6: NVFP4 vs M2-NVFP4 (metadata augmentation generalizes)."""
+
+from __future__ import annotations
+
+from ..core.m2xfp import M2NVFP4
+from ..eval.perplexity import perplexity_table
+from ..mx import NVFP4
+from .report import ExperimentResult
+from .tbl3_wikitext_ppl import DEFAULT_PROFILES
+
+__all__ = ["run", "PAPER_TBL6"]
+
+PAPER_TBL6 = {
+    "nvfp4": [5.81, 7.18, 3.63, 11.46, 5.76, 6.90],
+    "m2-nvfp4": [5.77, 6.85, 3.57, 11.32, 5.58, 6.88],
+}
+
+
+def run(profile_keys: tuple[str, ...] = DEFAULT_PROFILES,
+        fast: bool = False) -> ExperimentResult:
+    """M2-NVFP4 should lower NVFP4's perplexity on every model."""
+    keys = profile_keys[:2] if fast else profile_keys
+    n_seq, seq_len = (8, 64) if fast else (None, None)
+    table = perplexity_table(list(keys), {"nvfp4": NVFP4(), "m2-nvfp4": M2NVFP4()},
+                             n_seq=n_seq, seq_len=seq_len)
+    headers = ["method"] + list(keys)
+    rows = [[m] + [table[m][k] for k in keys] for m in table]
+    notes = ("the metadata raises NVFP4's effective width from 4.5 to 5.0 "
+             "bits because of its group size of 16")
+    return ExperimentResult("tbl6", "NVFP4 with M2XFP metadata", headers, rows,
+                            notes=notes, extras={"table": table})

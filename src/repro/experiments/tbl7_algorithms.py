@@ -1,0 +1,50 @@
+"""Tbl. 7: comparison with algorithmic schemes (rotations, MR-GPTQ)."""
+
+from __future__ import annotations
+
+from ..algos.gptq import GPTQQuantizedLM
+from ..algos.rotation import duquant, quarot
+from ..core.m2xfp import M2XFP
+from ..models.profiles import load_runtime
+from ..models.quantized import QuantizedLM
+from ..mx import MXFP4
+from ..mx.fp_group import GroupFP4
+from .report import ExperimentResult
+
+__all__ = ["run", "PAPER_TBL7"]
+
+PAPER_TBL7 = {
+    "quarot": [5.84, 7.13], "duquant": [6.28, 7.90], "mr-gptq": [5.97, 7.17],
+    "m2xfp": [5.77, 6.84], "mr-gptq-m2xfp": [5.73, 6.84],
+}
+
+
+def run(profile_keys: tuple[str, ...] = ("llama2-7b", "llama3-8b"),
+        fast: bool = False) -> ExperimentResult:
+    """MR-GPTQ + M2XFP should be best; the combination gain incremental."""
+    keys = profile_keys[:1] if fast else profile_keys
+    n_seq, seq_len = (8, 64) if fast else (None, None)
+    headers = ["method"] + list(keys)
+    cols: dict[str, list[float]] = {m: [] for m in
+                                    ("fp16", "quarot", "duquant", "mr-gptq",
+                                     "m2xfp", "mr-gptq-m2xfp")}
+    for key in keys:
+        rt = load_runtime(key, n_seq=n_seq, seq_len=seq_len)
+        base = GroupFP4()  # INT-style group quantizer inside the rotations
+        cols["fp16"].append(rt.fp16_ppl)
+        cols["quarot"].append(
+            QuantizedLM(rt.model, quarot(base)).perplexity(rt.tokens))
+        cols["duquant"].append(
+            QuantizedLM(rt.model, duquant(base)).perplexity(rt.tokens))
+        cols["mr-gptq"].append(
+            GPTQQuantizedLM(rt.model, MXFP4(), rt.calib_tokens).perplexity(rt.tokens))
+        m2 = M2XFP()
+        cols["m2xfp"].append(QuantizedLM(rt.model, m2).perplexity(rt.tokens))
+        cols["mr-gptq-m2xfp"].append(
+            GPTQQuantizedLM(rt.model, m2, rt.calib_tokens,
+                            mode="sg-em").perplexity(rt.tokens))
+    rows = [[m] + vals for m, vals in cols.items()]
+    return ExperimentResult("tbl7", "Comparison with algorithm schemes",
+                            headers, rows,
+                            notes="group size 32 everywhere; Wikitext-style ppl",
+                            extras={"table": cols})

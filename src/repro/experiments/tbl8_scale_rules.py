@@ -1,0 +1,43 @@
+"""Tbl. 8: shared-scale calculation rules, MXFP4 vs M2XFP."""
+
+from __future__ import annotations
+
+from ..core.m2xfp import M2XFP
+from ..eval.perplexity import quantized_perplexity
+from ..models.profiles import load_runtime
+from ..mx import MXFP4
+from .report import ExperimentResult
+
+__all__ = ["run", "RULES", "PAPER_TBL8"]
+
+RULES = ("floor", "ceil", "rtn1", "rtn2")
+
+PAPER_TBL8 = {  # llama2-7b: (mxfp4, m2xfp), llama3-8b: (mxfp4, m2xfp)
+    "floor": ((7.15, 5.77), (8.30, 6.84)),
+    "ceil": ((6.21, 5.80), (7.97, 6.96)),
+    "rtn1": ((9.21, 5.79), (9.34, 6.87)),
+    "rtn2": ((6.26, 5.81), (8.08, 7.01)),
+}
+
+
+def run(profile_keys: tuple[str, ...] = ("llama2-7b", "llama3-8b"),
+        fast: bool = False) -> ExperimentResult:
+    """M2XFP should improve over MXFP4 under every scale rule."""
+    keys = profile_keys[:1] if fast else profile_keys
+    n_seq, seq_len = (8, 64) if fast else (None, None)
+    headers = ["rule"] + [f"{k} {m}" for k in keys for m in ("mxfp4", "m2xfp")]
+    rows = []
+    extras = {}
+    for rule in RULES:
+        row: list = [rule]
+        for key in keys:
+            rt = load_runtime(key, n_seq=n_seq, seq_len=seq_len)
+            mx = quantized_perplexity(rt, MXFP4(scale_rule=rule))
+            m2 = quantized_perplexity(rt, M2XFP(scale_rule=rule))
+            row += [mx, m2]
+            extras[(rule, key)] = (mx, m2)
+        rows.append(row)
+    notes = ("rtne is identical to ceil for FP4 (M = 1.5 P), matching the "
+             "paper's combined ceil/RTNE row")
+    return ExperimentResult("tbl8", "Shared-scale rules", headers, rows,
+                            notes=notes, extras={"cells": extras})

@@ -1,0 +1,18 @@
+"""Scalar numeric formats: mini-floats, integer grids, E8M0 scales, grouping."""
+
+from .e8m0 import (E8M0_BITS, E8M0_MAX_EXP, E8M0_MIN_EXP, clamp_exponent,
+                   decode_code, encode_exponent, scale_from_exponent)
+from .floatspec import FloatSpec, quantize_to_grid
+from .grouping import GroupView, from_groups, to_groups
+from .intspec import GridSpec, IntSpec, flint4, int3, int4, int8, pot4
+from .registry import (BF16, FP4_E2M1, FP6_E2M3, FP6_E3M2, FP8_E4M3,
+                       FP8_E5M2, FP16, SCALAR_FORMATS)
+
+__all__ = [
+    "FloatSpec", "quantize_to_grid", "IntSpec", "GridSpec",
+    "GroupView", "to_groups", "from_groups",
+    "E8M0_BITS", "E8M0_MIN_EXP", "E8M0_MAX_EXP",
+    "clamp_exponent", "encode_exponent", "decode_code", "scale_from_exponent",
+    "FP4_E2M1", "FP6_E2M3", "FP6_E3M2", "FP8_E4M3", "FP8_E5M2", "FP16", "BF16",
+    "SCALAR_FORMATS", "int3", "int4", "int8", "flint4", "pot4",
+]

@@ -1,0 +1,39 @@
+"""The E8M0 power-of-two shared-scale format from the OCP MX specification.
+
+An E8M0 scale stores only an 8-bit biased exponent: the value is ``2**e``
+for ``e`` in [-127, 127] (code 255 is reserved for NaN and never produced
+here; out-of-range exponents saturate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["E8M0_MIN_EXP", "E8M0_MAX_EXP", "E8M0_BITS", "clamp_exponent",
+           "encode_exponent", "decode_code", "scale_from_exponent"]
+
+E8M0_MIN_EXP = -127
+E8M0_MAX_EXP = 127
+E8M0_BITS = 8
+_BIAS = 127
+
+
+def clamp_exponent(e: np.ndarray) -> np.ndarray:
+    """Saturate integer exponents into the representable E8M0 range."""
+    return np.clip(np.asarray(e, dtype=np.int64), E8M0_MIN_EXP, E8M0_MAX_EXP)
+
+
+def encode_exponent(e: np.ndarray) -> np.ndarray:
+    """Exponent -> 8-bit code (bias 127), saturating."""
+    return (clamp_exponent(e) + _BIAS).astype(np.int64)
+
+
+def decode_code(code: np.ndarray) -> np.ndarray:
+    """8-bit code -> power-of-two scale value."""
+    e = np.asarray(code, dtype=np.int64) - _BIAS
+    return np.exp2(e.astype(np.float64))
+
+
+def scale_from_exponent(e: np.ndarray) -> np.ndarray:
+    """Exponent -> ``2**e`` with E8M0 saturation applied."""
+    return np.exp2(clamp_exponent(e).astype(np.float64))

@@ -1,0 +1,93 @@
+"""Integer and custom non-uniform scalar grids used by baseline formats.
+
+Besides plain symmetric INTx, this module carries the ANT-family scalar
+types used by the MX-ANT / MX-M-ANT comparators: ``flint4`` (float-int
+hybrid: fine near zero, power-of-two steps for large magnitudes) and
+``pot4`` (pure power-of-two).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import FormatError
+from .floatspec import quantize_to_grid
+
+__all__ = ["IntSpec", "GridSpec", "int4", "int3", "int8", "flint4", "pot4"]
+
+
+@dataclass(frozen=True)
+class IntSpec:
+    """Symmetric signed integer grid with ``bits`` total bits.
+
+    The grid is ``{-(2^(b-1)-1), ..., 2^(b-1)-1}`` (the redundant most
+    negative code is dropped, matching common symmetric quantizers).
+    """
+
+    name: str
+    bits: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 2:
+            raise FormatError(f"{self.name}: need at least 2 bits")
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable magnitude."""
+        return float((1 << (self.bits - 1)) - 1)
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width in bits."""
+        return self.bits
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round to the nearest integer in range (RTNE), saturating."""
+        q = np.rint(np.asarray(x, dtype=np.float64))
+        return np.clip(q, -self.max_value, self.max_value)
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """A signed scalar type defined by an explicit magnitude grid."""
+
+    name: str
+    magnitudes: tuple[float, ...]
+    total_bits: int
+    _grid: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        grid = np.asarray(self.magnitudes, dtype=np.float64)
+        if grid[0] != 0.0 or np.any(np.diff(grid) <= 0):
+            raise FormatError(f"{self.name}: magnitudes must be ascending from 0")
+        object.__setattr__(self, "_grid", grid)
+
+    @property
+    def grid(self) -> np.ndarray:
+        """Ascending non-negative magnitude grid."""
+        return self._grid
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable magnitude."""
+        return float(self._grid[-1])
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Round onto the signed grid (nearest, ties to even index)."""
+        x = np.asarray(x, dtype=np.float64)
+        idx = quantize_to_grid(np.abs(x), self._grid)
+        return np.where(np.signbit(x), -self._grid[idx], self._grid[idx])
+
+
+int3 = IntSpec("int3", 3)
+int4 = IntSpec("int4", 4)
+int8 = IntSpec("int8", 8)
+
+# ANT's float-int hybrid: one mantissa bit below 4, exponent-only above,
+# giving 8 magnitude levels in 4 bits (sign + 3-bit code).
+flint4 = GridSpec("flint4", (0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 8.0), 4)
+
+# Power-of-two type: sign + 3-bit exponent code (0 plus seven octaves).
+pot4 = GridSpec("pot4", (0.0, 0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0), 4)

@@ -1,0 +1,34 @@
+"""Named instances of every scalar format used in the paper."""
+
+from __future__ import annotations
+
+from .floatspec import FloatSpec
+from .intspec import flint4, int3, int4, int8, pot4
+
+__all__ = ["FP4_E2M1", "FP6_E2M3", "FP6_E3M2", "FP8_E4M3", "FP8_E5M2",
+           "FP16", "BF16", "SCALAR_FORMATS",
+           "int3", "int4", "int8", "flint4", "pot4"]
+
+# The element type of MXFP4 / NVFP4 and the baseline of M2XFP.
+FP4_E2M1 = FloatSpec("fp4_e2m1", exp_bits=2, man_bits=1, bias=1)
+
+# The metadata target of Algorithm 1: two extra mantissa bits over E2M1.
+FP6_E2M3 = FloatSpec("fp6_e2m3", exp_bits=2, man_bits=3, bias=1)
+
+# The alternative OCP FP6 flavour (range-heavy).
+FP6_E3M2 = FloatSpec("fp6_e3m2", exp_bits=3, man_bits=2, bias=3)
+
+# OCP FP8 E4M3 (FN variant: top code is NaN, so max normal is 448).
+FP8_E4M3 = FloatSpec("fp8_e4m3", exp_bits=4, man_bits=3, bias=7,
+                     reserved_top_codes=1)
+
+# OCP FP8 E5M2 (the whole top binade is inf/nan; max normal 57344).
+FP8_E5M2 = FloatSpec("fp8_e5m2", exp_bits=5, man_bits=2, bias=15,
+                     reserved_top_codes=4)
+
+# Reference high-precision formats (used for scale storage comparisons).
+FP16 = FloatSpec("fp16", exp_bits=5, man_bits=10, bias=15, reserved_top_codes=1024)
+BF16 = FloatSpec("bf16", exp_bits=8, man_bits=7, bias=127, reserved_top_codes=128)
+
+SCALAR_FORMATS = {spec.name: spec for spec in
+                  (FP4_E2M1, FP6_E2M3, FP6_E3M2, FP8_E4M3, FP8_E5M2, FP16, BF16)}

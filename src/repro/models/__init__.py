@@ -1,0 +1,15 @@
+"""Synthetic LLM substrate: transformer, profiles, quantized wrappers."""
+
+from .profiles import (PROFILES, ModelProfile, ProfileRuntime,
+                       clear_runtime_cache, get_profile, load_runtime)
+from .quantized import Fp16Format, QuantizedLM
+from .tensors import OutlierSpec, channel_scales, outlier_matrix
+from .transformer import (LINEAR_NAMES, TransformerConfig, TransformerLM)
+
+__all__ = [
+    "OutlierSpec", "channel_scales", "outlier_matrix",
+    "TransformerConfig", "TransformerLM", "LINEAR_NAMES",
+    "QuantizedLM", "Fp16Format",
+    "ModelProfile", "ProfileRuntime", "PROFILES", "get_profile",
+    "load_runtime", "clear_runtime_cache",
+]

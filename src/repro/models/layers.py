@@ -1,0 +1,59 @@
+"""NumPy building blocks of the decoder-only transformer substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rms_norm", "silu", "softmax", "rope_tables", "apply_rope",
+           "causal_attention"]
+
+
+def rms_norm(x: np.ndarray, gain: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Root-mean-square layer norm (LLaMA-style, no bias)."""
+    rms = np.sqrt(np.mean(x * x, axis=-1, keepdims=True) + eps)
+    return x / rms * gain
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation used by SwiGLU MLPs."""
+    return x / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+def rope_tables(seq_len: int, head_dim: int, theta: float = 10000.0,
+                offset: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    """Rotary-embedding cos/sin tables for positions [offset, offset+seq)."""
+    half = head_dim // 2
+    freqs = theta ** (-np.arange(half) / half)
+    pos = np.arange(offset, offset + seq_len)[:, None] * freqs[None, :]
+    return np.cos(pos), np.sin(pos)
+
+
+def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
+    """Rotate the head dimension of ``(..., seq, head_dim)`` tensors."""
+    half = x.shape[-1] // 2
+    x1, x2 = x[..., :half], x[..., half:]
+    return np.concatenate([x1 * cos - x2 * sin, x1 * sin + x2 * cos], axis=-1)
+
+
+def causal_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
+                     causal: bool = True) -> np.ndarray:
+    """Scaled dot-product attention over ``(B, H, T, dh)`` tensors.
+
+    When ``q`` is shorter than ``k`` (incremental decoding), the causal
+    mask aligns the query block to the end of the key sequence.
+    """
+    dh = q.shape[-1]
+    scores = np.einsum("bhqd,bhkd->bhqk", q, k) / np.sqrt(dh)
+    if causal:
+        tq, tk = q.shape[-2], k.shape[-2]
+        qi = np.arange(tq)[:, None] + (tk - tq)
+        mask = qi < np.arange(tk)[None, :]
+        scores = np.where(mask, -1e30, scores)
+    return np.einsum("bhqk,bhkd->bhqd", softmax(scores), v)

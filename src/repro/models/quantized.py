@@ -1,0 +1,91 @@
+"""Fake-quantized model wrapper: W4A4 (or any format) on every projection.
+
+Weights are quantized once at construction with the format's offline path;
+activations are quantized per call with the online path, along the GEMM
+reduction axis, exactly as the accelerator would see them. A
+``weight_override`` dict lets calibration-based algorithms (MR-GPTQ) supply
+their own pre-quantized weights for specific projections.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..mx.base import TensorFormat
+from .transformer import TransformerLM
+
+__all__ = ["QuantizedLM", "Fp16Format"]
+
+
+class Fp16Format(TensorFormat):
+    """Identity transfer function — the FP16 reference row of every table."""
+
+    name = "fp16"
+
+    @property
+    def ebw(self) -> float:
+        return 16.0
+
+    def quantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return np.asarray(x, dtype=np.float64)
+
+
+class QuantizedLM:
+    """A :class:`TransformerLM` with a quantization format applied.
+
+    Formats exposing ``quantize_activation_calibrated`` (NVFP4's two-level
+    scaling) get per-projection tensor scales measured on a calibration
+    forward pass, matching how static tensor scales are deployed; all other
+    formats quantize activations fully online.
+    """
+
+    def __init__(self, model: TransformerLM, fmt: TensorFormat,
+                 weight_override: dict[str, np.ndarray] | None = None,
+                 quantize_activations: bool = True,
+                 calibration_tokens: np.ndarray | None = None) -> None:
+        self.model = model
+        self.fmt = fmt
+        self.quantize_activations = bool(quantize_activations)
+        override = weight_override or {}
+        self._weights: dict[str, np.ndarray] = {}
+        for li, layer in enumerate(model.layers):
+            for name in ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"):
+                key = f"l{li}.{name}"
+                if key in override:
+                    self._weights[key] = np.asarray(override[key], dtype=np.float64)
+                else:
+                    self._weights[key] = fmt.quantize_weight(layer[name], axis=-1)
+        self._act_amax: dict[str, float] = {}
+        if calibration_tokens is not None and hasattr(fmt, "quantize_activation_calibrated"):
+            self._calibrate_activations(np.atleast_2d(calibration_tokens))
+
+    def _calibrate_activations(self, tokens: np.ndarray) -> None:
+        amax: dict[str, float] = {}
+
+        def record(name: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+            amax[name] = max(amax.get(name, 0.0), float(np.max(np.abs(x))))
+            return x @ w.T
+
+        self.model.forward(tokens, linear_fn=record)
+        self._act_amax = amax
+
+    def _linear(self, name: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        if not self.quantize_activations:
+            xq = x
+        elif name in self._act_amax:
+            xq = self.fmt.quantize_activation_calibrated(x, self._act_amax[name], axis=-1)
+        else:
+            xq = self.fmt.quantize_activation(x, axis=-1)
+        return xq @ self._weights[name].T
+
+    def forward(self, tokens: np.ndarray) -> np.ndarray:
+        """Quantized logits."""
+        return self.model.forward(tokens, linear_fn=self._linear)
+
+    def nll(self, tokens: np.ndarray) -> float:
+        """Quantized next-token NLL."""
+        return self.model.nll(tokens, linear_fn=self._linear)
+
+    def perplexity(self, tokens: np.ndarray) -> float:
+        """Quantized perplexity."""
+        return self.model.perplexity(tokens, linear_fn=self._linear)

@@ -1,0 +1,58 @@
+"""Synthetic weight generators calibrated to LLM value statistics.
+
+LLM weights are not i.i.d. Gaussian: a small fraction of *channels* carries
+systematically larger magnitudes (the "massive activation" channels that
+make low-bit quantization hard), and the element distribution is heavy
+tailed. Both effects determine how often a 32-element group contains a
+dominant block maximum — exactly the statistic MX quantization error
+depends on — so the generator models them explicitly:
+
+* a per-input-channel log-normal scale, shared across all matrices of a
+  layer (outlier channels persist through the residual stream);
+* a sparse set of outlier channels boosted by ``outlier_scale``;
+* an element-wise Student-t style tail controlled by ``tail``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["OutlierSpec", "channel_scales", "outlier_matrix"]
+
+
+@dataclass(frozen=True)
+class OutlierSpec:
+    """Knobs of the heavy-tailed weight generator."""
+
+    outlier_rate: float = 0.02    # fraction of boosted channels
+    outlier_scale: float = 6.0    # magnitude boost of those channels
+    channel_sigma: float = 0.35   # log-normal spread of ordinary channels
+    tail: float = 0.15            # element-wise heavy-tail strength
+
+
+def channel_scales(n_channels: int, spec: OutlierSpec, rng: np.random.Generator) -> np.ndarray:
+    """Per-channel magnitude scales with a sparse outlier population."""
+    scales = np.exp(spec.channel_sigma * rng.standard_normal(n_channels))
+    n_out = max(1, int(round(spec.outlier_rate * n_channels)))
+    idx = rng.choice(n_channels, size=n_out, replace=False)
+    scales[idx] *= spec.outlier_scale
+    return scales
+
+
+def outlier_matrix(n_out: int, n_in: int, spec: OutlierSpec,
+                   rng: np.random.Generator,
+                   in_scales: np.ndarray | None = None) -> np.ndarray:
+    """A ``(n_out, n_in)`` weight matrix with LLM-like outlier structure.
+
+    ``in_scales`` lets callers share one channel-scale vector across all
+    matrices that read the same residual stream.
+    """
+    if in_scales is None:
+        in_scales = channel_scales(n_in, spec, rng)
+    base = rng.standard_normal((n_out, n_in))
+    # Element-wise heavy tail: scale mixture of normals.
+    tail = np.exp(spec.tail * rng.standard_normal((n_out, n_in)))
+    w = base * tail * in_scales[None, :]
+    return w / np.sqrt(n_in)

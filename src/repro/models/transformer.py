@@ -1,0 +1,201 @@
+"""A decoder-only transformer LM in NumPy (the paper's LLM substrate).
+
+The model mirrors the LLaMA block structure (RMSNorm, RoPE attention,
+SwiGLU MLP, tied embedding head). Every projection goes through a
+pluggable ``linear_fn(name, x, w)`` hook, which is how the quantized
+wrapper injects W4A4 fake-quantization into exactly the layers the paper
+quantizes (Q/K/V/O and the three MLP projections) while leaving
+embeddings, norms and the LM head in high precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import ConfigError
+from .layers import apply_rope, causal_attention, rms_norm, rope_tables, silu, softmax
+from .tensors import OutlierSpec, channel_scales, outlier_matrix
+
+__all__ = ["TransformerConfig", "TransformerLM", "LINEAR_NAMES", "LinearFn"]
+
+LinearFn = Callable[[str, np.ndarray, np.ndarray], np.ndarray]
+
+#: The quantized projections of each block (paper Sec. 6.1: Linear layers).
+LINEAR_NAMES = ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down")
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Architecture hyperparameters of the substrate LM."""
+
+    vocab_size: int = 256
+    d_model: int = 128
+    n_layers: int = 2
+    n_heads: int = 4
+    d_ff: int = 256
+    rope_theta: float = 10000.0
+    seed: int = 0
+    outliers: OutlierSpec = field(default_factory=OutlierSpec)
+    # Residual branch scale (muP-style). Controls how much each block
+    # perturbs the stream, i.e. how strongly per-layer quantization noise
+    # accumulates into the logits — the substrate's sensitivity knob.
+    branch_scale: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.d_model % self.n_heads != 0:
+            raise ConfigError("d_model must be divisible by n_heads")
+        if (self.d_model // self.n_heads) % 2 != 0:
+            raise ConfigError("head dim must be even for RoPE")
+
+
+def _default_linear(name: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return x @ w.T
+
+
+class TransformerLM:
+    """Decoder-only LM with generated, outlier-structured weights."""
+
+    def __init__(self, config: TransformerConfig, gain: float = 1.0) -> None:
+        self.config = config
+        self.gain = float(gain)
+        rng = np.random.default_rng(config.seed)
+        d, ff = config.d_model, config.d_ff
+        self.embedding = rng.standard_normal((config.vocab_size, d)) * 0.7
+        self.final_gain = np.ones(d)
+        self.layers: list[dict[str, np.ndarray]] = []
+        for _ in range(config.n_layers):
+            attn_scales = channel_scales(d, config.outliers, rng)
+            mlp_scales = channel_scales(d, config.outliers, rng)
+            down_scales = channel_scales(ff, config.outliers, rng)
+            spec = config.outliers
+            self.layers.append({
+                "wq": outlier_matrix(d, d, spec, rng, attn_scales),
+                "wk": outlier_matrix(d, d, spec, rng, attn_scales),
+                "wv": outlier_matrix(d, d, spec, rng, attn_scales),
+                "wo": outlier_matrix(d, d, spec, rng),
+                "w_gate": outlier_matrix(ff, d, spec, rng, mlp_scales),
+                "w_up": outlier_matrix(ff, d, spec, rng, mlp_scales),
+                "w_down": outlier_matrix(d, ff, spec, rng, down_scales),
+                "norm1": np.exp(0.1 * rng.standard_normal(d)),
+                "norm2": np.exp(0.1 * rng.standard_normal(d)),
+            })
+
+    # ------------------------------------------------------------------
+    # Batched forward (evaluation path)
+    # ------------------------------------------------------------------
+    def forward(self, tokens: np.ndarray, linear_fn: LinearFn | None = None) -> np.ndarray:
+        """Logits ``(B, T, vocab)`` for token ids ``(B, T)``."""
+        linear_fn = linear_fn or _default_linear
+        cfg = self.config
+        tokens = np.atleast_2d(tokens)
+        b, t = tokens.shape
+        h = self.embedding[tokens]
+        dh = cfg.d_model // cfg.n_heads
+        cos, sin = rope_tables(t, dh, cfg.rope_theta)
+        for li, layer in enumerate(self.layers):
+            a = rms_norm(h, layer["norm1"])
+            q = self._heads(linear_fn(f"l{li}.wq", a, layer["wq"]), b, t)
+            k = self._heads(linear_fn(f"l{li}.wk", a, layer["wk"]), b, t)
+            v = self._heads(linear_fn(f"l{li}.wv", a, layer["wv"]), b, t)
+            q, k = apply_rope(q, cos, sin), apply_rope(k, cos, sin)
+            ctx = causal_attention(q, k, v)
+            ctx = ctx.transpose(0, 2, 1, 3).reshape(b, t, cfg.d_model)
+            h = h + cfg.branch_scale * linear_fn(f"l{li}.wo", ctx, layer["wo"])
+            a = rms_norm(h, layer["norm2"])
+            gate = silu(linear_fn(f"l{li}.w_gate", a, layer["w_gate"]))
+            up = linear_fn(f"l{li}.w_up", a, layer["w_up"])
+            h = h + cfg.branch_scale * linear_fn(f"l{li}.w_down", gate * up, layer["w_down"])
+        h = rms_norm(h, self.final_gain)
+        return self.gain * (h @ self.embedding.T)
+
+    def _heads(self, x: np.ndarray, b: int, t: int) -> np.ndarray:
+        cfg = self.config
+        dh = cfg.d_model // cfg.n_heads
+        return x.reshape(b, t, cfg.n_heads, dh).transpose(0, 2, 1, 3)
+
+    # ------------------------------------------------------------------
+    # Losses
+    # ------------------------------------------------------------------
+    def nll(self, tokens: np.ndarray, linear_fn: LinearFn | None = None) -> float:
+        """Mean next-token negative log-likelihood over ``(B, T)`` tokens."""
+        tokens = np.atleast_2d(tokens)
+        logits = self.forward(tokens, linear_fn)
+        logp = np.log(softmax(logits[:, :-1, :]) + 1e-30)
+        target = tokens[:, 1:]
+        picked = np.take_along_axis(logp, target[:, :, None], axis=2)[:, :, 0]
+        return float(-np.mean(picked))
+
+    def perplexity(self, tokens: np.ndarray, linear_fn: LinearFn | None = None) -> float:
+        """``exp(nll)``."""
+        return float(np.exp(self.nll(tokens, linear_fn)))
+
+    # ------------------------------------------------------------------
+    # Ancestral sampling (builds the evaluation corpus)
+    # ------------------------------------------------------------------
+    def sample(self, n_seq: int, seq_len: int, rng: np.random.Generator,
+               temperature: float = 1.0) -> np.ndarray:
+        """Sample ``(n_seq, seq_len)`` token sequences with a KV cache."""
+        cfg = self.config
+        dh = cfg.d_model // cfg.n_heads
+        tokens = np.zeros((n_seq, seq_len), dtype=np.int64)
+        caches = [{"k": np.zeros((n_seq, cfg.n_heads, 0, dh)),
+                   "v": np.zeros((n_seq, cfg.n_heads, 0, dh))}
+                  for _ in self.layers]
+        for t in range(seq_len - 1):
+            logits = self._step(tokens[:, t], t, caches)
+            probs = softmax(logits / temperature)
+            cdf = np.cumsum(probs, axis=1)
+            u = rng.random((n_seq, 1))
+            tokens[:, t + 1] = np.argmax(u < cdf, axis=1)
+        return tokens
+
+    def continue_sequences(self, prefix: np.ndarray, n_new: int,
+                           rng: np.random.Generator,
+                           temperature: float = 1.0) -> np.ndarray:
+        """Sample ``n_new`` continuation tokens after each prefix row."""
+        cfg = self.config
+        dh = cfg.d_model // cfg.n_heads
+        prefix = np.atleast_2d(prefix)
+        b, plen = prefix.shape
+        caches = [{"k": np.zeros((b, cfg.n_heads, 0, dh)),
+                   "v": np.zeros((b, cfg.n_heads, 0, dh))}
+                  for _ in self.layers]
+        logits = None
+        for t in range(plen):
+            logits = self._step(prefix[:, t], t, caches)
+        out = np.zeros((b, n_new), dtype=np.int64)
+        from .layers import softmax as _softmax
+        for j in range(n_new):
+            probs = _softmax(logits / temperature)
+            cdf = np.cumsum(probs, axis=1)
+            u = rng.random((b, 1))
+            out[:, j] = np.argmax(u < cdf, axis=1)
+            if j + 1 < n_new:
+                logits = self._step(out[:, j], plen + j, caches)
+        return out
+
+    def _step(self, token: np.ndarray, pos: int, caches: list[dict]) -> np.ndarray:
+        cfg = self.config
+        dh = cfg.d_model // cfg.n_heads
+        b = token.shape[0]
+        h = self.embedding[token][:, None, :]
+        cos, sin = rope_tables(1, dh, cfg.rope_theta, offset=pos)
+        for layer, cache in zip(self.layers, caches):
+            a = rms_norm(h, layer["norm1"])
+            q = self._heads(a @ layer["wq"].T, b, 1)
+            k = self._heads(a @ layer["wk"].T, b, 1)
+            v = self._heads(a @ layer["wv"].T, b, 1)
+            q, k = apply_rope(q, cos, sin), apply_rope(k, cos, sin)
+            cache["k"] = np.concatenate([cache["k"], k], axis=2)
+            cache["v"] = np.concatenate([cache["v"], v], axis=2)
+            ctx = causal_attention(q, cache["k"], cache["v"])
+            ctx = ctx.transpose(0, 2, 1, 3).reshape(b, 1, cfg.d_model)
+            h = h + cfg.branch_scale * (ctx @ layer["wo"].T)
+            a = rms_norm(h, layer["norm2"])
+            h = h + cfg.branch_scale * (
+                (silu(a @ layer["w_gate"].T) * (a @ layer["w_up"].T)) @ layer["w_down"].T)
+        h = rms_norm(h, self.final_gain)
+        return (self.gain * (h @ self.embedding.T))[:, 0, :]

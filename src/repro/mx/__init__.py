@@ -1,0 +1,20 @@
+"""Microscaling (MX) data formats and their variants (paper Sec. 2.2)."""
+
+from .base import BlockFormat, QuantResult, TensorFormat
+from .fp_group import GroupFP4, fp4_fp16scale
+from .max_preserve import MaxPreserving
+from .msfp import MSFP, MSFP12, MSFP16, msfp12, msfp16
+from .mxfp import (MXFP4, MXFP6_E2M3, MXFP6_E3M2, MXFP8_E4M3, MXFP8_E5M2,
+                   MXINT8, make_mxfp4, mxfp4)
+from .nvfp import NVFP4, nvfp4
+from .scale_rules import SCALE_RULES, shared_scale, shared_scale_exponent
+from .smx import SMX, SMX4, SMX6, SMX9, smx4
+
+__all__ = [
+    "TensorFormat", "BlockFormat", "QuantResult",
+    "MXFP4", "MXFP6_E2M3", "MXFP6_E3M2", "MXFP8_E4M3", "MXFP8_E5M2", "MXINT8",
+    "mxfp4", "make_mxfp4", "NVFP4", "nvfp4", "SMX", "SMX4", "SMX6", "SMX9",
+    "smx4", "MSFP", "MSFP12", "MSFP16", "msfp12", "msfp16",
+    "GroupFP4", "fp4_fp16scale", "MaxPreserving",
+    "SCALE_RULES", "shared_scale", "shared_scale_exponent",
+]

@@ -1,0 +1,114 @@
+"""Base classes shared by every tensor quantization format in the library.
+
+A :class:`TensorFormat` is the unit the model wrappers and the evaluation
+harness consume: it fake-quantizes a tensor (quantize + dequantize in one
+step, the standard way to simulate low-bit inference in high precision) and
+reports its equivalent bit width. Hybrid formats like M2XFP override the
+weight/activation entry points separately.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from ..formats.e8m0 import E8M0_BITS
+from ..formats.grouping import from_groups, to_groups
+from .scale_rules import shared_scale_exponent
+
+__all__ = ["TensorFormat", "BlockFormat", "QuantResult"]
+
+
+@dataclass
+class QuantResult:
+    """Detailed output of a group quantization pass."""
+
+    dequantized: np.ndarray
+    scales: np.ndarray
+    ebw: float
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class TensorFormat(abc.ABC):
+    """A (fake-)quantization transfer function plus its storage cost."""
+
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def ebw(self) -> float:
+        """Equivalent bit width: element bits + amortized scale/metadata."""
+
+    @abc.abstractmethod
+    def quantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Quantize-dequantize ``x`` group-wise along ``axis``."""
+
+    def quantize_weight(self, w: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Weight entry point (offline; hybrids may use a richer search)."""
+        return self.quantize(w, axis=axis)
+
+    def quantize_activation(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Activation entry point (online; must stay lightweight)."""
+        return self.quantize(x, axis=axis)
+
+    @property
+    def weight_ebw(self) -> float:
+        """EBW of the weight path (differs for hybrid formats)."""
+        return self.ebw
+
+    @property
+    def activation_ebw(self) -> float:
+        """EBW of the activation path."""
+        return self.ebw
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name} ebw={self.ebw:.4g}>"
+
+
+class BlockFormat(TensorFormat):
+    """Group-wise format with an E8M0 (or otherwise fixed-width) scale.
+
+    Subclasses implement :meth:`quantize_groups` over a ``(n, k)`` matrix;
+    this class handles grouping, padding and EBW accounting.
+    """
+
+    def __init__(self, name: str, element, group_size: int,
+                 scale_rule: str = "floor", scale_bits: int = E8M0_BITS,
+                 meta_bits_per_group: int = 0) -> None:
+        self.name = name
+        self.element = element
+        self.group_size = int(group_size)
+        self.scale_rule = scale_rule
+        self.scale_bits = int(scale_bits)
+        self.meta_bits_per_group = int(meta_bits_per_group)
+
+    @property
+    def ebw(self) -> float:
+        """Eq. 2: ``B_elem + (B_meta + B_scale) / k``."""
+        return (self.element.total_bits
+                + (self.meta_bits_per_group + self.scale_bits) / self.group_size)
+
+    def group_scales(self, groups: np.ndarray) -> np.ndarray:
+        """Per-group power-of-two scales from the configured rule."""
+        amax = np.max(np.abs(groups), axis=1)
+        e = shared_scale_exponent(amax, self.element, self.scale_rule)
+        return np.exp2(e.astype(np.float64))
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        """Quantize a ``(n_groups, k)`` matrix; subclasses may override."""
+        scales = self.group_scales(groups)
+        q = self.element.quantize(groups / scales[:, None])
+        return QuantResult(dequantized=q * scales[:, None], scales=scales, ebw=self.ebw)
+
+    def quantize_detailed(self, x: np.ndarray, axis: int = -1) -> QuantResult:
+        """Full-tensor quantization returning scales and details."""
+        groups, view = to_groups(x, self.group_size, axis=axis)
+        result = self.quantize_groups(groups)
+        result.dequantized = from_groups(result.dequantized, view)
+        return result
+
+    def quantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return self.quantize_detailed(x, axis=axis).dequantized

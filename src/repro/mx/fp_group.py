@@ -1,0 +1,36 @@
+"""Group-wise FP4 with a full-precision (FP16) scale — the "FP4" of Fig. 3.
+
+This is conventional group-wise quantization: the scale maps the group
+maximum exactly onto the FP4 maximum (6.0), eliminating the block-maximum
+misalignment that power-of-two scales suffer from. It serves as the
+accuracy reference the MX variants are judged against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..formats.registry import FP4_E2M1, FP16
+from .base import BlockFormat, QuantResult
+
+__all__ = ["GroupFP4", "fp4_fp16scale"]
+
+
+class GroupFP4(BlockFormat):
+    """FP4 elements with a per-group FP16 scale of ``amax / 6``."""
+
+    def __init__(self, group_size: int = 32) -> None:
+        super().__init__(f"fp4-fp16scale-g{group_size}", FP4_E2M1, group_size,
+                         scale_rule="floor", scale_bits=FP16.total_bits)
+
+    def quantize_groups(self, groups: np.ndarray) -> QuantResult:
+        amax = np.max(np.abs(groups), axis=1)
+        scales = FP16.quantize(amax / self.element.max_value)
+        safe = np.where(scales > 0, scales, 1.0)
+        q = self.element.quantize(groups / safe[:, None])
+        dq = np.where(scales[:, None] > 0, q * safe[:, None], 0.0)
+        return QuantResult(dequantized=dq, scales=scales, ebw=self.ebw)
+
+
+#: Fig. 3's "FP4" reference point (group 32, FP16 scales).
+fp4_fp16scale = GroupFP4()

@@ -1,0 +1,66 @@
+"""OCP Microscaling formats: MXFP4 / MXFP6 / MXFP8 / MXINT8 (Fig. 1).
+
+These are plain :class:`~repro.mx.base.BlockFormat` instances — an E8M0
+shared scale over ``k`` elements of the given scalar type, with the OCP
+floor rule by default.
+"""
+
+from __future__ import annotations
+
+from ..formats.intspec import IntSpec
+from ..formats.registry import FP4_E2M1, FP6_E2M3, FP6_E3M2, FP8_E4M3, FP8_E5M2
+from .base import BlockFormat
+
+__all__ = ["MXFP4", "MXFP6_E2M3", "MXFP6_E3M2", "MXFP8_E4M3", "MXFP8_E5M2",
+           "MXINT8", "mxfp4", "make_mxfp4"]
+
+
+class _MXIntElement(IntSpec):
+    """INT element with the power-of-two constants MX scale rules expect."""
+
+    @property
+    def max_pow2(self) -> float:
+        p = 1.0
+        while p * 2 <= self.max_value:
+            p *= 2
+        return p
+
+
+def MXFP4(group_size: int = 32, scale_rule: str = "floor") -> BlockFormat:
+    """OCP MXFP4: E2M1 elements, E8M0 scale, default group 32."""
+    return BlockFormat(f"mxfp4-g{group_size}", FP4_E2M1, group_size, scale_rule)
+
+
+def MXFP6_E2M3(group_size: int = 32, scale_rule: str = "floor") -> BlockFormat:
+    """OCP MXFP6 (E2M3 flavour)."""
+    return BlockFormat(f"mxfp6-e2m3-g{group_size}", FP6_E2M3, group_size, scale_rule)
+
+
+def MXFP6_E3M2(group_size: int = 32, scale_rule: str = "floor") -> BlockFormat:
+    """OCP MXFP6 (E3M2 flavour)."""
+    return BlockFormat(f"mxfp6-e3m2-g{group_size}", FP6_E3M2, group_size, scale_rule)
+
+
+def MXFP8_E4M3(group_size: int = 32, scale_rule: str = "floor") -> BlockFormat:
+    """OCP MXFP8 (E4M3 flavour)."""
+    return BlockFormat(f"mxfp8-e4m3-g{group_size}", FP8_E4M3, group_size, scale_rule)
+
+
+def MXFP8_E5M2(group_size: int = 32, scale_rule: str = "floor") -> BlockFormat:
+    """OCP MXFP8 (E5M2 flavour)."""
+    return BlockFormat(f"mxfp8-e5m2-g{group_size}", FP8_E5M2, group_size, scale_rule)
+
+
+def MXINT8(group_size: int = 32, scale_rule: str = "floor") -> BlockFormat:
+    """OCP MXINT8: symmetric INT8 elements under an E8M0 scale."""
+    return BlockFormat(f"mxint8-g{group_size}", _MXIntElement("int8", 8),
+                       group_size, scale_rule)
+
+
+def make_mxfp4(group_size: int = 32, scale_rule: str = "floor") -> BlockFormat:
+    """Alias of :func:`MXFP4` kept for symmetry with other factories."""
+    return MXFP4(group_size, scale_rule)
+
+
+#: The paper's standard MXFP4 baseline (OCP floor rule, group 32).
+mxfp4 = MXFP4()

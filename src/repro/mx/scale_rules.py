@@ -1,0 +1,76 @@
+"""Shared-scale exponent rules for MX quantization (paper Sec. 6.4, Tbl. 8).
+
+Given the block maximum ``amax``, each rule picks the E8M0 exponent ``E`` of
+the shared scale ``S = 2**E``:
+
+* ``floor`` — OCP default: ``E = floor(log2(amax / P))`` where ``P`` is the
+  largest power of two representable by the element format (4 for FP4).
+  ``amax / S`` lands in ``[P, 2P)``, so the block maximum may exceed the
+  format maximum ``M`` and clip — the dominant MXFP4 error source.
+* ``ceil`` — ``E = ceil(log2(amax / M))``; the block maximum always fits.
+* ``rtn1`` — round-to-nearest on ``log2(amax / M)``.
+* ``rtn2`` — round-to-nearest on ``log2(amax / P)``.
+* ``rtne`` — rounds ``amax`` in value space before the floor rule. For FP4
+  (``M = 1.5 P``) the paper notes this is identical to ``ceil``, which is how
+  it is implemented here (Tbl. 8 reports them as one row).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..formats.e8m0 import clamp_exponent
+
+__all__ = ["SCALE_RULES", "shared_scale_exponent", "shared_scale"]
+
+
+def _safe_log2(x: np.ndarray) -> np.ndarray:
+    """log2 that maps non-positive inputs to 0 (callers mask those groups)."""
+    x = np.asarray(x, dtype=np.float64)
+    return np.log2(np.where(x > 0, x, 1.0))
+
+
+def _floor_rule(amax: np.ndarray, p: float, m: float) -> np.ndarray:
+    return np.floor(_safe_log2(amax / p))
+
+
+def _ceil_rule(amax: np.ndarray, p: float, m: float) -> np.ndarray:
+    return np.ceil(_safe_log2(amax / m))
+
+
+def _rtn1_rule(amax: np.ndarray, p: float, m: float) -> np.ndarray:
+    return np.rint(_safe_log2(amax / m))
+
+
+def _rtn2_rule(amax: np.ndarray, p: float, m: float) -> np.ndarray:
+    return np.rint(_safe_log2(amax / p))
+
+
+SCALE_RULES = {
+    "floor": _floor_rule,
+    "ceil": _ceil_rule,
+    "rtn1": _rtn1_rule,
+    "rtn2": _rtn2_rule,
+    "rtne": _ceil_rule,  # equivalent to ceil whenever M == 1.5 P (FP4 case)
+}
+
+
+def shared_scale_exponent(amax: np.ndarray, element, rule: str = "floor") -> np.ndarray:
+    """Integer shared-scale exponents for block maxima ``amax``.
+
+    ``element`` is any scalar spec exposing ``max_value`` and ``max_pow2``.
+    Zero blocks get exponent 0 (their elements quantize to zero anyway).
+    Exponents saturate to the E8M0 range.
+    """
+    if rule not in SCALE_RULES:
+        raise ConfigError(f"unknown scale rule {rule!r}; choose from {sorted(SCALE_RULES)}")
+    amax = np.asarray(amax, dtype=np.float64)
+    e = SCALE_RULES[rule](amax, element.max_pow2, element.max_value)
+    e = np.where(amax > 0, e, 0.0)
+    return clamp_exponent(e.astype(np.int64))
+
+
+def shared_scale(amax: np.ndarray, element, rule: str = "floor") -> np.ndarray:
+    """Power-of-two shared scales ``2**E`` for block maxima ``amax``."""
+    return np.exp2(shared_scale_exponent(amax, element, rule).astype(np.float64))

@@ -1,0 +1,134 @@
+"""Tests for the cycle/traffic/energy/area models and Fig. 13 shape."""
+
+import numpy as np
+import pytest
+
+from repro.accel import (ACCELERATORS, REFERENCE_8BIT, ArrayConfig,
+                         CoreAreaModel, GemmShape, LLMWorkload, WORKLOADS,
+                         compare_on_workload, decode_unit_area_um2,
+                         fig13_comparison, gemm_compute_cycles,
+                         gemm_dram_traffic, pe_tile_area_um2,
+                         quant_engine_area_um2, run_workload, speedup_vs,
+                         workload_for)
+
+
+class TestSystolic:
+    def test_eight_bit_costs_four_passes(self):
+        hw = ArrayConfig()
+        g = GemmShape(4096, 4096, 4096)
+        c4 = gemm_compute_cycles(g, hw, 4, 4)
+        c8 = gemm_compute_cycles(g, hw, 8, 8)
+        assert c8 / c4 > 3.5  # 4x passes minus amortized fill overhead
+
+    def test_cycles_scale_with_work(self):
+        hw = ArrayConfig()
+        small = gemm_compute_cycles(GemmShape(256, 256, 256), hw)
+        big = gemm_compute_cycles(GemmShape(512, 512, 512), hw)
+        assert 4 < big / small < 10  # ~8x MACs, fill overhead shrinks it
+
+    def test_traffic_scales_with_ebw(self):
+        hw = ArrayConfig()
+        g = GemmShape(1024, 1024, 1024)
+        t45 = gemm_dram_traffic(g, hw, 4.5, 4.5)
+        t825 = gemm_dram_traffic(g, hw, 8.25, 8.25)
+        assert t825 > t45 * 1.5
+
+    def test_output_tile_respects_buffer(self):
+        hw = ArrayConfig()
+        t = hw.output_tile_side()
+        assert t % hw.rows == 0
+        assert t * t * 4 <= hw.out_buffer_bytes
+
+    def test_peak_macs(self):
+        assert ArrayConfig().macs_per_cycle == 32 * 32 * 8
+
+
+class TestWorkloads:
+    def test_all_paper_models_present(self):
+        assert set(WORKLOADS) == {"llama2-7b", "llama3-8b", "llama3-70b",
+                                  "opt-6.7b", "mistral-7b", "falcon-7b"}
+
+    def test_gqa_shrinks_kv(self):
+        gemms = workload_for("llama3-8b").gemms()
+        kv = [g for g in gemms if g.n == 1024]
+        assert len(kv) == 2 * 32
+
+    def test_70b_is_much_bigger(self):
+        assert (workload_for("llama3-70b").total_macs
+                > 5 * workload_for("llama2-7b").total_macs)
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            workload_for("gpt-5")
+
+
+class TestAreaModel:
+    def test_component_totals_match_paper(self):
+        model = CoreAreaModel()
+        assert model.total_area_mm2 == pytest.approx(1.051, rel=0.01)
+        assert model.total_power_mw == pytest.approx(204.02, rel=0.01)
+
+    def test_pe_variants_match_paper(self):
+        assert pe_tile_area_um2(variant="mxfp4") == pytest.approx(2057.6, rel=0.005)
+        assert pe_tile_area_um2(variant="nvfp4") == pytest.approx(2104.7, rel=0.005)
+        assert pe_tile_area_um2(variant="m2xfp") == pytest.approx(2140.1, rel=0.005)
+
+    def test_metadata_overhead_small(self):
+        assert CoreAreaModel().metadata_overhead_fraction() < 0.005
+
+    def test_decode_unit_tiny(self):
+        assert decode_unit_area_um2() == pytest.approx(82.91, rel=0.01)
+
+    def test_quant_engine_area(self):
+        assert quant_engine_area_um2() == pytest.approx(2451.47, rel=0.01)
+
+    def test_model_scales_with_array(self):
+        big = CoreAreaModel(n_pe_tiles=256)
+        assert big.total_area_mm2 > CoreAreaModel().total_area_mm2
+
+
+class TestFig13:
+    def test_m2xfp_fastest(self):
+        for wl in WORKLOADS.values():
+            points = {p.accelerator: p for p in compare_on_workload(wl)}
+            m2 = points["m2xfp"].norm_latency
+            assert all(m2 <= p.norm_latency for p in points.values())
+
+    def test_olive_slowest_baseline(self):
+        points = {p.accelerator: p for p in
+                  compare_on_workload(workload_for("llama2-7b"))}
+        olive = points["mx-olive"].norm_latency
+        assert all(olive >= p.norm_latency for p in points.values())
+
+    def test_all_beat_8bit_reference(self):
+        for p in compare_on_workload(workload_for("mistral-7b")):
+            assert p.norm_latency < 1.0
+            assert p.norm_energy < 1.0
+
+    def test_headline_ratios_in_band(self):
+        grid = fig13_comparison()
+        speedup, energy = speedup_vs(grid["average"])
+        assert 1.5 <= speedup <= 2.3   # paper: 1.91x
+        assert 1.4 <= energy <= 2.2    # paper: 1.75x
+
+    def test_energy_breakdown_sums(self):
+        for p in compare_on_workload(workload_for("llama2-7b")):
+            total = sum(p.energy_breakdown.values())
+            assert total == pytest.approx(p.norm_energy, rel=1e-6)
+
+    def test_average_row_present(self):
+        grid = fig13_comparison()
+        assert "average" in grid
+        assert len(grid["average"]) == len(ACCELERATORS)
+
+    def test_run_workload_result_fields(self):
+        res = run_workload(REFERENCE_8BIT, workload_for("llama2-7b"))
+        assert res.cycles > 0
+        assert res.total_energy_j > 0
+        assert res.latency_s == pytest.approx(res.cycles / 500e6)
+
+    def test_mant_pays_extra_core_energy(self):
+        wl = workload_for("llama2-7b")
+        points = {p.accelerator: p for p in compare_on_workload(wl)}
+        assert (points["mx-m-ant"].energy_breakdown["core"]
+                > points["mx-ant"].energy_breakdown["core"])

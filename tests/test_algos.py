@@ -1,0 +1,172 @@
+"""Tests for the algorithm baselines (ANT, M-ANT, OliVe, MicroScopiQ,
+BlockDialect, rotations, MR-GPTQ)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algos import (DIALECTS, MANT_TYPES, BlockDialect, MicroScopiQ,
+                         MXAnt, MXMAnt, MXOliVe, block_rotation, duquant,
+                         gptq_quantize_matrix, hadamard_matrix, quarot)
+from repro.errors import ShapeError
+from repro.mx import mxfp4
+from repro.mx.fp_group import GroupFP4
+
+
+class TestAnt:
+    def test_type_selection_varies(self, heavy_tensor):
+        from repro.formats.grouping import to_groups
+        groups, _ = to_groups(heavy_tensor, 32)
+        res = MXAnt().quantize_groups(groups)
+        assert len(np.unique(res.details["type_index"])) >= 2
+
+    def test_beats_mxfp4(self, heavy_tensor):
+        e = np.mean((MXAnt().quantize(heavy_tensor) - heavy_tensor) ** 2)
+        e_mx = np.mean((mxfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e < e_mx
+
+    def test_ebw_includes_type_index(self):
+        assert MXAnt().ebw == 4.0 + (2 + 8) / 32
+
+
+class TestMAnt:
+    def test_sixteen_types(self):
+        assert len(MANT_TYPES) == 16
+
+    def test_at_least_as_good_as_ant(self, heavy_tensor):
+        e_m = np.mean((MXMAnt().quantize(heavy_tensor) - heavy_tensor) ** 2)
+        e_a = np.mean((MXAnt().quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_m <= e_a + 1e-12
+
+    def test_ebw(self):
+        assert MXMAnt().ebw == 4.0 + (4 + 8) / 32
+
+
+class TestOliVe:
+    def test_victim_zeroed_next_to_outlier(self):
+        g = np.full((1, 32), 0.5)
+        g[0, 4] = 50.0  # extreme outlier; victim is index 5 (pair partner)
+        dq = MXOliVe().quantize(g)
+        assert dq[0, 5] == 0.0
+        assert abs(dq[0, 4] - 50.0) / 50.0 < 0.2
+
+    def test_no_outlier_no_victim(self, rng):
+        g = np.abs(rng.standard_normal((1, 32))) + 1.0  # flat group
+        dq = MXOliVe(outlier_ratio_threshold=5.0).quantize(g)
+        assert np.count_nonzero(dq) == 32
+
+
+class TestMicroScopiQ:
+    def test_weight_and_activation_paths(self, heavy_tensor):
+        fmt = MicroScopiQ()
+        w = fmt.quantize_weight(heavy_tensor)
+        a = fmt.quantize_activation(heavy_tensor)
+        assert not np.allclose(w, a)
+
+    def test_structural_metadata_is_expensive(self):
+        # >40 bits per outlier block, reflected in the weight EBW.
+        assert MicroScopiQ().weight_ebw > mxfp4.ebw
+
+    def test_weights_better_than_plain_mxfp4(self, heavy_tensor):
+        e_w = np.mean((MicroScopiQ().quantize_weight(heavy_tensor)
+                       - heavy_tensor) ** 2)
+        e_mx = np.mean((mxfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_w < e_mx
+
+    def test_mxint_activations_weaker_on_outliers(self, heavy_tensor):
+        e_a = np.mean((MicroScopiQ().quantize_activation(heavy_tensor)
+                       - heavy_tensor) ** 2)
+        e_mx = np.mean((mxfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_a > e_mx * 0.5  # INT grid is not better than FP4 here
+
+
+class TestBlockDialect:
+    def test_sixteen_dialects(self):
+        assert len(DIALECTS) == 16
+
+    def test_offline_beats_online(self, heavy_tensor):
+        fmt = BlockDialect()
+        e_off = np.mean((fmt.quantize_weight(heavy_tensor) - heavy_tensor) ** 2)
+        e_on = np.mean((fmt.quantize_activation(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_off <= e_on + 1e-12
+
+    def test_beats_mxfp4(self, heavy_tensor):
+        e = np.mean((BlockDialect().quantize_weight(heavy_tensor)
+                     - heavy_tensor) ** 2)
+        e_mx = np.mean((mxfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e < e_mx
+
+
+class TestRotation:
+    def test_hadamard_orthogonal(self):
+        h = hadamard_matrix(16)
+        assert np.allclose(h @ h.T, np.eye(16), atol=1e-12)
+
+    def test_hadamard_requires_power_of_two(self):
+        with pytest.raises(ShapeError):
+            hadamard_matrix(12)
+
+    def test_block_rotation_orthogonal(self):
+        for kind in ("hadamard", "random"):
+            r = block_rotation(64, 16, kind, seed=3)
+            assert np.allclose(r @ r.T, np.eye(64), atol=1e-10)
+
+    def test_rotated_gemm_equivalence(self, rng):
+        # Fake-quant wrappers must equal the rotated-GEMM computation.
+        fmt = quarot(GroupFP4())
+        x = rng.standard_normal((8, 64))
+        w = rng.standard_normal((16, 64))
+        fwd, inv = fmt._transform(64)
+        lhs = fmt.quantize_activation(x) @ fmt.quantize_weight(w).T
+        rhs = (GroupFP4().quantize_activation(x @ fwd)
+               @ GroupFP4().quantize_weight(w @ fwd).T)
+        assert np.allclose(lhs, rhs, atol=1e-9)
+
+    def test_rotation_tames_outliers(self, heavy_tensor):
+        base = GroupFP4()
+        e_plain = np.mean((base.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        e_rot = np.mean((quarot(base).quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_rot < e_plain
+
+    def test_duquant_permutes(self, heavy_tensor):
+        dq = duquant(GroupFP4()).quantize(heavy_tensor)
+        assert dq.shape == heavy_tensor.shape
+
+
+class TestGPTQ:
+    def _setup(self, rng, n=96):
+        from repro.models.tensors import OutlierSpec, outlier_matrix
+        spec = OutlierSpec(outlier_rate=0.02, outlier_scale=10.0)
+        w = outlier_matrix(64, n, spec, rng)
+        x = rng.standard_normal((400, n)) * np.exp(0.3 * rng.standard_normal(n))
+        return w, x, x.T @ x / 400
+
+    def test_reduces_weighted_error(self, rng):
+        w, x, h = self._setup(rng)
+        q_direct = mxfp4.quantize_weight(w)
+        q_gptq = gptq_quantize_matrix(w, h, "mxfp4")
+        err_direct = np.linalg.norm(x @ (w - q_direct).T)
+        err_gptq = np.linalg.norm(x @ (w - q_gptq).T)
+        assert err_gptq < err_direct
+
+    def test_sg_em_mode_better_than_mxfp4_mode(self, rng):
+        w, x, h = self._setup(rng)
+        e1 = np.linalg.norm(x @ (w - gptq_quantize_matrix(w, h, "mxfp4")).T)
+        e2 = np.linalg.norm(x @ (w - gptq_quantize_matrix(w, h, "sg-em")).T)
+        assert e2 < e1
+
+    def test_unknown_mode(self, rng):
+        w, _, h = self._setup(rng)
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            gptq_quantize_matrix(w, h, "bogus")
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_output_on_valid_grid(self, seed):
+        rng = np.random.default_rng(seed)
+        w = rng.standard_normal((8, 64))
+        x = rng.standard_normal((100, 64))
+        q = gptq_quantize_matrix(w, x.T @ x / 100, "mxfp4")
+        assert np.all(np.isfinite(q))

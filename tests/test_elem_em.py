@@ -1,0 +1,136 @@
+"""Tests for Algorithm 1 (Elem-EM activation quantization)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (ElemEM, elem_em_decode, elem_em_encode,
+                        elem_em_quantize_groups)
+from repro.errors import ShapeError
+from repro.mx import mxfp4
+
+
+def _group_with(value: float, group_max: float = 4.0) -> np.ndarray:
+    """A group whose shared scale is 1 (max in [4, 8)) containing ``value``."""
+    g = np.full(32, 0.1)
+    g[0] = group_max
+    g[9] = value  # second subgroup
+    return g[None, :]
+
+
+class TestPaperExamples:
+    def test_fig8_bad_case_decodes_to_3p75(self):
+        # 3.578 quantizes to FP6 3.5, which the -1..+2 bias window cannot
+        # encode; the clamp maps it to 3.75 (Fig. 8's documented bad case).
+        enc = elem_em_encode(_group_with(3.578), sub_size=8)
+        dec = elem_em_decode(enc)
+        assert dec[0, 9] == 3.75
+
+    def test_encodable_value_is_exact_fp6(self):
+        # 4.43 -> FP6 4.5 = FP4 4.0 + one step: encodable.
+        enc = elem_em_encode(_group_with(4.43), sub_size=8)
+        assert elem_em_decode(enc)[0, 9] == 4.5
+
+    def test_bias_window_covers_minus1_to_plus2(self):
+        # Values quantizing to FP4 4.0 (the (3.5, 5] bin) can only decode
+        # to the biased FP6 candidates {3.75, 4.0, 4.5, 5.0}.
+        decoded = set()
+        for v in np.linspace(3.55, 4.99, 40):
+            enc = elem_em_encode(_group_with(float(v)), sub_size=8)
+            decoded.add(float(abs(elem_em_decode(enc)[0, 9])))
+        assert decoded <= {3.75, 4.0, 4.5, 5.0}
+        assert len(decoded) == 4  # every bias value is reachable
+
+    def test_scale_follows_floor_rule(self):
+        g = np.full((1, 32), 0.1)
+        g[0, 0] = 9.0  # floor(log2(9/4)) = 1 -> S = 2
+        enc = elem_em_encode(g, sub_size=8)
+        assert enc.scale_exponents[0] == 1
+
+
+class TestTopSelection:
+    def test_tie_resolves_to_lowest_index(self):
+        g = np.full((1, 32), 0.1)
+        g[0, 3] = 3.85  # both quantize to the same FP4 code (4.0)
+        g[0, 6] = 4.1
+        enc = elem_em_encode(g, sub_size=8)
+        dec = elem_em_decode(enc)
+        # Index 3 wins the tie; only it receives FP6 refinement.
+        assert dec[0, 3] == 3.75  # refined toward 3.85
+        assert dec[0, 6] == 4.0   # left at the FP4 point
+
+    def test_top1_is_subgroup_local(self):
+        g = np.full((1, 32), 0.1)
+        g[0, 0], g[0, 8], g[0, 16], g[0, 24] = 4.0, 2.9, 1.4, 0.7
+        enc = elem_em_encode(g, sub_size=8)
+        dec = elem_em_decode(enc)
+        # Each subgroup's max got its own refinement.
+        assert dec[0, 8] == 3.0 or abs(dec[0, 8] - 2.9) <= 0.125
+        assert abs(dec[0, 16] - 1.4) <= 0.07
+
+    def test_top2_refines_two_elements(self):
+        g = np.full((1, 32), 0.1)
+        g[0, 0], g[0, 1] = 4.4, 3.3
+        enc = elem_em_encode(g, sub_size=8, top_k=2)
+        dec = elem_em_decode(enc)
+        assert dec[0, 0] == 4.5
+        assert abs(dec[0, 1] - 3.3) <= 0.13
+
+    def test_metadata_shape(self):
+        enc = elem_em_encode(np.ones((5, 32)), sub_size=8, top_k=2)
+        assert enc.metadata.shape == (5, 4, 2)
+        assert enc.meta_bits_per_group == 16
+
+
+class TestProperties:
+    def test_reduces_error_vs_mxfp4(self, heavy_tensor):
+        fmt = ElemEM()
+        e_em = np.mean((fmt.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        e_mx = np.mean((mxfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_em < e_mx
+
+    def test_ebw_by_subgroup(self):
+        assert ElemEM(sub_size=8).ebw == 4.5
+        assert ElemEM(sub_size=4).ebw == 4.75
+        assert ElemEM(sub_size=2).ebw == 5.25
+        assert ElemEM(sub_size=16).ebw == 4.375
+
+    def test_decode_uses_only_stored_fields(self, rng):
+        # Rebuilding the encoding from its raw fields must reproduce the
+        # decode exactly (the decoder re-derives top-1 from FP4 codes).
+        from repro.core.elem_em import ElemEMEncoding
+        g = rng.standard_normal((20, 32)) * 3
+        enc = elem_em_encode(g, sub_size=8)
+        clone = ElemEMEncoding(sign_codes=enc.sign_codes.copy(),
+                               mag_codes=enc.mag_codes.copy(),
+                               scale_exponents=enc.scale_exponents.copy(),
+                               metadata=enc.metadata.copy(),
+                               sub_size=8, top_k=1)
+        assert np.array_equal(elem_em_decode(enc), elem_em_decode(clone))
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ShapeError):
+            elem_em_encode(np.zeros(32), sub_size=8)
+        with pytest.raises(ShapeError):
+            elem_em_encode(np.zeros((2, 30)), sub_size=8)
+        with pytest.raises(ShapeError):
+            elem_em_encode(np.zeros((2, 32)), sub_size=8, top_k=9)
+
+    def test_zero_group(self):
+        dq = elem_em_quantize_groups(np.zeros((3, 32)))
+        assert np.all(dq == 0)
+
+    def test_tensor_format_roundtrip_shape(self, rng):
+        x = rng.standard_normal((7, 45))
+        assert ElemEM().quantize(x).shape == x.shape
+
+    @given(st.integers(0, 2 ** 31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_never_worse_than_mxfp4_on_the_max(self, seed):
+        rng = np.random.default_rng(seed)
+        g = rng.standard_normal((1, 32)) * np.exp(rng.standard_normal())
+        dq_em = elem_em_quantize_groups(g, sub_size=8)
+        dq_mx = mxfp4.quantize(g)
+        i = np.argmax(np.abs(g))
+        assert abs(dq_em[0, i] - g[0, i]) <= abs(dq_mx[0, i] - g[0, i]) + 1e-12

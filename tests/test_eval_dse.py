@@ -1,0 +1,135 @@
+"""Tests for the evaluation harness and the DSE framework."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dse import (DSEPoint, PAPER_STRATEGIES, StrategyPoint,
+                       build_strategy, pareto_front, sweep_strategy)
+from repro.errors import ConfigError
+from repro.eval import (ZERO_SHOT_TASKS, TaskSpec, build_task_items,
+                        evaluate_format_on_task, model_output_mse,
+                        quantized_perplexity, score_items, tensor_mse)
+from repro.mx import mxfp4, nvfp4
+
+
+class TestPerplexityEval:
+    def test_fp16_is_floor(self, rt_small):
+        assert quantized_perplexity(rt_small, mxfp4) > rt_small.fp16_ppl
+
+    def test_better_format_lower_ppl(self, rt_small):
+        assert (quantized_perplexity(rt_small, nvfp4)
+                < quantized_perplexity(rt_small, mxfp4))
+
+
+class TestMSE:
+    def test_model_output_mse_positive(self, rt_small):
+        assert model_output_mse(rt_small, mxfp4, max_seq=2) > 0
+
+    def test_model_output_mse_orders_formats(self, rt_small):
+        assert (model_output_mse(rt_small, nvfp4, max_seq=3)
+                < model_output_mse(rt_small, mxfp4, max_seq=3))
+
+    def test_tensor_mse(self, heavy_tensor):
+        assert tensor_mse(heavy_tensor, mxfp4) > 0
+        assert tensor_mse(np.zeros((2, 32)), mxfp4) == 0
+
+
+class TestTasks:
+    def test_task_registry(self):
+        assert set(ZERO_SHOT_TASKS) == {"arc-e", "arc-c", "hellaswag", "piqa",
+                                        "winogrande", "boolq"}
+
+    def test_items_shape(self, rt_small):
+        spec = TaskSpec("toy", n_choices=3, n_items=10, context_len=8,
+                        cont_len=4, seed=9)
+        items = build_task_items(rt_small, spec)
+        assert items.contexts.shape == (10, 8)
+        assert items.choices.shape == (10, 3, 4)
+        assert items.teacher_scores.shape == (10, 3)
+
+    def test_fp16_accuracy_near_target(self, rt_small):
+        spec = TaskSpec("toy", n_choices=4, n_items=200, context_len=8,
+                        cont_len=4, seed=11)
+        items = build_task_items(rt_small, spec)
+        acc = evaluate_format_on_task(rt_small, items, None, 75.0)
+        assert abs(acc - 75.0) < 10.0  # binomial noise at n=200
+
+    def test_quantized_accuracy_not_above_fp16_much(self, rt_small):
+        spec = TaskSpec("toy", n_choices=4, n_items=60, context_len=8,
+                        cont_len=4, temperature=1.1, seed=13)
+        items = build_task_items(rt_small, spec)
+        fp16 = evaluate_format_on_task(rt_small, items, None, 80.0)
+        quant = evaluate_format_on_task(rt_small, items, mxfp4, 80.0)
+        assert quant <= fp16 + 5.0
+
+    def test_score_items_prefers_sampled_choice(self, rt_small):
+        # Teacher scores should be finite, distinct numbers.
+        spec = TaskSpec("toy", n_choices=2, n_items=6, context_len=6,
+                        cont_len=3, seed=17)
+        items = build_task_items(rt_small, spec)
+        assert np.all(np.isfinite(items.teacher_scores))
+
+    def test_bad_accuracy_rejected(self, rt_small):
+        spec = TaskSpec("toy", n_items=4, context_len=6, cont_len=2, seed=19)
+        items = build_task_items(rt_small, spec)
+        with pytest.raises(ConfigError):
+            evaluate_format_on_task(rt_small, items, None, 200.0)
+
+
+class TestDSE:
+    def test_all_paper_strategies_buildable(self):
+        for kind in PAPER_STRATEGIES:
+            fmt = build_strategy(StrategyPoint(kind=kind, sub_size=8))
+            assert fmt.ebw > 4.0
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigError):
+            build_strategy(StrategyPoint(kind="bogus", sub_size=8))
+
+    def test_ebw_monotone_in_subgroup(self):
+        ebws = [build_strategy(StrategyPoint("elem-em-top1", s)).ebw
+                for s in (32, 16, 8, 4, 2)]
+        assert all(a < b for a, b in zip(ebws, ebws[1:]))
+
+    def test_sweep_produces_points(self, rt_small):
+        points = sweep_strategy(rt_small, "sg-ee-1bit", sub_sizes=(16, 8),
+                                max_seq=2)
+        assert len(points) == 2
+        assert all(p.mse > 0 for p in points)
+
+    def test_adaptive_sweep_comparable(self, rt_small):
+        # Adaptive search minimizes *weight tensor* MSE; the model-output
+        # MSE with quantized activations tracks it but is not guaranteed to
+        # drop point-by-point, so this asserts a band, not strict order
+        # (the tensor-level guarantee is tested in test_sg_strategies).
+        fixed = sweep_strategy(rt_small, "sg-em-2bit", adaptive=False,
+                               sub_sizes=(8,), max_seq=2)[0]
+        adaptive = sweep_strategy(rt_small, "sg-em-2bit", adaptive=True,
+                                  sub_sizes=(8,), max_seq=2)[0]
+        assert adaptive.mse <= fixed.mse * 1.25
+
+
+class TestPareto:
+    def _pt(self, ebw, mse):
+        return DSEPoint("p", ebw, mse, "s", 8, False)
+
+    def test_front_excludes_dominated(self):
+        pts = [self._pt(4.5, 1.0), self._pt(4.5, 2.0), self._pt(5.0, 0.5),
+               self._pt(5.0, 3.0)]
+        front = pareto_front(pts)
+        assert {(p.ebw, p.mse) for p in front} == {(4.5, 1.0), (5.0, 0.5)}
+
+    @given(st.lists(st.tuples(st.floats(4, 6), st.floats(0.01, 10)),
+                    min_size=1, max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_front_is_nondominated(self, raw):
+        pts = [self._pt(e, m) for e, m in raw]
+        front = pareto_front(pts)
+        assert front
+        for a in front:
+            for b in front:
+                if a is not b:
+                    assert not (b.ebw <= a.ebw and b.mse <= a.mse
+                                and (b.ebw < a.ebw or b.mse < a.mse))

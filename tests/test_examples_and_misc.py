@@ -1,0 +1,86 @@
+"""Smoke tests for the example scripts and remaining edge cases."""
+
+import runpy
+import sys
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import average_accuracy_loss
+from repro.experiments.report import format_table
+from repro.models.quantized import Fp16Format
+
+
+class TestExamples:
+    def test_quickstart_runs(self, capsys):
+        runpy.run_path("examples/quickstart.py", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "m2xfp" in out and "bits/element" in out
+
+    def test_kv_cache_runs(self, capsys):
+        runpy.run_path("examples/kv_cache.py", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+    def test_accelerator_sim_runs(self, capsys):
+        runpy.run_path("examples/accelerator_sim.py", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "M2XFP vs MicroScopiQ" in out
+        assert "worst error over 1000 subgroups: 0.0" in out
+
+
+class TestMisc:
+    def test_fp16_format_is_identity(self, rng):
+        x = rng.standard_normal((5, 7))
+        fmt = Fp16Format()
+        assert np.array_equal(fmt.quantize(x), x)
+        assert fmt.ebw == 16.0
+
+    def test_average_accuracy_loss(self):
+        table = {"fp16": {"a": 80.0, "b": 60.0},
+                 "q": {"a": 70.0, "b": 55.0}}
+        assert average_accuracy_loss(table, "q") == pytest.approx(7.5)
+
+    def test_format_table_empty_rows(self):
+        txt = format_table(["x", "y"], [])
+        assert "x" in txt
+
+    def test_channel_mxfp4_ebw(self):
+        from repro.experiments.fig4_group_size import ChannelMXFP4
+        assert ChannelMXFP4().ebw == 4.0
+
+    def test_version_exported(self):
+        import repro
+        assert repro.__version__ == "1.0.0"
+
+    def test_public_api_importable(self):
+        from repro import (M2NVFP4, M2XFP, MXFP4, NVFP4, SMX4, ElemEM, SgEM,
+                           TensorFormat, m2xfp)
+        assert issubclass(M2XFP, TensorFormat)
+        assert m2xfp.name.startswith("m2xfp")
+
+    def test_repr_of_formats(self):
+        from repro import mxfp4
+        assert "mxfp4" in repr(mxfp4)
+
+    def test_errors_hierarchy(self):
+        from repro import ConfigError, FormatError, ReproError, ShapeError
+        for exc in (FormatError, ShapeError, ConfigError):
+            assert issubclass(exc, ReproError)
+
+    def test_ebw_helper_validation(self):
+        from repro.core import ebw
+        from repro.errors import ConfigError
+        with pytest.raises(ConfigError):
+            ebw(4, 0)
+        assert ebw(4, 32, 8, 8) == 4.5
+
+    def test_buffer_model_scales_linearly(self):
+        from repro.accel import BufferModel
+        small, big = BufferModel(100), BufferModel(200)
+        assert big.area_mm2 == pytest.approx(2 * small.area_mm2)
+        assert big.power_mw == pytest.approx(2 * small.power_mw)
+
+    def test_tech_constants_cycle_time(self):
+        from repro.accel import TECH_28NM
+        assert TECH_28NM.cycle_time_s == pytest.approx(2e-9)

@@ -1,0 +1,66 @@
+"""Tests for the experiment runners and report formatting."""
+
+import pytest
+
+from repro.experiments import (EXPERIMENTS, ExperimentResult, format_table,
+                               list_experiments, run_experiment)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_covered(self):
+        expected = {"fig3", "fig4", "fig6", "fig7", "tbl2", "tbl3", "tbl4",
+                    "tbl5", "fig13", "tbl6", "tbl7", "tbl8", "ablations"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_list_in_order(self):
+        assert list_experiments()[0] == "fig3"
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        txt = format_table(["a", "bbb"], [[1.5, "x"], [22.25, "yy"]])
+        lines = txt.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "bbb" in lines[0]
+
+    def test_render_includes_notes(self):
+        res = ExperimentResult("x", "T", ["h"], [[1.0]], notes="hello")
+        assert "hello" in res.render()
+        assert "== x: T ==" in res.render()
+
+
+class TestCheapExperiments:
+    def test_tbl5_matches_paper(self):
+        res = run_experiment("tbl5")
+        assert res.extras["pe_variants"]["m2xfp"] == pytest.approx(2140.1, rel=0.01)
+        total_row = res.rows[-1]
+        assert total_row[2] == pytest.approx(1.051, rel=0.01)
+
+    def test_fig13_headline(self):
+        res = run_experiment("fig13")
+        assert 1.5 <= res.extras["speedup"] <= 2.3
+        assert 1.4 <= res.extras["energy_ratio"] <= 2.2
+
+
+@pytest.mark.slow
+class TestModelExperiments:
+    """Fast-mode smoke runs of the model-backed experiments."""
+
+    def test_fig4_group_size(self):
+        res = run_experiment("fig4", fast=True)
+        ebws = [r[1] for r in res.rows[:-1]]
+        assert ebws == sorted(ebws)  # channel -> g-16 increases EBW
+
+    def test_tbl8_m2xfp_beats_mxfp4_under_every_rule(self):
+        res = run_experiment("tbl8", fast=True)
+        for row in res.rows:
+            mx, m2 = row[1], row[2]
+            assert m2 < mx
+
+    def test_ablation_clamp_close_to_exact(self):
+        res = run_experiment("ablations", fast=True)
+        assert res.extras["clamp_vs_exact"] < 0.5

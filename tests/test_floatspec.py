@@ -1,0 +1,129 @@
+"""Unit tests for the parameterized mini-float grids."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError
+from repro.formats import (BF16, FP4_E2M1, FP6_E2M3, FP6_E3M2, FP8_E4M3,
+                           FP8_E5M2, FP16, FloatSpec, quantize_to_grid)
+
+
+class TestGrids:
+    def test_fp4_grid_matches_spec(self):
+        assert FP4_E2M1.grid.tolist() == [0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 6.0]
+
+    def test_fp4_constants(self):
+        assert FP4_E2M1.max_value == 6.0
+        assert FP4_E2M1.max_pow2 == 4.0
+        assert FP4_E2M1.total_bits == 4
+
+    def test_fp6_grid_head_and_max(self):
+        assert FP6_E2M3.grid[:5].tolist() == [0.0, 0.125, 0.25, 0.375, 0.5]
+        assert FP6_E2M3.max_value == 7.5
+        assert FP6_E2M3.total_bits == 6
+
+    def test_fp6_codes_extend_fp4_codes(self):
+        # Every FP4 magnitude code c corresponds to FP6 code c << 2 with the
+        # same value — the property the Alg. 1 encoding depends on.
+        for c, v in enumerate(FP4_E2M1.grid):
+            assert FP6_E2M3.grid[c << 2] == v
+
+    def test_e4m3_max_is_448(self):
+        assert FP8_E4M3.max_value == 448.0
+
+    def test_e5m2_max_is_57344(self):
+        assert FP8_E5M2.max_value == 57344.0
+
+    def test_fp16_max(self):
+        assert FP16.max_value == 65504.0
+
+    def test_bf16_covers_huge_range(self):
+        assert BF16.max_value > 1e38
+
+    def test_e3m2_is_range_heavy(self):
+        assert FP6_E3M2.max_value > FP6_E2M3.max_value
+
+    def test_grid_strictly_increasing(self):
+        for spec in (FP4_E2M1, FP6_E2M3, FP8_E4M3, FP16):
+            assert np.all(np.diff(spec.grid) > 0)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(FormatError):
+            FloatSpec("bad", exp_bits=0, man_bits=0, bias=0)
+        with pytest.raises(FormatError):
+            FloatSpec("bad", exp_bits=2, man_bits=1, bias=1, reserved_top_codes=8)
+
+
+class TestQuantization:
+    def test_exact_values_unchanged(self):
+        x = np.array([0.0, 0.5, 1.5, -3.0, 6.0, -6.0])
+        assert np.array_equal(FP4_E2M1.quantize(x), x)
+
+    def test_saturation(self):
+        assert FP4_E2M1.quantize(np.array([100.0]))[0] == 6.0
+        assert FP4_E2M1.quantize(np.array([-100.0]))[0] == -6.0
+
+    def test_rtne_tie_between_2_and_3(self):
+        # 2.5 is the midpoint of 2 (code 4, even) and 3 (code 5, odd).
+        assert FP4_E2M1.quantize(np.array([2.5]))[0] == 2.0
+
+    def test_rtne_tie_between_4_and_6(self):
+        # 5.0 ties between 4 (code 6, even) and 6 (code 7, odd) -> 4.
+        assert FP4_E2M1.quantize(np.array([5.0]))[0] == 4.0
+
+    def test_rtne_tie_between_1_and_1p5(self):
+        # 1.25 ties between 1.0 (code 2, even) and 1.5 (code 3) -> 1.0.
+        assert FP4_E2M1.quantize(np.array([1.25]))[0] == 1.0
+
+    def test_nearest_rounding(self):
+        assert FP4_E2M1.quantize(np.array([2.4]))[0] == 2.0
+        assert FP4_E2M1.quantize(np.array([2.6]))[0] == 3.0
+
+    def test_sign_preserved(self):
+        x = np.array([-1.4, 1.4])
+        q = FP4_E2M1.quantize(x)
+        assert q[0] == -q[1]
+
+    def test_encode_decode_roundtrip(self, rng):
+        x = rng.standard_normal(1000) * 3
+        sign, codes = FP4_E2M1.encode(x)
+        assert np.array_equal(FP4_E2M1.decode(sign, codes), FP4_E2M1.quantize(x))
+
+    def test_packed_codes_roundtrip(self, rng):
+        x = rng.standard_normal(500) * 2
+        packed = FP4_E2M1.packed_codes(x)
+        assert np.array_equal(FP4_E2M1.value_of_code(packed), FP4_E2M1.quantize(x))
+
+    def test_decode_rejects_bad_codes(self):
+        with pytest.raises(FormatError):
+            FP4_E2M1.decode(np.array([0]), np.array([8]))
+
+    def test_quantize_to_grid_indices(self):
+        grid = np.array([0.0, 1.0, 2.0, 4.0])
+        assert quantize_to_grid(np.array([0.4, 0.6, 3.1, 99.0]), grid).tolist() == \
+            [0, 1, 3, 3]
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, v):
+        q1 = FP4_E2M1.quantize(np.array([v]))
+        q2 = FP4_E2M1.quantize(q1)
+        assert np.array_equal(q1, q2)
+
+    @given(st.floats(min_value=-1e4, max_value=1e4, allow_nan=False))
+    @settings(max_examples=200, deadline=None)
+    def test_result_on_grid_and_nearest(self, v):
+        q = float(FP6_E2M3.quantize(np.array([v]))[0])
+        assert abs(q) in FP6_E2M3.grid
+        # No other grid point is strictly closer.
+        dists = np.abs(np.concatenate([FP6_E2M3.grid, -FP6_E2M3.grid]) - v)
+        assert abs(q - v) <= dists.min() + 1e-12
+
+    @given(st.lists(st.floats(-100, 100, allow_nan=False), min_size=2, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, vals):
+        x = np.sort(np.asarray(vals))
+        q = FP4_E2M1.quantize(x)
+        assert np.all(np.diff(q) >= 0)

@@ -1,0 +1,88 @@
+"""Tests for E8M0 scales, integer grids, and group reshaping."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FormatError, ShapeError
+from repro.formats import (IntSpec, clamp_exponent, decode_code,
+                           encode_exponent, flint4, from_groups, int3, int4,
+                           int8, pot4, scale_from_exponent, to_groups)
+from repro.formats.intspec import GridSpec
+
+
+class TestE8M0:
+    def test_scale_is_power_of_two(self):
+        for e in (-127, -1, 0, 5, 127):
+            assert scale_from_exponent(np.array([e]))[0] == 2.0 ** e
+
+    def test_clamping(self):
+        assert clamp_exponent(np.array([300]))[0] == 127
+        assert clamp_exponent(np.array([-300]))[0] == -127
+
+    def test_encode_decode_roundtrip(self):
+        e = np.arange(-127, 128)
+        assert np.allclose(decode_code(encode_exponent(e)), 2.0 ** e.astype(float))
+
+
+class TestIntSpec:
+    def test_int4_symmetric_range(self):
+        assert int4.max_value == 7
+        q = int4.quantize(np.array([9.0, -9.0, 3.4, -3.6]))
+        assert q.tolist() == [7.0, -7.0, 3.0, -4.0]
+
+    def test_int3_range(self):
+        assert int3.max_value == 3
+
+    def test_int8_range(self):
+        assert int8.max_value == 127
+
+    def test_too_few_bits_rejected(self):
+        with pytest.raises(FormatError):
+            IntSpec("bad", 1)
+
+    def test_flint_and_pot_grids_valid(self):
+        for spec in (flint4, pot4):
+            assert spec.grid[0] == 0.0
+            assert np.all(np.diff(spec.grid) > 0)
+            assert len(spec.grid) == 8
+
+    def test_gridspec_quantizes_to_member(self, rng):
+        x = rng.standard_normal(200) * 4
+        q = flint4.quantize(x)
+        members = set(np.abs(flint4.grid).tolist())
+        assert all(abs(v) in members for v in np.abs(q))
+
+    def test_gridspec_rejects_descending(self):
+        with pytest.raises(FormatError):
+            GridSpec("bad", (0.0, 2.0, 1.0), 4)
+
+
+class TestGrouping:
+    @pytest.mark.parametrize("shape,axis", [((4, 64), -1), ((4, 64), 0),
+                                            ((3, 5, 7), 1), ((17,), 0),
+                                            ((2, 33), -1)])
+    def test_roundtrip(self, rng, shape, axis):
+        x = rng.standard_normal(shape)
+        groups, view = to_groups(x, 8, axis=axis)
+        assert groups.shape[1] == 8
+        assert np.allclose(from_groups(groups, view), x)
+
+    def test_zero_padding(self, rng):
+        x = rng.standard_normal(10)
+        groups, view = to_groups(x, 8, axis=0)
+        assert groups.shape == (2, 8)
+        assert np.all(groups[1, 2:] == 0)
+
+    def test_invalid_group_size(self):
+        with pytest.raises(ShapeError):
+            to_groups(np.zeros(4), 0)
+
+    @given(st.integers(1, 40), st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, n, k):
+        x = np.arange(float(n))
+        groups, view = to_groups(x, k, axis=0)
+        assert np.array_equal(from_groups(groups, view), x)
+        assert groups.shape[0] * k >= n

@@ -1,0 +1,97 @@
+"""End-to-end integration tests across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro.core import m2xfp
+from repro.eval import quantized_perplexity
+from repro.models import QuantizedLM
+from repro.mx import mxfp4, nvfp4, smx4
+
+
+class TestFormatOrdering:
+    """The paper's headline ordering must hold on the shared runtime."""
+
+    def test_fp16_is_best(self, rt_small):
+        for fmt in (mxfp4, nvfp4, m2xfp, smx4):
+            assert quantized_perplexity(rt_small, fmt) > rt_small.fp16_ppl
+
+    def test_m2xfp_beats_mxfp4(self, rt_small):
+        assert (quantized_perplexity(rt_small, m2xfp)
+                < quantized_perplexity(rt_small, mxfp4))
+
+    def test_smx4_is_the_worst_4bit_format(self, rt_small):
+        smx = quantized_perplexity(rt_small, smx4)
+        assert smx > quantized_perplexity(rt_small, mxfp4)
+        assert smx > quantized_perplexity(rt_small, nvfp4)
+        assert smx > quantized_perplexity(rt_small, m2xfp)
+
+    def test_m2xfp_competitive_with_nvfp4(self, rt_small):
+        # On full-size runs the two are a near-tie (paper: 5.77 vs 5.81);
+        # the tiny shared runtime is noisier, so assert a band in nll space.
+        m2 = quantized_perplexity(rt_small, m2xfp)
+        nv = quantized_perplexity(rt_small, nvfp4)
+        assert m2 < nv * 1.25
+
+
+class TestHardwareSoftwareAgreement:
+    def test_pe_array_matches_fake_quant_gemm(self, rng):
+        """A full subgroup-tiled GEMM through PE tiles must equal the
+        algorithmic fake-quant reference bit for bit."""
+        from repro.accel import PETile, PETileInputs
+        from repro.core.elem_em import elem_em_encode
+        from repro.core.sg_em import sg_em_encode
+
+        k = 32
+        x = rng.standard_normal((1, k)) * 2
+        w = rng.standard_normal((1, k)) * 2
+        x_enc = elem_em_encode(x, sub_size=8)
+        w_enc = sg_em_encode(w, sub_size=8)
+
+        # Reference: dequantized dot product.
+        from repro.core.elem_em import elem_em_decode
+        from repro.core.sg_em import sg_em_decode
+        ref = float(elem_em_decode(x_enc)[0] @ sg_em_decode(w_enc)[0])
+
+        pe = PETile()
+        total = 0.0
+        for sub in range(k // 8):
+            sl = slice(sub * 8, (sub + 1) * 8)
+            inputs = PETileInputs(
+                w_codes=(w_enc.sign_codes[0, sl] << 3) | w_enc.mag_codes[0, sl],
+                x_codes=(x_enc.sign_codes[0, sl] << 3) | x_enc.mag_codes[0, sl],
+                x_meta=int(x_enc.metadata[0, sub, 0]),
+                sg_code=int(w_enc.sg_codes[0, sub]),
+                w_exp=int(w_enc.scale_exponents[0]),
+                x_exp=int(x_enc.scale_exponents[0]))
+            total += pe.multiply_accumulate(inputs)
+        assert total == pytest.approx(ref, rel=1e-12, abs=1e-12)
+
+    def test_quant_engine_feeds_decode_unit(self, rng):
+        from repro.accel import QuantizationEngine, Top1DecodeUnit
+        groups = rng.standard_normal((20, 32)) * 3
+        enc = QuantizationEngine().encode(groups)
+        packed = (enc.sign_codes << 3) | enc.mag_codes
+        unit = Top1DecodeUnit()
+        for row in range(20):
+            for sub in range(4):
+                codes = packed[row, sub * 8:(sub + 1) * 8]
+                top = unit.top1(codes[None, :])[0]
+                mags = enc.mag_codes[row, sub * 8:(sub + 1) * 8]
+                assert mags[top] == mags.max()
+
+
+class TestGPTQIntegration:
+    def test_gptq_improves_model_ppl(self, rt_small):
+        from repro.algos import GPTQQuantizedLM
+        plain = QuantizedLM(rt_small.model, mxfp4).perplexity(rt_small.tokens)
+        gptq = GPTQQuantizedLM(rt_small.model, mxfp4,
+                               rt_small.calib_tokens).perplexity(rt_small.tokens)
+        assert gptq < plain * 1.02  # compensation should not hurt
+
+    def test_rotation_integration(self, rt_small):
+        from repro.algos import quarot
+        from repro.mx.fp_group import GroupFP4
+        ppl = QuantizedLM(rt_small.model,
+                          quarot(GroupFP4())).perplexity(rt_small.tokens)
+        assert np.isfinite(ppl) and ppl > rt_small.fp16_ppl

@@ -1,0 +1,126 @@
+"""Tests for the hybrid M2XFP format and the packed memory layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (M2NVFP4, M2XFP, elem_em_decode, elem_em_encode,
+                        m2xfp, pack_elem_em, pack_fields, pack_nibbles,
+                        pack_sg_em, sg_em_decode, sg_em_encode, unpack_elem_em,
+                        unpack_fields, unpack_nibbles, unpack_sg_em)
+from repro.errors import ShapeError
+from repro.mx import mxfp4, nvfp4
+
+
+class TestM2XFP:
+    def test_ebw_is_4p5(self):
+        assert m2xfp.ebw == 4.5
+        assert m2xfp.weight_ebw == 4.5
+        assert m2xfp.activation_ebw == 4.5
+
+    def test_weight_and_activation_paths_differ(self, heavy_tensor):
+        w = m2xfp.quantize_weight(heavy_tensor)
+        a = m2xfp.quantize_activation(heavy_tensor)
+        assert not np.allclose(w, a)
+
+    def test_both_paths_beat_mxfp4(self, heavy_tensor):
+        e_mx = np.mean((mxfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        for dq in (m2xfp.quantize_weight(heavy_tensor),
+                   m2xfp.quantize_activation(heavy_tensor)):
+            assert np.mean((dq - heavy_tensor) ** 2) < e_mx
+
+    def test_default_quantize_is_activation_path(self, heavy_tensor):
+        assert np.allclose(m2xfp.quantize(heavy_tensor),
+                           m2xfp.quantize_activation(heavy_tensor))
+
+    def test_m2_nvfp4_ebw_is_5(self):
+        assert M2NVFP4().ebw == 5.0
+
+    def test_m2_nvfp4_beats_nvfp4(self, heavy_tensor):
+        e_nv = np.mean((nvfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        m2nv = M2NVFP4()
+        e_w = np.mean((m2nv.quantize_weight(heavy_tensor) - heavy_tensor) ** 2)
+        e_a = np.mean((m2nv.quantize_activation(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_w < e_nv
+        assert e_a <= e_nv + 1e-12
+
+    def test_custom_subgroup_sizes(self, heavy_tensor):
+        for sub in (4, 16):
+            fmt = M2XFP(sub_size=sub)
+            assert fmt.quantize_weight(heavy_tensor).shape == heavy_tensor.shape
+
+
+class TestPacking:
+    def test_nibble_roundtrip(self, rng):
+        codes = rng.integers(0, 16, 64)
+        assert np.array_equal(unpack_nibbles(pack_nibbles(codes), 64), codes)
+
+    def test_nibble_validation(self):
+        with pytest.raises(ShapeError):
+            pack_nibbles(np.array([1, 2, 3]))  # odd count
+        with pytest.raises(ShapeError):
+            pack_nibbles(np.array([1, 16]))    # out of range
+
+    def test_field_roundtrip(self, rng):
+        vals = rng.integers(0, 4, 16)
+        assert np.array_equal(unpack_fields(pack_fields(vals, 2), 2, 16), vals)
+
+    def test_field_validation(self):
+        with pytest.raises(ShapeError):
+            pack_fields(np.array([4]), 2)
+
+    def test_elem_em_pack_roundtrip(self, rng):
+        g = rng.standard_normal((40, 32)) * 3
+        enc = elem_em_encode(g, sub_size=8)
+        packed = pack_elem_em(enc)
+        assert packed.bits_per_element == 4.5
+        restored = unpack_elem_em(packed)
+        assert np.array_equal(elem_em_decode(enc), elem_em_decode(restored))
+
+    def test_sg_em_pack_roundtrip(self, rng):
+        g = rng.standard_normal((40, 32)) * 3
+        enc = sg_em_encode(g, sub_size=8)
+        packed = pack_sg_em(enc)
+        assert packed.bits_per_element == 4.5
+        restored = unpack_sg_em(packed)
+        assert np.allclose(sg_em_decode(enc), sg_em_decode(restored))
+
+    def test_pack_rejects_top2(self, rng):
+        enc = elem_em_encode(rng.standard_normal((4, 32)), sub_size=8, top_k=2)
+        with pytest.raises(ShapeError):
+            pack_elem_em(enc)
+
+    def test_streams_are_separate(self, rng):
+        enc = elem_em_encode(rng.standard_normal((10, 32)), sub_size=8)
+        packed = pack_elem_em(enc)
+        assert packed.elements.size == 10 * 16   # 128 bits per group
+        assert packed.scales.size == 10          # 8 bits per group
+        assert packed.metadata.size == 10        # 8 bits per group
+
+    @given(st.integers(0, 2 ** 31 - 1), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_pack_roundtrip_property(self, seed, n):
+        g = np.random.default_rng(seed).standard_normal((n, 32)) * 4
+        enc = elem_em_encode(g, sub_size=8)
+        restored = unpack_elem_em(pack_elem_em(enc))
+        assert np.array_equal(elem_em_decode(enc), elem_em_decode(restored))
+
+
+class TestMemoryLayout:
+    def test_dispatch_alignment(self, rng):
+        from repro.accel import DispatchUnit, MemoryLayout
+        enc = elem_em_encode(rng.standard_normal((6, 32)), sub_size=8)
+        layout = MemoryLayout(pack_elem_em(enc))
+        unit = DispatchUnit(layout)
+        assert unit.is_aligned
+        records = list(unit.stream())
+        assert len(records) == 6
+        assert all(r.element_bytes.size == 16 for r in records)
+
+    def test_record_bounds(self, rng):
+        from repro.accel import MemoryLayout
+        enc = elem_em_encode(rng.standard_normal((2, 32)), sub_size=8)
+        layout = MemoryLayout(pack_elem_em(enc))
+        with pytest.raises(ShapeError):
+            layout.record(5)

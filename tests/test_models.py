@@ -1,0 +1,149 @@
+"""Tests for the synthetic transformer substrate and profiles."""
+
+import numpy as np
+import pytest
+
+from repro.models import (PROFILES, Fp16Format, OutlierSpec, QuantizedLM,
+                          TransformerConfig, TransformerLM, channel_scales,
+                          get_profile, outlier_matrix)
+from repro.errors import ConfigError
+
+
+class TestGenerators:
+    def test_channel_scales_have_outliers(self, rng):
+        spec = OutlierSpec(outlier_rate=0.05, outlier_scale=10.0)
+        s = channel_scales(200, spec, rng)
+        assert s.max() / np.median(s) > 5
+
+    def test_outlier_matrix_shape_and_scaling(self, rng):
+        w = outlier_matrix(64, 128, OutlierSpec(), rng)
+        assert w.shape == (64, 128)
+        assert 0.1 < np.std(w) < 10
+
+    def test_shared_in_scales(self, rng):
+        spec = OutlierSpec(outlier_rate=0.02, outlier_scale=20.0)
+        scales = channel_scales(128, spec, rng)
+        w1 = outlier_matrix(64, 128, spec, rng, scales)
+        w2 = outlier_matrix(64, 128, spec, rng, scales)
+        c1 = np.mean(np.abs(w1), axis=0)
+        c2 = np.mean(np.abs(w2), axis=0)
+        assert np.corrcoef(c1, c2)[0, 1] > 0.5  # same outlier channels
+
+
+class TestTransformer:
+    def _tiny(self):
+        return TransformerLM(TransformerConfig(vocab_size=64, d_model=32,
+                                               n_layers=1, n_heads=2, d_ff=48,
+                                               seed=3))
+
+    def test_forward_shape(self):
+        model = self._tiny()
+        logits = model.forward(np.zeros((2, 10), dtype=int))
+        assert logits.shape == (2, 10, 64)
+
+    def test_nll_finite_positive(self):
+        model = self._tiny()
+        tokens = np.random.default_rng(0).integers(0, 64, (2, 12))
+        nll = model.nll(tokens)
+        assert np.isfinite(nll) and nll > 0
+
+    def test_sampling_deterministic(self):
+        model = self._tiny()
+        t1 = model.sample(2, 10, np.random.default_rng(7))
+        t2 = model.sample(2, 10, np.random.default_rng(7))
+        assert np.array_equal(t1, t2)
+
+    def test_continue_sequences(self):
+        model = self._tiny()
+        prefix = np.zeros((3, 5), dtype=int)
+        cont = model.continue_sequences(prefix, 4, np.random.default_rng(1))
+        assert cont.shape == (3, 4)
+        assert np.all((cont >= 0) & (cont < 64))
+
+    def test_incremental_matches_batch_distribution(self):
+        # The KV-cache step must produce the same logits as a full forward.
+        model = self._tiny()
+        tokens = np.random.default_rng(2).integers(0, 64, (1, 8))
+        full = model.forward(tokens)[0, -1]
+        caches = [{"k": np.zeros((1, 2, 0, 16)), "v": np.zeros((1, 2, 0, 16))}
+                  for _ in model.layers]
+        step = None
+        for t in range(8):
+            step = model._step(tokens[:, t], t, caches)
+        assert np.allclose(step[0], full, atol=1e-9)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            TransformerConfig(d_model=30, n_heads=4)
+
+    def test_branch_scale_controls_sensitivity(self):
+        cfg_hi = TransformerConfig(seed=3, branch_scale=0.8)
+        cfg_lo = TransformerConfig(seed=3, branch_scale=0.1)
+        tokens = np.random.default_rng(0).integers(0, 256, (1, 16))
+        from repro.mx import mxfp4
+        deltas = []
+        for cfg in (cfg_hi, cfg_lo):
+            model = TransformerLM(cfg)
+            ref = model.forward(tokens)
+            q = QuantizedLM(model, mxfp4).forward(tokens)
+            deltas.append(np.mean((q - ref) ** 2) / np.mean(ref ** 2))
+        assert deltas[0] > deltas[1]
+
+
+class TestProfiles:
+    def test_all_paper_models_present(self):
+        expected = {"llama2-7b", "llama3-8b", "llama3-70b", "opt-6.7b",
+                    "mistral-7b", "falcon-7b", "r1-qwen-1.5b", "r1-qwen-7b"}
+        assert set(PROFILES) == expected
+
+    def test_unknown_profile(self):
+        with pytest.raises(ConfigError):
+            get_profile("gpt-4")
+
+    def test_calibration_hits_target(self, rt_small):
+        target = rt_small.profile.target_ppl
+        assert abs(rt_small.fp16_ppl - target) / target < 0.10
+
+    def test_runtime_cached(self, rt_small):
+        from repro.models import load_runtime
+        again = load_runtime("llama2-7b", n_seq=6, seq_len=48)
+        assert again is rt_small
+
+    def test_calib_tokens_held_out(self, rt_small):
+        assert rt_small.calib_tokens is not None
+        assert rt_small.calib_tokens.shape[1] == rt_small.tokens.shape[1]
+
+
+class TestQuantizedLM:
+    def test_identity_format_matches_fp16(self, rt_small):
+        qlm = QuantizedLM(rt_small.model, Fp16Format())
+        assert qlm.perplexity(rt_small.tokens) == pytest.approx(
+            rt_small.fp16_ppl, rel=1e-9)
+
+    def test_quantization_degrades(self, rt_small):
+        from repro.mx import mxfp4
+        qlm = QuantizedLM(rt_small.model, mxfp4)
+        assert qlm.perplexity(rt_small.tokens) > rt_small.fp16_ppl
+
+    def test_weight_override_respected(self, rt_small):
+        from repro.mx import mxfp4
+        zero = {f"l{li}.{n}": np.zeros_like(layer[n])
+                for li, layer in enumerate(rt_small.model.layers)
+                for n in ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down")}
+        qlm = QuantizedLM(rt_small.model, mxfp4, weight_override=zero)
+        # With all projections zeroed the model is far worse than plain quant.
+        assert qlm.perplexity(rt_small.tokens) > \
+            QuantizedLM(rt_small.model, mxfp4).perplexity(rt_small.tokens)
+
+    def test_weights_only_mode(self, rt_small):
+        from repro.mx import mxfp4
+        w_only = QuantizedLM(rt_small.model, mxfp4, quantize_activations=False)
+        full = QuantizedLM(rt_small.model, mxfp4)
+        assert w_only.perplexity(rt_small.tokens) <= \
+            full.perplexity(rt_small.tokens) + 1e-9
+
+    def test_nvfp4_calibration_path_used(self, rt_small):
+        from repro.mx import nvfp4
+        qlm = QuantizedLM(rt_small.model, nvfp4,
+                          calibration_tokens=rt_small.calib_tokens)
+        assert len(qlm._act_amax) == 7 * len(rt_small.model.layers)

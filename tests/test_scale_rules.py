@@ -1,0 +1,65 @@
+"""Tests for the shared-scale exponent rules (Tbl. 8 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.formats import FP4_E2M1
+from repro.mx import SCALE_RULES, shared_scale, shared_scale_exponent
+
+
+class TestRules:
+    def test_known_rules_present(self):
+        assert set(SCALE_RULES) == {"floor", "ceil", "rtn1", "rtn2", "rtne"}
+
+    def test_unknown_rule_raises(self):
+        with pytest.raises(ConfigError):
+            shared_scale_exponent(np.array([1.0]), FP4_E2M1, "bogus")
+
+    def test_floor_rule_window(self):
+        # floor: amax / S lands in [P, 2P) = [4, 8).
+        amax = np.array([4.0, 5.0, 6.5, 7.99, 8.0, 100.0])
+        s = shared_scale(amax, FP4_E2M1, "floor")
+        ratio = amax / s
+        assert np.all(ratio >= 4.0 - 1e-12)
+        assert np.all(ratio < 8.0 + 1e-12)
+
+    def test_floor_can_clip_the_max(self):
+        # amax/S in (6, 8) clips when quantized to FP4 (max 6).
+        s = shared_scale(np.array([7.0]), FP4_E2M1, "floor")[0]
+        assert 7.0 / s > FP4_E2M1.max_value
+
+    def test_ceil_rule_never_clips(self):
+        amax = np.abs(np.random.default_rng(0).standard_normal(500)) * 100 + 1e-6
+        s = shared_scale(amax, FP4_E2M1, "ceil")
+        assert np.all(amax / s <= FP4_E2M1.max_value + 1e-9)
+
+    def test_rtne_equals_ceil_for_fp4(self):
+        amax = np.abs(np.random.default_rng(1).standard_normal(200)) * 50 + 1e-6
+        a = shared_scale_exponent(amax, FP4_E2M1, "rtne")
+        b = shared_scale_exponent(amax, FP4_E2M1, "ceil")
+        assert np.array_equal(a, b)
+
+    def test_zero_block_gets_unit_scale(self):
+        assert shared_scale(np.array([0.0]), FP4_E2M1, "floor")[0] == 1.0
+
+    def test_exponent_saturates(self):
+        e = shared_scale_exponent(np.array([1e60]), FP4_E2M1, "floor")
+        assert e[0] == 127
+        e = shared_scale_exponent(np.array([1e-45]), FP4_E2M1, "floor")
+        assert e[0] == -127
+
+    def test_rtn_rules_differ_from_floor(self):
+        amax = np.array([4.2])
+        rules = {r: shared_scale_exponent(amax, FP4_E2M1, r)[0]
+                 for r in ("floor", "ceil", "rtn1", "rtn2")}
+        assert len(set(rules.values())) >= 2
+
+    @given(st.floats(min_value=1e-6, max_value=1e6, allow_nan=False))
+    @settings(max_examples=150, deadline=None)
+    def test_all_rules_power_of_two(self, amax):
+        for rule in SCALE_RULES:
+            s = shared_scale(np.array([amax]), FP4_E2M1, rule)[0]
+            assert s == 2.0 ** round(np.log2(s))

@@ -1,0 +1,115 @@
+"""Tests for Sg-EM, Sg-EE and Elem-EE metadata strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (SG_EM_MULTIPLIERS, ElemEE, SgEE, SgEM, sg_ee_decode,
+                        sg_ee_encode, sg_em_decode, sg_em_encode,
+                        sg_em_quantize_groups)
+from repro.errors import ShapeError
+from repro.mx import mxfp4
+
+
+class TestSgEM:
+    def test_multiplier_set(self):
+        assert SG_EM_MULTIPLIERS == (1.0, 1.25, 1.5, 1.75)
+
+    def test_encode_decode_consistency(self, rng):
+        g = rng.standard_normal((30, 32)) * 2
+        enc = sg_em_encode(g, sub_size=8)
+        dq = sg_em_decode(enc)
+        assert np.allclose(dq, sg_em_quantize_groups(g, sub_size=8))
+
+    def test_adaptive_no_worse_than_fixed(self, heavy_tensor):
+        e_fixed = np.mean((SgEM(adaptive=False).quantize(heavy_tensor)
+                           - heavy_tensor) ** 2)
+        e_adapt = np.mean((SgEM(adaptive=True).quantize(heavy_tensor)
+                           - heavy_tensor) ** 2)
+        assert e_adapt <= e_fixed + 1e-12
+
+    def test_beats_mxfp4(self, heavy_tensor):
+        e_sg = np.mean((SgEM().quantize(heavy_tensor) - heavy_tensor) ** 2)
+        e_mx = np.mean((mxfp4.quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_sg < e_mx
+
+    def test_sg_codes_in_two_bits(self, rng):
+        enc = sg_em_encode(rng.standard_normal((50, 32)), sub_size=8)
+        assert enc.sg_codes.min() >= 0 and enc.sg_codes.max() <= 3
+
+    def test_bias_absorbed_into_scale(self):
+        # Adaptive bias changes the stored exponent, not extra metadata.
+        g = np.random.default_rng(5).standard_normal((100, 32)) * 4
+        enc = sg_em_encode(g, sub_size=8, adaptive=True)
+        assert enc.meta_bits_per_group == 8  # 4 subgroups x 2 bits only
+
+    def test_ebw(self):
+        assert SgEM(sub_size=8).ebw == 4.5
+
+    def test_refinement_uses_selected_multiplier(self):
+        # A subgroup whose max sits at 1.75x the pow2 scale grid point
+        # should pick a non-unity multiplier.
+        g = np.full((1, 32), 0.01)
+        g[0, :8] = np.array([6.99, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.2])
+        enc = sg_em_encode(g, sub_size=8, adaptive=False)
+        assert enc.sg_codes[0, 0] > 0
+
+    def test_invalid_shape(self):
+        with pytest.raises(ShapeError):
+            sg_em_encode(np.zeros((2, 30)), sub_size=8)
+
+
+class TestSgEE:
+    def test_encode_decode_roundtrip(self, rng):
+        g = rng.standard_normal((20, 32))
+        enc = sg_ee_encode(g, sub_size=8, meta_bits=2)
+        assert sg_ee_decode(enc).shape == g.shape
+
+    def test_fixed_decrement_never_clips_subgroup(self, rng):
+        g = rng.standard_normal((50, 32)) * 3
+        enc = sg_ee_encode(g, sub_size=8, meta_bits=2)
+        scale = np.exp2(enc.scale_exponents.astype(float))
+        local = scale[:, None] / np.exp2(enc.sg_decrements.astype(float))
+        sub_max = np.max(np.abs(g.reshape(50, 4, 8)), axis=2)
+        # Decrement only shrinks the scale when the subgroup still fits.
+        fits = sub_max <= scale[:, None] * 6.0
+        assert np.all(sub_max[fits] <= local[fits] * 6.0 * 2.0 + 1e-9)
+
+    def test_adaptive_no_worse(self, heavy_tensor):
+        e_fixed = np.mean((SgEE(adaptive=False).quantize(heavy_tensor)
+                           - heavy_tensor) ** 2)
+        e_adapt = np.mean((SgEE(adaptive=True).quantize(heavy_tensor)
+                           - heavy_tensor) ** 2)
+        assert e_adapt <= e_fixed + 1e-12
+
+    def test_sg_ee_weaker_than_elem_em(self, heavy_tensor):
+        # The paper's key DSE finding: range metadata cannot fix the block
+        # maximum, precision metadata can.
+        from repro.core import ElemEM
+        e_ee = np.mean((SgEE(meta_bits=2).quantize(heavy_tensor)
+                        - heavy_tensor) ** 2)
+        e_em = np.mean((ElemEM().quantize(heavy_tensor) - heavy_tensor) ** 2)
+        assert e_em < e_ee
+
+    def test_meta_bits_validation(self):
+        with pytest.raises(ShapeError):
+            sg_ee_encode(np.zeros((2, 32)), meta_bits=0)
+
+
+class TestElemEE:
+    def test_shape_and_basic_error(self, heavy_tensor):
+        fmt = ElemEE()
+        dq = fmt.quantize(heavy_tensor)
+        assert dq.shape == heavy_tensor.shape
+        assert np.mean((dq - heavy_tensor) ** 2) < np.mean(heavy_tensor ** 2)
+
+    def test_ebw(self):
+        assert ElemEE(sub_size=8).ebw == 4.5
+
+    @given(st.integers(0, 10 ** 6))
+    @settings(max_examples=30, deadline=None)
+    def test_no_nan(self, seed):
+        g = np.random.default_rng(seed).standard_normal((3, 32)) * 10
+        from repro.core import elem_ee_quantize_groups
+        assert np.all(np.isfinite(elem_ee_quantize_groups(g)))
