@@ -1,0 +1,84 @@
+"""Fail when kernel throughput regresses against the committed baseline.
+
+Compares a candidate ``BENCH_kernels.json`` (a fresh run by default)
+against the committed baseline and exits non-zero if any kernel's
+fast-path *speedup over the reference* dropped by more than the
+threshold (default 20%). Speedup is compared rather than raw
+elements/sec because both runs of a speedup measurement happen on the
+same machine, making the ratio portable across hardware — the committed
+baseline may come from a different box than CI.
+
+Run:  PYTHONPATH=src python scripts/check_bench_regression.py \
+          [--baseline BENCH_kernels.json] [--candidate fresh.json] \
+          [--threshold 0.2] [--quick]
+
+Wired into the benchmark suite as an opt-in test: export
+``REPRO_BENCH_REGRESSION=1`` and run ``pytest benchmarks/test_kernel_throughput.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def compare(baseline: dict, candidate: dict, threshold: float = 0.2) -> list[str]:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    base_kernels = baseline.get("kernels", {})
+    cand_kernels = candidate.get("kernels", {})
+    for name, base in sorted(base_kernels.items()):
+        if "speedup" not in base or "ref_s" not in base:
+            continue  # informational rows (e.g. the weight-cache entry)
+        cand = cand_kernels.get(name)
+        if cand is None:
+            failures.append(f"{name}: missing from candidate run")
+            continue
+        floor = base["speedup"] * (1.0 - threshold)
+        if cand["speedup"] < floor:
+            failures.append(
+                f"{name}: speedup {cand['speedup']:.2f}x < "
+                f"{floor:.2f}x (baseline {base['speedup']:.2f}x - {threshold:.0%})")
+    return failures
+
+
+def run_check(baseline_path: str, candidate_path: str | None,
+              threshold: float, quick: bool) -> int:
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    if candidate_path is not None:
+        with open(candidate_path) as f:
+            candidate = json.load(f)
+    else:
+        from bench_kernels import run_benchmarks
+        candidate = run_benchmarks(quick=quick)
+    failures = compare(baseline, candidate, threshold)
+    for name, base in sorted(baseline.get("kernels", {}).items()):
+        cand = candidate.get("kernels", {}).get(name, {})
+        if "speedup" in base and "speedup" in cand and "ref_s" in base:
+            print(f"  {name:>24}: baseline {base['speedup']:6.2f}x  "
+                  f"candidate {cand['speedup']:6.2f}x")
+    if failures:
+        print("THROUGHPUT REGRESSION:")
+        for msg in failures:
+            print(f"  - {msg}")
+        return 1
+    print("no kernel throughput regression")
+    return 0
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_kernels.json")
+    ap.add_argument("--candidate", default=None,
+                    help="pre-recorded candidate JSON; omitted = run fresh")
+    ap.add_argument("--threshold", type=float, default=0.2)
+    ap.add_argument("--quick", action="store_true",
+                    help="fresh runs use smaller tensors")
+    args = ap.parse_args()
+    sys.exit(run_check(args.baseline, args.candidate, args.threshold, args.quick))
+
+
+if __name__ == "__main__":
+    main()

@@ -23,6 +23,10 @@ from ..errors import ShapeError
 from ..formats.floatspec import quantize_to_grid
 from ..formats.grouping import from_groups, to_groups
 from ..formats.registry import FP4_E2M1, FP6_E2M3
+from ..kernels.dispatch import use_reference
+from ..kernels.elem import fp6_topk_refine
+from ..kernels.search import (candidate_search, gather_candidate_codes,
+                              hierarchical_select)
 from ..mx.base import TensorFormat
 from ..mx.nvfp import NVFP4
 from .elem_em import META_BITS_PER_VALUE, ElemEM
@@ -46,7 +50,15 @@ class M2XFP(TensorFormat):
 
     @property
     def ebw(self) -> float:
-        """Both operand paths cost the same with the default configuration."""
+        """Storage cost of the more expensive operand path.
+
+        With the paper's default configuration (group 32, subgroup 8,
+        top-1) the Sg-EM weight path and the Elem-EM activation path both
+        cost 4.5 bits, so the ``max`` is degenerate; asymmetric
+        configurations (e.g. ``top_k=2``) make the two diverge, which is
+        why :attr:`weight_ebw` and :attr:`activation_ebw` are reported
+        separately in ``__repr__`` and the experiment notes.
+        """
         return max(self.weight_format.ebw, self.activation_format.ebw)
 
     @property
@@ -56,6 +68,11 @@ class M2XFP(TensorFormat):
     @property
     def activation_ebw(self) -> float:
         return self.activation_format.ebw
+
+    def __repr__(self) -> str:
+        return (f"<{type(self).__name__} {self.name} ebw={self.ebw:.4g} "
+                f"(weight={self.weight_ebw:.4g}, "
+                f"activation={self.activation_ebw:.4g})>")
 
     def quantize(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         """Default to the online (activation) path."""
@@ -70,6 +87,9 @@ class M2XFP(TensorFormat):
 
 def _fp6_top1_refine(scaled: np.ndarray, sub_size: int) -> np.ndarray:
     """Elem-EM top-1 refinement in already-scaled space (code-exact)."""
+    if not use_reference():
+        return fp6_topk_refine(scaled, sub_size, 1, FP4_E2M1, FP6_E2M3,
+                               META_BITS_PER_VALUE)
     n, k = scaled.shape
     n_sub = k // sub_size
     sign, mag = FP4_E2M1.encode(scaled)
@@ -138,6 +158,24 @@ class M2NVFP4(TensorFormat):
         n_sub = k // self.sub_size
         subs = groups.reshape(n, n_sub, self.sub_size)
         biases = (0.5, 1.0, 2.0) if self.adaptive else (1.0,)
+
+        if not use_reference():
+            mult = np.asarray(SG_EM_MULTIPLIERS)
+            cand = ((scales[:, None] * np.asarray(biases))[:, :, None]
+                    * mult).reshape(n, -1)
+            codes, err = candidate_search(subs, cand, FP4_E2M1.grid,
+                                          FP4_E2M1.boundaries)
+            outer, inner, invalid = hierarchical_select(
+                err, len(biases), len(mult), fallback_outer=biases.index(1.0))
+            mag = gather_candidate_codes(codes, outer, inner, len(mult))
+            s_sel = np.take_along_axis(cand, outer[:, None] * len(mult) + inner,
+                                       axis=1)
+            q = FP4_E2M1.grid[mag]
+            dq = np.where(np.signbit(subs), -q, q) * s_sel[:, :, None]
+            if invalid.any():
+                # The reference's never-updated accumulator yields zeros.
+                dq[invalid] = 0.0
+            return from_groups(dq.reshape(n, k), view)
 
         best_err = np.full(n, np.inf)
         best_dq = np.zeros_like(subs)

@@ -37,10 +37,14 @@ def run(profile_keys: tuple[str, ...] = DEFAULT_PROFILES,
     """Perplexity grid; M2XFP should post the lowest row on most models."""
     keys = profile_keys[:2] if fast else profile_keys
     n_seq, seq_len = (8, 64) if fast else (None, None)
-    table = perplexity_table(list(keys), _formats(), n_seq=n_seq, seq_len=seq_len)
+    fmts = _formats()
+    table = perplexity_table(list(keys), fmts, n_seq=n_seq, seq_len=seq_len)
     headers = ["method"] + list(keys)
     rows = [[method] + [table[method][k] for k in keys] for method in table]
+    fmt = fmts["m2xfp"]
+    notes = ("lower is better; fp16 row is the calibration anchor; "
+             f"m2xfp ebw {fmt.ebw:.4g} "
+             f"(weight {fmt.weight_ebw:.4g} / activation {fmt.activation_ebw:.4g})")
     return ExperimentResult("tbl3", "Wikitext perplexity vs accelerators",
-                            headers, rows,
-                            notes="lower is better; fp16 row is the calibration anchor",
+                            headers, rows, notes=notes,
                             extras={"table": table})

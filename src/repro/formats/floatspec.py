@@ -20,16 +20,18 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import FormatError
+from ..kernels.bittwiddle import encode_magnitudes
+from ..kernels.dispatch import use_bittwiddle, use_reference
+from ..kernels.lut import cached_boundaries, exact_boundaries
 
-__all__ = ["FloatSpec", "quantize_to_grid"]
+__all__ = ["FloatSpec", "quantize_to_grid", "quantize_to_grid_reference"]
 
 
-def quantize_to_grid(x: np.ndarray, grid: np.ndarray) -> np.ndarray:
-    """Round ``|x|`` to the nearest entry of an ascending ``grid``.
+def quantize_to_grid_reference(x: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Reference nearest-entry search (the pre-kernel formulation).
 
-    Ties round to the entry with the even index (round-to-nearest-even in
-    code space); values beyond the last entry saturate. Returns grid
-    *indices*, not values.
+    Kept verbatim as the semantic ground truth for the boundary-cache
+    kernel; selected globally by ``REPRO_REFERENCE_KERNELS=1``.
     """
     ax = np.asarray(x, dtype=np.float64)
     n = grid.shape[0]
@@ -40,6 +42,25 @@ def quantize_to_grid(x: np.ndarray, grid: np.ndarray) -> np.ndarray:
     d_hi = grid[hi] - ax
     take_hi = (d_hi < d_lo) | ((d_hi == d_lo) & (hi % 2 == 0))
     return np.where(take_hi, hi, lo)
+
+
+def quantize_to_grid(x: np.ndarray, grid: np.ndarray) -> np.ndarray:
+    """Round ``|x|`` to the nearest entry of an ascending ``grid``.
+
+    Ties round to the entry with the even index (round-to-nearest-even in
+    code space); values beyond the last entry saturate. Returns grid
+    *indices*, not values. Dispatches to a cached decision-boundary
+    ``searchsorted`` (one binary search, no per-call grid arithmetic)
+    unless the reference kernels are selected or the grid's boundaries
+    are not provably exact (non-dyadic grids like BlockDialect's dialect
+    levels); both paths are bit-identical.
+    """
+    if not use_reference():
+        bounds = cached_boundaries(grid)
+        if bounds is not None:
+            ax = np.asarray(x, dtype=np.float64)
+            return np.searchsorted(bounds, ax, side="left")
+    return quantize_to_grid_reference(x, grid)
 
 
 @dataclass(frozen=True)
@@ -59,6 +80,7 @@ class FloatSpec:
     bias: int
     reserved_top_codes: int = 0
     _grid: np.ndarray = field(init=False, repr=False, compare=False)
+    _bounds: np.ndarray = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.exp_bits < 0 or self.man_bits < 0:
@@ -79,6 +101,11 @@ class FloatSpec:
         if np.any(np.diff(grid) <= 0):
             raise FormatError(f"{self.name}: grid is not strictly increasing")
         object.__setattr__(self, "_grid", grid)
+        # Decision boundaries for the fast encode path, built once here so
+        # every later encode/quantize is a single searchsorted. Mini-float
+        # grids are dyadic so this never falls back in practice, but the
+        # exactness proof is re-checked rather than assumed.
+        object.__setattr__(self, "_bounds", exact_boundaries(grid))
 
     # ------------------------------------------------------------------
     # Derived constants
@@ -92,6 +119,15 @@ class FloatSpec:
     def grid(self) -> np.ndarray:
         """Ascending array of representable non-negative magnitudes."""
         return self._grid
+
+    @property
+    def boundaries(self) -> np.ndarray:
+        """Cached RTNE decision boundaries between adjacent codes.
+
+        None only for grids whose boundaries would not be search-exact;
+        every IEEE-style mini-float grid qualifies.
+        """
+        return self._bounds
 
     @property
     def max_value(self) -> float:
@@ -120,11 +156,20 @@ class FloatSpec:
         """Quantize to (sign, magnitude-code) arrays.
 
         ``sign`` is 0/1 (1 for negative inputs, including -0.0); codes
-        saturate at the largest representable magnitude.
+        saturate at the largest representable magnitude. The default path
+        is one ``searchsorted`` against the boundaries precomputed at
+        construction; ``REPRO_BITTWIDDLE=1`` selects the integer encoder
+        on float64 bit patterns instead. Both match the reference path
+        (``REPRO_REFERENCE_KERNELS=1``) bit for bit.
         """
         x = np.asarray(x, dtype=np.float64)
         sign = np.signbit(x).astype(np.int64)
-        codes = quantize_to_grid(np.abs(x), self._grid)
+        if use_reference() or self._bounds is None:
+            codes = quantize_to_grid_reference(np.abs(x), self._grid)
+            return sign, codes.astype(np.int64)
+        if use_bittwiddle():
+            return sign, encode_magnitudes(self, x)
+        codes = np.searchsorted(self._bounds, np.abs(x), side="left")
         return sign, codes.astype(np.int64)
 
     def decode(self, sign: np.ndarray, codes: np.ndarray) -> np.ndarray:
@@ -136,9 +181,21 @@ class FloatSpec:
         return np.where(np.asarray(sign, dtype=np.int64) != 0, -vals, vals)
 
     def quantize(self, x: np.ndarray) -> np.ndarray:
-        """Fake-quantize: round values onto this format's grid (RTNE)."""
-        sign, codes = self.encode(x)
-        return self.decode(sign, codes)
+        """Fake-quantize: round values onto this format's grid (RTNE).
+
+        The fast path skips the decode-time range validation (the codes
+        were just produced in range) and fuses the sign re-application.
+        """
+        if use_reference() or self._bounds is None:
+            sign, codes = self.encode(x)
+            return self.decode(sign, codes)
+        x = np.asarray(x, dtype=np.float64)
+        if use_bittwiddle():
+            codes = encode_magnitudes(self, x)
+        else:
+            codes = np.searchsorted(self._bounds, np.abs(x), side="left")
+        vals = self._grid[codes]
+        return np.where(np.signbit(x), -vals, vals)
 
     def packed_codes(self, x: np.ndarray) -> np.ndarray:
         """Full bit patterns ``sign << (E+M) | magnitude_code``."""

@@ -1,0 +1,41 @@
+"""Fast quantization kernels and the fast/reference dispatch layer.
+
+This package is the library's performance backbone: every format in
+:mod:`repro.formats`, :mod:`repro.mx` and :mod:`repro.core` routes its
+hot path through these kernels by default, while the original reference
+implementations stay available behind ``REPRO_REFERENCE_KERNELS=1``.
+Fast and reference paths are bit-identical — enforced by the parity
+matrix in ``tests/test_kernel_parity.py`` — so the switch is purely a
+performance (and debugging) choice.
+
+Modules (all pure NumPy, importable without the rest of the library):
+
+* :mod:`~repro.kernels.dispatch` — environment/context switches;
+* :mod:`~repro.kernels.lut` — per-grid decision-boundary caches turning
+  RTNE grid quantization into one ``searchsorted``;
+* :mod:`~repro.kernels.bittwiddle` — integer encode on float64 bit
+  patterns (mask mantissa, extract exponent), with exact power-of-two
+  ``exp_shift`` scaling;
+* :mod:`~repro.kernels.search` — the batched code-space candidate
+  search behind Sg-EM, adaptive Sg-EE and M2-NVFP4 weights;
+* :mod:`~repro.kernels.elem` — fused Elem-EM top-k / Elem-EE offset
+  refinement.
+"""
+
+from .bittwiddle import encode_magnitudes
+from .dispatch import (BITTWIDDLE_ENV, REFERENCE_ENV, fast_kernels,
+                       reference_kernels, use_bittwiddle, use_reference)
+from .elem import elem_ee_offsets, fp6_topk_refine, top_indices
+from .lut import (boundaries_are_exact, cached_boundaries, exact_boundaries,
+                  rtne_boundaries)
+from .search import candidate_search, gather_candidate_codes, hierarchical_select
+
+__all__ = [
+    "REFERENCE_ENV", "BITTWIDDLE_ENV", "use_reference", "use_bittwiddle",
+    "reference_kernels", "fast_kernels",
+    "rtne_boundaries", "boundaries_are_exact", "exact_boundaries",
+    "cached_boundaries",
+    "encode_magnitudes",
+    "candidate_search", "hierarchical_select", "gather_candidate_codes",
+    "top_indices", "fp6_topk_refine", "elem_ee_offsets",
+]

@@ -1,0 +1,72 @@
+"""Fast/reference kernel dispatch for the whole quantization library.
+
+Every hot path in the library (``FloatSpec.encode``, the Sg-EM / Sg-EE /
+M2-NVFP4 adaptive searches, the Elem-EM/EE refinements) exists in two
+implementations:
+
+* the **reference** path — the original, obviously-correct formulation,
+  kept unchanged as the semantic ground truth;
+* the **fast** path — the vectorized kernels in this package.
+
+The two are bit-identical on every input (``tests/test_kernel_parity.py``
+sweeps all registered formats over adversarial tensors); the fast path is
+the default. Export ``REPRO_REFERENCE_KERNELS=1`` to force the reference
+path globally — the escape hatch for ruling the kernels out while
+debugging — or use the :func:`reference_kernels` / :func:`fast_kernels`
+context managers for scoped control (they override the environment).
+
+``REPRO_BITTWIDDLE=1`` additionally switches ``FloatSpec`` encoding from
+the boundary-cache ``searchsorted`` kernel to the integer bit-twiddle
+encoder in :mod:`repro.kernels.bittwiddle`; both fast flavours are
+parity-tested against the reference.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+__all__ = ["REFERENCE_ENV", "BITTWIDDLE_ENV", "use_reference",
+           "use_bittwiddle", "reference_kernels", "fast_kernels"]
+
+#: Environment variable selecting the reference (slow) kernel paths.
+REFERENCE_ENV = "REPRO_REFERENCE_KERNELS"
+
+#: Environment variable selecting the bit-twiddle FloatSpec encoder.
+BITTWIDDLE_ENV = "REPRO_BITTWIDDLE"
+
+_override: bool | None = None
+
+
+def use_reference() -> bool:
+    """True when the reference kernel paths are selected."""
+    if _override is not None:
+        return _override
+    return os.environ.get(REFERENCE_ENV, "0") == "1"
+
+
+def use_bittwiddle() -> bool:
+    """True when ``FloatSpec`` should encode via the bit-twiddle kernel."""
+    return os.environ.get(BITTWIDDLE_ENV, "0") == "1"
+
+
+@contextmanager
+def reference_kernels():
+    """Force the reference path within the block, ignoring the environment."""
+    global _override
+    prev, _override = _override, True
+    try:
+        yield
+    finally:
+        _override = prev
+
+
+@contextmanager
+def fast_kernels():
+    """Force the fast path within the block, ignoring the environment."""
+    global _override
+    prev, _override = _override, False
+    try:
+        yield
+    finally:
+        _override = prev

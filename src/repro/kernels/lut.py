@@ -1,0 +1,101 @@
+"""Decision-boundary caches: grid quantization as one ``searchsorted``.
+
+The reference :func:`repro.formats.floatspec.quantize_to_grid` re-derives
+the nearest grid entry on every call: an insertion search against the
+grid, two gathers, two distance subtractions, and a tie fix-up. All of
+that collapses into a single binary search against *decision boundaries*
+precomputed once per grid: boundary ``i`` is the midpoint between codes
+``i`` and ``i + 1``, nudged one ulp down whenever the lower code is odd
+so that a value landing exactly on the midpoint resolves to the even
+code — round-to-nearest-even in code space, bit for bit.
+
+Why this is exact and not merely close — for the grids that qualify:
+
+* the midpoints are exact in float64 — mini-float grid magnitudes are
+  dyadic rationals with short mantissas, so their average never rounds;
+* the reference's distance comparison is exact — adjacent grid
+  magnitudes are within a factor of two of each other, so both
+  subtractions in ``d_lo``/``d_hi`` are Sterbenz-exact — and therefore
+  equivalent to comparing the value against the midpoint.
+
+Grids that violate either property (e.g. BlockDialect's non-dyadic
+``6 * (i/7)**gamma`` dialect levels, whose midpoints round) cannot be
+searched through boundaries without changing results within one ulp of
+a midpoint, so :func:`exact_boundaries` refuses them and callers fall
+back to the reference search. ``tests/test_kernel_parity.py`` checks
+the equivalence on adversarial inputs (ties, denormal-range values,
+saturating extremes) including non-dyadic grids.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["rtne_boundaries", "boundaries_are_exact", "exact_boundaries",
+           "cached_boundaries"]
+
+
+def rtne_boundaries(grid: np.ndarray) -> np.ndarray:
+    """Decision boundaries implementing RTNE in code space for ``grid``.
+
+    ``searchsorted(boundaries, x, side="left")`` yields the same codes as
+    the reference nearest-with-even-ties search for any ``x >= 0`` (and
+    code 0 for negative ``x``, matching the reference's saturation).
+    """
+    g = np.asarray(grid, dtype=np.float64)
+    mid = 0.5 * (g[:-1] + g[1:])
+    odd_lo = (np.arange(mid.shape[0]) & 1) == 1
+    # Ties must go to the even code: when the lower code is odd, shift the
+    # boundary one ulp down so the midpoint itself sorts above it.
+    return np.where(odd_lo, np.nextafter(mid, -np.inf), mid)
+
+
+def boundaries_are_exact(grid: np.ndarray) -> bool:
+    """True when boundary search provably matches the reference search.
+
+    Two conditions, checked exactly in float arithmetic:
+
+    * every adjacent sum ``g[i] + g[i+1]`` is exact (zero TwoSum error
+      term), so the halved midpoint never rounds;
+    * ``g[i+1] <= 2 * g[i]`` for every positive pair, so the reference's
+      two distance subtractions are Sterbenz-exact (the leading pair
+      with ``g[0] == 0`` is always safe: ``x - 0`` is exact and the
+      strict/tie cases against the exact midpoint ``g[1] / 2`` survive
+      any rounding of ``g[1] - x``).
+    """
+    g = np.asarray(grid, dtype=np.float64)
+    a, b = g[:-1], g[1:]
+    s = a + b
+    if np.any((s - a) != b) or np.any((s - b) != a):
+        return False
+    return not np.any(b[1:] > 2.0 * a[1:])
+
+
+def exact_boundaries(grid: np.ndarray) -> np.ndarray | None:
+    """RTNE boundaries for ``grid``, or None when they would not be exact."""
+    if not boundaries_are_exact(grid):
+        return None
+    return rtne_boundaries(grid)
+
+
+_CACHE: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
+
+
+def cached_boundaries(grid: np.ndarray) -> np.ndarray | None:
+    """:func:`exact_boundaries` for ``grid``, cached by array identity.
+
+    Holding a reference to the keyed grid keeps its ``id`` from being
+    recycled while the entry lives. Format grids are module-level
+    constants, so the cache stays tiny; it is cleared defensively if
+    callers ever churn through many ad-hoc grids. Returns None for
+    grids that must stay on the reference search.
+    """
+    key = id(grid)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0] is grid:
+        return hit[1]
+    if len(_CACHE) > 512:
+        _CACHE.clear()
+    bounds = exact_boundaries(grid)
+    _CACHE[key] = (grid, bounds)
+    return bounds

@@ -5,9 +5,18 @@ activations are quantized per call with the online path, along the GEMM
 reduction axis, exactly as the accelerator would see them. A
 ``weight_override`` dict lets calibration-based algorithms (MR-GPTQ) supply
 their own pre-quantized weights for specific projections.
+
+Offline weight quantization is memoized per model instance, keyed by
+``(format fingerprint, projection)``: the evaluation tables (Tbl. 2/3/4)
+rebuild ``QuantizedLM`` wrappers around the *same* cached runtime model
+for every format arm, and the adaptive weight searches are by far the
+most expensive step of construction. ``REPRO_NO_WEIGHT_CACHE=1`` disables
+the cache; overridden projections always bypass it.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 
@@ -15,6 +24,9 @@ from ..mx.base import TensorFormat
 from .transformer import TransformerLM
 
 __all__ = ["QuantizedLM", "Fp16Format"]
+
+#: Environment variable disabling the per-model weight-quantization cache.
+NO_WEIGHT_CACHE_ENV = "REPRO_NO_WEIGHT_CACHE"
 
 
 class Fp16Format(TensorFormat):
@@ -47,12 +59,29 @@ class QuantizedLM:
         self.fmt = fmt
         self.quantize_activations = bool(quantize_activations)
         override = weight_override or {}
+        cache = None
+        fmt_key = None
+        if os.environ.get(NO_WEIGHT_CACHE_ENV, "0") != "1":
+            fmt_key = fmt.weight_cache_key
+            if fmt_key is not None:
+                # The dispatch mode is part of the key: fast and reference
+                # kernels are bit-identical by contract, but a cross-check
+                # of that very contract must not be fed cached results
+                # from the other mode.
+                from ..kernels.dispatch import use_bittwiddle, use_reference
+                fmt_key = (fmt_key, use_reference(), use_bittwiddle())
+                cache = model.__dict__.setdefault("_quant_weight_cache", {})
         self._weights: dict[str, np.ndarray] = {}
         for li, layer in enumerate(model.layers):
             for name in ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"):
                 key = f"l{li}.{name}"
                 if key in override:
                     self._weights[key] = np.asarray(override[key], dtype=np.float64)
+                elif cache is not None:
+                    entry = (fmt_key, key)
+                    if entry not in cache:
+                        cache[entry] = fmt.quantize_weight(layer[name], axis=-1)
+                    self._weights[key] = cache[entry]
                 else:
                     self._weights[key] = fmt.quantize_weight(layer[name], axis=-1)
         self._act_amax: dict[str, float] = {}

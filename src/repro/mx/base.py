@@ -64,6 +64,36 @@ class TensorFormat(abc.ABC):
         """EBW of the activation path."""
         return self.ebw
 
+    @property
+    def weight_cache_key(self):
+        """Hashable fingerprint of this format's weight-quantization config.
+
+        Used by :class:`repro.models.quantized.QuantizedLM` to share
+        offline weight quantization between experiment arms that apply
+        the same format to the same model. The default walks the
+        instance's scalar configuration (names alone are not enough —
+        e.g. two ``SgEM`` with different scale rules share a name) and
+        recurses into nested formats and element specs. Any attribute it
+        cannot fingerprint conservatively returns ``None``, which
+        disables caching for the format.
+        """
+        parts: list = [type(self).__name__]
+        for attr in sorted(vars(self)):
+            value = vars(self)[attr]
+            if isinstance(value, (bool, int, float, str, bytes, tuple)):
+                parts.append((attr, value))
+            elif isinstance(value, TensorFormat):
+                nested = value.weight_cache_key
+                if nested is None:
+                    return None
+                parts.append((attr, nested))
+            elif hasattr(value, "name") and hasattr(value, "total_bits"):
+                # Scalar element specs (FloatSpec / IntSpec / GridSpec).
+                parts.append((attr, value.name, value.total_bits))
+            else:
+                return None
+        return tuple(parts)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name} ebw={self.ebw:.4g}>"
 

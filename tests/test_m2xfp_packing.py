@@ -19,6 +19,21 @@ class TestM2XFP:
         assert m2xfp.weight_ebw == 4.5
         assert m2xfp.activation_ebw == 4.5
 
+    def test_default_config_operand_ebws_are_equal(self):
+        # The docstring's "both operand paths cost the same" claim, pinned:
+        # the max() in ebw is degenerate for the paper's configuration.
+        assert m2xfp.weight_ebw == m2xfp.activation_ebw == m2xfp.ebw
+
+    def test_repr_exposes_both_operand_ebws(self):
+        r = repr(m2xfp)
+        assert "weight=4.5" in r and "activation=4.5" in r
+
+    def test_asymmetric_config_splits_operand_ebws(self):
+        fmt = M2XFP(top_k=2)
+        assert fmt.activation_ebw > fmt.weight_ebw
+        assert fmt.ebw == fmt.activation_ebw
+        assert f"weight={fmt.weight_ebw:.4g}" in repr(fmt)
+
     def test_weight_and_activation_paths_differ(self, heavy_tensor):
         w = m2xfp.quantize_weight(heavy_tensor)
         a = m2xfp.quantize_activation(heavy_tensor)

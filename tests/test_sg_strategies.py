@@ -96,6 +96,30 @@ class TestSgEE:
         with pytest.raises(ShapeError):
             sg_ee_encode(np.zeros((2, 32)), meta_bits=0)
 
+    def test_all_zero_subgroups_take_max_decrement(self):
+        from repro.core.sg_ee import _fixed_decrements
+        # One group of real data with two all-zero subgroups, one group
+        # of nothing but zeros.
+        g = np.zeros((2, 32))
+        g[0, :16] = [3.0, -1.0, 0.5, 2.0, 1.5, -0.25, 0.75, 4.0] * 2
+        subs = g.reshape(2, 4, 8)
+        scale = np.ones(2)
+        decs = _fixed_decrements(subs, scale, d_max=3)
+        assert decs.shape == (2, 4)
+        assert np.all(decs[0, 2:] == 3)     # zero subgroups -> deepest range
+        assert np.all(decs[1] == 3)         # fully zero group too
+        assert np.all((decs >= 0) & (decs <= 3))
+
+    def test_all_zero_groups_quantize_to_zero(self):
+        from repro.core import sg_ee_quantize_groups
+        g = np.zeros((3, 32))
+        dq = sg_ee_quantize_groups(g, sub_size=8, meta_bits=2)
+        assert dq.shape == g.shape
+        assert np.all(dq == 0.0)
+        enc = sg_ee_encode(g, sub_size=8, meta_bits=2)
+        assert np.all(enc.mag_codes == 0)
+        assert np.all(enc.sg_decrements == 3)
+
 
 class TestElemEE:
     def test_shape_and_basic_error(self, heavy_tensor):
