@@ -1,5 +1,9 @@
 """Benchmark regenerating paper artifact tbl8 (see DESIGN.md index)."""
 
+import pytest
+
+pytestmark = pytest.mark.slow  # full experiment arm; run via `pytest -m slow`
+
 from repro.experiments import run_experiment
 
 

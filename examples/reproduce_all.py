@@ -1,24 +1,29 @@
 """Regenerate every table and figure of the paper in one run.
 
-Run:  python examples/reproduce_all.py [--full]
+Run:  python examples/reproduce_all.py [--full] [--jobs N]
+
+Thin shell over the sharded runner (``repro.runner``): experiments are
+executed ``--jobs``-wide in worker processes, each result lands both on
+stdout and as a JSON artifact pair under ``results/`` (``<exp_id>.json``
+deterministic payload, ``<exp_id>.meta.json`` timings/provenance), and
+completed runs are served from the content-addressed cache under
+``results/cache/`` on the next invocation. Equivalent to
+``python -m repro run all [--full] [--jobs N]`` — all ``run`` options
+are accepted and parsed by the runner's own CLI.
 
 Fast mode (default) uses reduced evaluation sizes; ``--full`` uses the
 profile-default sizes recorded in EXPERIMENTS.md.
 """
 
 import sys
-import time
 
-from repro.experiments import list_experiments, run_experiment
+from repro.runner.cli import main as cli_main
 
 
-def main(fast: bool = True) -> None:
-    for exp_id in list_experiments():
-        t0 = time.time()
-        result = run_experiment(exp_id, fast=fast)
-        print(result.render())
-        print(f"[{exp_id} took {time.time() - t0:.1f}s]\n")
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    return cli_main(["run", "all", *args])
 
 
 if __name__ == "__main__":
-    main(fast="--full" not in sys.argv)
+    raise SystemExit(main())

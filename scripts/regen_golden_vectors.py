@@ -1,0 +1,163 @@
+"""Regenerate the golden quantization vectors pinned by tier-1 tests.
+
+Run:  PYTHONPATH=src python scripts/regen_golden_vectors.py --regen
+
+Writes ``tests/golden/quant_vectors.json``: adversarial inputs and their
+expected codes / decoded values for every scalar spec, every catalog
+tensor format, and the M2XFP metadata encodings (Elem-EM top-k codes,
+Sg-EM subgroup multiplier codes). ``tests/test_golden_vectors.py``
+recomputes the outputs from the committed inputs on every suite run and
+fails on any bit-level drift, under all three kernel dispatch modes.
+
+All floats are serialized with ``float.hex()`` so the file pins exact
+bit patterns, not decimal approximations. Only regenerate after an
+*intentional* encoding change, and call the change out in the PR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import elem_em_encode, sg_em_encode  # noqa: E402
+from repro.formats.registry import SCALAR_FORMATS  # noqa: E402
+from repro.runner.formats import FORMAT_REGISTRY, make_format  # noqa: E402
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" / "quant_vectors.json"
+
+#: Formats excluded from the tensor section (identity reference).
+TENSOR_EXCLUDE = {"fp16"}
+
+
+def hexlist(a: np.ndarray) -> list[str]:
+    return [float(v).hex() for v in np.asarray(a, dtype=np.float64).ravel()]
+
+
+def intlist(a: np.ndarray) -> list[int]:
+    return [int(v) for v in np.asarray(a).ravel()]
+
+
+def scalar_input(spec) -> np.ndarray:
+    """Adversarial scalar vector: ties, subnormal edges, saturation.
+
+    Low-bit grids are covered exhaustively; the FP16/BF16 reference
+    grids (tens of thousands of codes) are subsampled to keep the
+    committed file small while still spanning every binade.
+    """
+    grid = spec.grid
+    if grid.shape[0] > 512:
+        idx = np.unique(np.linspace(0, grid.shape[0] - 1, 96).astype(int))
+        grid = grid[idx]
+    midpoints = 0.5 * (grid[:-1] + grid[1:])        # exact RTNE tie points
+    near = np.concatenate([midpoints * (1 - 1e-9), midpoints * (1 + 1e-9)])
+    edges = np.array([0.0, -0.0, spec.min_subnormal / 2, spec.min_subnormal,
+                      spec.max_value, spec.max_value * 1.0001,
+                      spec.max_value * 16.0, 2.0 ** -30])
+    rng = np.random.default_rng(2026)
+    random = rng.standard_normal(48) * np.exp2(
+        rng.integers(-6, 7, 48).astype(np.float64))
+    x = np.concatenate([edges, grid, midpoints, near, random])
+    return np.concatenate([x, -x])
+
+
+def tensor_input(group_size: int) -> np.ndarray:
+    """Adversarial (4, 64) tensor: outliers, ties, an all-zero group."""
+    rng = np.random.default_rng(777)
+    x = rng.standard_normal((4, 64))
+    x *= np.exp2(rng.integers(-4, 5, size=x.shape).astype(np.float64))
+    x[0, 5] = 96.0                 # group outlier
+    x[1, :group_size] = 0.0        # an all-zero group
+    x[2, ::7] = 0.75               # repeated exact tie candidates
+    x[3, -1] = -2.0 ** -20         # deep subnormal territory
+    return x
+
+
+def metadata_input() -> np.ndarray:
+    """(4, 32) groups exercising top-k selection and multiplier choice."""
+    rng = np.random.default_rng(424242)
+    g = rng.standard_normal((4, 32)) * np.exp2(
+        rng.integers(-3, 4, size=(4, 32)).astype(np.float64))
+    g[0, 3] = 48.0                 # dominant top-1
+    g[1, 0] = g[1, 1] = 7.5        # exact tie inside one subgroup
+    g[2, :] = np.abs(g[2, :])      # all-positive group
+    return g
+
+
+def build_payload() -> dict:
+    payload: dict = {
+        "_": "Golden quantization vectors; regenerate ONLY via "
+             "scripts/regen_golden_vectors.py --regen (see its docstring).",
+        "scalar": {},
+        "tensor": {},
+        "metadata": {},
+    }
+    for name, spec in sorted(SCALAR_FORMATS.items()):
+        x = scalar_input(spec)
+        sign, mag = spec.encode(x)
+        payload["scalar"][name] = {
+            "input_hex": hexlist(x),
+            "sign": intlist(sign),
+            "mag": intlist(mag),
+            "decoded_hex": hexlist(spec.decode(sign, mag)),
+        }
+    for name in sorted(set(FORMAT_REGISTRY) - TENSOR_EXCLUDE):
+        fmt = make_format(name)
+        x = tensor_input(int(getattr(fmt, "group_size", 32) or 32))
+        payload["tensor"][name] = {
+            "shape": list(x.shape),
+            "input_hex": hexlist(x),
+            "weight_hex": hexlist(fmt.quantize_weight(x, axis=-1)),
+            "activation_hex": hexlist(fmt.quantize_activation(x, axis=-1)),
+        }
+    g = metadata_input()
+    ee = elem_em_encode(g, sub_size=8, top_k=1, scale_rule="floor")
+    payload["metadata"]["elem_em"] = {
+        "shape": list(g.shape), "input_hex": hexlist(g),
+        "sub_size": 8, "top_k": 1, "scale_rule": "floor",
+        "sign": intlist(ee.sign_codes), "mag": intlist(ee.mag_codes),
+        "scale_exponents": intlist(ee.scale_exponents),
+        "meta": intlist(ee.metadata),
+    }
+    se = sg_em_encode(g, sub_size=8, adaptive=True, scale_rule="floor")
+    payload["metadata"]["sg_em"] = {
+        "shape": list(g.shape), "input_hex": hexlist(g),
+        "sub_size": 8, "adaptive": True, "scale_rule": "floor",
+        "sign": intlist(se.sign_codes), "mag": intlist(se.mag_codes),
+        "scale_exponents": intlist(se.scale_exponents),
+        "sg_codes": intlist(se.sg_codes),
+    }
+    return payload
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--regen", action="store_true",
+                        help="rewrite tests/golden/quant_vectors.json")
+    args = parser.parse_args(argv)
+    payload = build_payload()
+    text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    if args.regen:
+        GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+        GOLDEN_PATH.write_text(text)
+        print(f"wrote {GOLDEN_PATH}")
+        return 0
+    if not GOLDEN_PATH.exists():
+        print(f"{GOLDEN_PATH} missing; run with --regen", file=sys.stderr)
+        return 1
+    if GOLDEN_PATH.read_text() != text:
+        print("golden vectors DIFFER from current encodings; "
+              "run with --regen only if the change is intentional",
+              file=sys.stderr)
+        return 1
+    print("golden vectors match current encodings")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,27 +1,14 @@
-"""Command-line entry point: ``python -m repro <experiment-id> [--full]``.
+"""Command-line entry point: ``python -m repro <command> ...``.
 
-Lists the available experiments when invoked without arguments.
+Thin shell over :mod:`repro.runner.cli` — ``run`` / ``list`` / ``sweep``
+subcommands with ``--jobs`` sharding and the content-addressed result
+cache. The pre-runner style (``python -m repro tbl3 [--full]``) still
+works as an alias for ``run``.
 """
 
 from __future__ import annotations
 
-import sys
-
-from .experiments import list_experiments, run_experiment
-
-
-def main(argv: list[str] | None = None) -> int:
-    args = list(sys.argv[1:] if argv is None else argv)
-    full = "--full" in args
-    ids = [a for a in args if not a.startswith("-")]
-    if not ids:
-        print("usage: python -m repro <experiment-id> [--full]")
-        print("available experiments:", ", ".join(list_experiments()))
-        return 1
-    for exp_id in ids:
-        print(run_experiment(exp_id, fast=not full).render())
-    return 0
-
+from .runner.cli import main
 
 if __name__ == "__main__":
     raise SystemExit(main())

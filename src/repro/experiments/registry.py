@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable
 
+from ..errors import ConfigError
 from . import (ablations, fig3_max_preservation, fig4_group_size,
                fig6_dse_fixed, fig7_dse_adaptive, fig13_perf_energy,
                tbl2_zero_shot, tbl3_wikitext_ppl, tbl4_reasoning,
@@ -11,7 +13,8 @@ from . import (ablations, fig3_max_preservation, fig4_group_size,
                tbl8_scale_rules)
 from .report import ExperimentResult
 
-__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments"]
+__all__ = ["EXPERIMENTS", "run_experiment", "list_experiments",
+           "experiment_kwargs", "validate_experiment_kwargs"]
 
 EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     "fig3": fig3_max_preservation.run,
@@ -30,11 +33,33 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
 }
 
 
-def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
-    """Run one experiment by id (e.g. ``"tbl3"``)."""
+def experiment_kwargs(experiment_id: str) -> list[str]:
+    """The keyword arguments an experiment's runner accepts."""
     if experiment_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; "
                        f"available: {sorted(EXPERIMENTS)}")
+    return list(inspect.signature(EXPERIMENTS[experiment_id]).parameters)
+
+
+def validate_experiment_kwargs(experiment_id: str, kwargs: dict) -> None:
+    """Reject unknown kwargs up front with the accepted names.
+
+    Without this, a typo'd kwarg surfaces as a bare ``TypeError`` from
+    deep inside the experiment module (or, worse, from a pool worker).
+    Shared by :func:`run_experiment` and the parent-side check in
+    :class:`repro.runner.ExperimentRunner` so the two cannot drift.
+    """
+    accepted = experiment_kwargs(experiment_id)  # raises KeyError on bad id
+    unknown = sorted(set(kwargs) - set(accepted))
+    if unknown:
+        raise ConfigError(
+            f"experiment {experiment_id!r} got unknown kwargs {unknown}; "
+            f"accepted: {accepted}")
+
+
+def run_experiment(experiment_id: str, **kwargs) -> ExperimentResult:
+    """Run one experiment by id (e.g. ``"tbl3"``)."""
+    validate_experiment_kwargs(experiment_id, kwargs)
     return EXPERIMENTS[experiment_id](**kwargs)
 
 

@@ -7,6 +7,41 @@ from dataclasses import dataclass, field
 __all__ = ["ExperimentResult", "format_table"]
 
 
+def _jsonable(value):
+    """Project a result value onto the JSON-serializable subset.
+
+    Experiment extras carry NumPy scalars/arrays, tuples and tuple-keyed
+    dicts (e.g. tbl8's per-cell map); artifacts must be plain JSON. The
+    projection is a fixpoint: applying it to already-projected data is
+    the identity, which is what makes ``to_json -> from_json -> to_json``
+    byte-stable.
+    """
+    import numpy as np
+
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [_jsonable(v) for v in value.tolist()]
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted((_jsonable(v) for v in value), key=repr)
+    if isinstance(value, dict):
+        return {_key_str(k): _jsonable(v) for k, v in value.items()}
+    return repr(value)
+
+
+def _key_str(key) -> str:
+    """Dict keys must be strings in JSON; join tuple keys readably."""
+    if isinstance(key, str):
+        return key
+    if isinstance(key, tuple):
+        return "|".join(str(k) for k in key)
+    return str(key)
+
+
 def format_table(headers: list[str], rows: list[list]) -> str:
     """Render a plain-text table with right-aligned numeric cells."""
     def cell(v) -> str:
@@ -42,3 +77,31 @@ class ExperimentResult:
         if self.notes:
             out.append(f"notes: {self.notes}")
         return "\n".join(out)
+
+    def to_json(self) -> dict:
+        """JSON-serializable projection of the result.
+
+        NumPy scalars become Python scalars, tuples become lists and
+        tuple dict keys are joined with ``|``; the projection is stable
+        under round-tripping (``from_json(r.to_json()).to_json() ==
+        r.to_json()``), which the runner relies on for byte-identical
+        artifacts between fresh and cache-served runs.
+        """
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": _jsonable(self.headers),
+            "rows": _jsonable(self.rows),
+            "notes": self.notes,
+            "extras": _jsonable(self.extras),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_json` output."""
+        return cls(experiment_id=payload["experiment_id"],
+                   title=payload["title"],
+                   headers=list(payload["headers"]),
+                   rows=[list(r) for r in payload["rows"]],
+                   notes=payload.get("notes", ""),
+                   extras=dict(payload.get("extras", {})))

@@ -12,7 +12,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..errors import ShapeError
+from ..errors import FormatError, ShapeError
 
 __all__ = ["GroupView", "to_groups", "from_groups"]
 
@@ -37,6 +37,12 @@ def to_groups(x: np.ndarray, group_size: int, axis: int = -1) -> tuple[np.ndarra
     x = np.asarray(x, dtype=np.float64)
     if group_size < 1:
         raise ShapeError(f"group_size must be >= 1, got {group_size}")
+    if not np.isfinite(x).all():
+        # A single NaN/Inf silently poisons the group's shared scale and
+        # decodes to garbage; every group-wise quantizer funnels through
+        # here, so this is the one place the contract can be enforced.
+        raise FormatError("non-finite values (nan/inf) cannot be "
+                          "group-quantized")
     axis = axis % x.ndim
     moved = np.moveaxis(x, axis, -1)
     axis_len = moved.shape[-1]

@@ -1,0 +1,21 @@
+"""Sharded experiment runner with a content-addressed result cache.
+
+The package turns the one-by-one loop of ``examples/reproduce_all.py``
+into infrastructure: experiments (and format x profile sweep grids) run
+in parallel worker processes, every completed run is cached on disk under
+a content-addressed key, and each run leaves machine-readable JSON
+artifacts under ``results/``. See ``python -m repro --help``.
+"""
+
+from .cache import ResultCache, cache_key, canonical_dumps, code_salt
+from .context import RunContext
+from .formats import FORMAT_REGISTRY, format_fingerprint, list_formats, make_format
+from .runner import ExperimentRunner, RunRecord
+from .sweep import SweepRunner, sweep_arm
+
+__all__ = [
+    "ExperimentRunner", "RunRecord", "RunContext",
+    "ResultCache", "cache_key", "canonical_dumps", "code_salt",
+    "SweepRunner", "sweep_arm",
+    "FORMAT_REGISTRY", "make_format", "list_formats", "format_fingerprint",
+]

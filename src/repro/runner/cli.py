@@ -1,0 +1,158 @@
+"""Unified command-line interface for the experiment runner.
+
+Usage::
+
+    python -m repro list
+    python -m repro run tbl3 fig6 --jobs 4 --fast
+    python -m repro run all --jobs 4
+    python -m repro sweep --formats mxfp4,m2xfp --profiles llama2-7b
+
+The pre-runner invocation style (``python -m repro tbl3 [--full]``) is
+kept as an alias for ``run``: a first argument that is a known
+experiment id is treated as ``run`` with that id.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from ..experiments import EXPERIMENTS, list_experiments
+from .context import RunContext
+from .formats import list_formats
+from .runner import ExperimentRunner
+from .sweep import SweepRunner
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's experiments (sharded, cached).")
+    sub = parser.add_subparsers(dest="command")
+
+    run = sub.add_parser("run", help="run experiments (default command)")
+    run.add_argument("ids", nargs="+",
+                     help="experiment ids, or 'all' for the whole registry")
+    _add_run_options(run)
+
+    sub.add_parser("list", help="list experiment ids and formats")
+
+    sweep = sub.add_parser("sweep", help="format x profile perplexity grid")
+    sweep.add_argument("--formats", required=True,
+                       help="comma-separated catalog format names")
+    sweep.add_argument("--profiles", default="llama2-7b,llama3-8b",
+                       help="comma-separated profile keys")
+    _add_run_options(sweep)
+    return parser
+
+
+def _add_run_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--jobs", type=int, default=1,
+                     help="worker processes (default 1: in-process)")
+    mode = cmd.add_mutually_exclusive_group()
+    mode.add_argument("--fast", dest="fast", action="store_true",
+                      default=True, help="reduced eval sizes (default)")
+    mode.add_argument("--full", dest="fast", action="store_false",
+                      help="full profile-default eval sizes")
+    cmd.add_argument("--seed", type=int, default=0,
+                     help="global seed applied in every worker")
+    cmd.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not write the result cache")
+    cmd.add_argument("--results-dir", default=None,
+                     help="artifact directory (default results/)")
+    cmd.add_argument("--cache-dir", default=None,
+                     help="cache directory (default <results>/cache)")
+    cmd.add_argument("--quiet", action="store_true",
+                     help="suppress per-experiment table output")
+
+
+def _context(args: argparse.Namespace) -> RunContext:
+    kwargs = dict(fast=args.fast, seed=args.seed, jobs=args.jobs,
+                  use_cache=not args.no_cache)
+    if args.results_dir is not None:
+        kwargs["results_dir"] = args.results_dir
+    if args.cache_dir is not None:
+        kwargs["cache_dir"] = args.cache_dir
+    return RunContext(**kwargs)
+
+
+def _cmd_list() -> int:
+    print("experiments (python -m repro run <id> ...):")
+    for exp_id in list_experiments():
+        module = sys.modules[EXPERIMENTS[exp_id].__module__]
+        doc = (module.__doc__ or "").strip().splitlines()[0] if module.__doc__ else ""
+        print(f"  {exp_id:10s} {doc}")
+    print("\nsweep formats (python -m repro sweep --formats <a,b,...>):")
+    print("  " + ", ".join(list_formats()))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ids = list(args.ids)
+    if ids == ["all"]:
+        ids = list_experiments()
+    context = _context(args)
+    runner = ExperimentRunner(context)
+
+    def progress(record) -> None:
+        src = "cache" if record.cached else f"{record.seconds:.1f}s"
+        if not args.quiet:
+            print(record.result.render())
+        print(f"[{record.experiment_id}: {src} -> {record.artifact_path}]")
+
+    runner.run(ids, progress=progress)
+    stats = runner.cache.stats
+    print(f"cache: {stats['hits']} hits / {stats['hits'] + stats['misses']} "
+          f"experiments (jobs={context.jobs}, "
+          f"{'fast' if context.fast else 'full'} mode)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    context = _context(args)
+    runner = SweepRunner(context)
+    formats = [f.strip() for f in args.formats.split(",") if f.strip()]
+    profiles = [p.strip() for p in args.profiles.split(",") if p.strip()]
+
+    def progress(arm, outcome) -> None:
+        print(f"[{arm[0]} x {arm[1]}: {outcome['seconds']:.1f}s]")
+
+    record = runner.run(formats, profiles, progress=progress)
+    if not args.quiet:
+        print(record.result.render())
+    stats = runner.cache.stats
+    print(f"cache: {stats['hits']} hits / {stats['hits'] + stats['misses']} "
+          f"arms -> {record.artifact_path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    # Legacy alias: `python -m repro tbl3 [--full]` == `run tbl3 [--full]`.
+    # The old CLI accepted flags in any position (`--full tbl3`), so the
+    # alias triggers whenever every positional is a known experiment id.
+    positional = [a for a in args if not a.startswith("-")]
+    if positional and positional[0] not in ("run", "list", "sweep") and \
+            all(p in EXPERIMENTS for p in positional):
+        args = ["run"] + args
+    parser = build_parser()
+    if not args:
+        parser.print_help()
+        print("\navailable experiments:", ", ".join(list_experiments()))
+        return 1
+    ns = parser.parse_args(args)
+    try:
+        if ns.command == "list":
+            return _cmd_list()
+        if ns.command == "run":
+            return _cmd_run(ns)
+        if ns.command == "sweep":
+            return _cmd_sweep(ns)
+    except (ReproError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    parser.print_help()
+    return 1

@@ -1,0 +1,52 @@
+"""Execution context threaded through serial and parallel runs.
+
+``RunContext`` pins down everything that could make a worker process
+diverge from an in-process run: the fast/full evaluation mode, the
+global NumPy seed (the experiments use their own per-profile generators,
+but seeding the legacy global RNG closes the door on any future path
+that reaches for it), and the cache/artifact locations. The runner
+applies the same context before executing an experiment whether it runs
+inline (``--jobs 1``) or inside a pool worker, which is what makes the
+two bit-identical by construction rather than by luck.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RunContext", "DEFAULT_RESULTS_DIR"]
+
+DEFAULT_RESULTS_DIR = "results"
+
+#: Environment variable overriding the artifact directory.
+RESULTS_DIR_ENV = "REPRO_RESULTS_DIR"
+
+
+@dataclass(frozen=True)
+class RunContext:
+    """Deterministic execution settings for one runner invocation."""
+
+    fast: bool = True
+    seed: int = 0
+    jobs: int = 1
+    use_cache: bool = True
+    results_dir: str = field(
+        default_factory=lambda: os.environ.get(RESULTS_DIR_ENV,
+                                               DEFAULT_RESULTS_DIR))
+    cache_dir: str | None = None
+
+    def apply(self) -> None:
+        """Install the deterministic parts of the context in this process.
+
+        Runs in the parent before an inline execution and at the top of
+        every worker task, so both execution styles see identical global
+        state.
+        """
+        np.random.seed(self.seed)
+
+    def experiment_kwargs(self) -> dict:
+        """The kwargs the context contributes to ``run_experiment``."""
+        return {"fast": self.fast}

@@ -1,0 +1,81 @@
+"""Plumbing shared by the experiment runner and the sweep runner.
+
+One implementation of the three pieces both runners need — cache
+construction with the documented default-directory chain, the
+``spawn``-pool scatter/gather loop, and the deterministic-artifact +
+meta-sidecar writer — so a fix to any of them cannot drift between
+:class:`~repro.runner.runner.ExperimentRunner` and
+:class:`~repro.runner.sweep.SweepRunner`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from pathlib import Path
+
+from .cache import (CACHE_DIR_ENV, ResultCache, atomic_write_text,
+                    canonical_dumps, code_salt)
+from .context import RunContext
+
+__all__ = ["make_cache", "pool_execute", "write_artifact_pair"]
+
+
+def make_cache(context: RunContext) -> ResultCache:
+    """The context's cache: explicit dir > ``REPRO_CACHE_DIR`` > ``<results>/cache``."""
+    root = context.cache_dir
+    if root is None:
+        root = os.environ.get(CACHE_DIR_ENV) or \
+            os.path.join(context.results_dir, "cache")
+    cache = ResultCache(root)
+    if not context.use_cache:
+        cache.enabled = False
+    return cache
+
+
+def pool_execute(fn, tasks: dict, jobs: int):
+    """Yield ``(key, fn(*tasks[key]))`` as results complete.
+
+    ``jobs <= 1`` (or a single task) runs inline in this process;
+    otherwise tasks shard over a ``spawn`` pool — fresh interpreters, no
+    inherited module caches, so a worker run is the same computation as
+    an inline run. Completion order is execution order; callers that
+    need task order must reorder.
+    """
+    keys = list(tasks)
+    if jobs <= 1 or len(keys) <= 1:
+        for key in keys:
+            yield key, fn(*tasks[key])
+        return
+    import multiprocessing as mp
+    ctx = mp.get_context("spawn")
+    with ProcessPoolExecutor(max_workers=min(jobs, len(keys)),
+                             mp_context=ctx) as pool:
+        futures = {pool.submit(fn, *tasks[key]): key for key in keys}
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for fut in done:
+                yield futures[fut], fut.result()
+
+
+def write_artifact_pair(results_dir: str | os.PathLike, stem: str,
+                        payload: dict, meta: dict) -> tuple[str, str]:
+    """Write ``<stem>.json`` (deterministic) and ``<stem>.meta.json``.
+
+    The payload file is canonical JSON of deterministic data only; the
+    meta sidecar gets the provenance fields stamped here (wall-clock
+    timestamp, code salt) on top of the caller's run metadata.
+    """
+    out = Path(results_dir)
+    artifact = out / f"{stem}.json"
+    atomic_write_text(artifact, canonical_dumps(payload) + "\n")
+    meta_path = out / f"{stem}.meta.json"
+    atomic_write_text(meta_path, canonical_dumps({
+        **meta,
+        "code_salt": code_salt(),
+        "written_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "pid": os.getpid(),
+    }) + "\n")
+    return str(artifact), str(meta_path)

@@ -1,0 +1,75 @@
+"""Named catalog of every sweep-able tensor format in the library.
+
+The experiment registry hard-codes its format arms per table; this catalog
+is the complement: a flat ``name -> zero-argument factory`` map that the
+sweep runner, the property-based test suite and the golden-vector
+conformance layer all iterate so "every registered format" means the same
+thing everywhere. Factories (rather than shared instances) keep the sweep
+workers free of cross-arm state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core import ElemEE, ElemEM, M2NVFP4, M2XFP, SgEE, SgEM
+from ..models.quantized import Fp16Format
+from ..mx import (MSFP12, MSFP16, MXFP4, MXFP6_E2M3, MXFP6_E3M2, MXFP8_E4M3,
+                  MXFP8_E5M2, MXINT8, NVFP4, SMX4, SMX6, SMX9, GroupFP4,
+                  MaxPreserving, TensorFormat)
+
+__all__ = ["FORMAT_REGISTRY", "make_format", "list_formats",
+           "format_fingerprint"]
+
+#: name -> zero-argument factory for every sweep-able tensor format.
+FORMAT_REGISTRY: dict[str, Callable[[], TensorFormat]] = {
+    "fp16": Fp16Format,
+    "fp4": GroupFP4,
+    "mxfp4": MXFP4,
+    "mxfp4-maxkeep": lambda: MaxPreserving(MXFP4()),
+    "mxfp6-e2m3": MXFP6_E2M3,
+    "mxfp6-e3m2": MXFP6_E3M2,
+    "mxfp8-e4m3": MXFP8_E4M3,
+    "mxfp8-e5m2": MXFP8_E5M2,
+    "mxint8": MXINT8,
+    "nvfp4": NVFP4,
+    "smx4": SMX4,
+    "smx6": SMX6,
+    "smx9": SMX9,
+    "msfp12": MSFP12,
+    "msfp16": MSFP16,
+    "elem-em": ElemEM,
+    "elem-ee": ElemEE,
+    "sg-em": SgEM,
+    "sg-ee": lambda: SgEE(adaptive=True),
+    "m2xfp": M2XFP,
+    "m2-nvfp4": M2NVFP4,
+}
+
+
+def list_formats() -> list[str]:
+    """All catalog names in definition order."""
+    return list(FORMAT_REGISTRY)
+
+
+def make_format(name: str) -> TensorFormat:
+    """Instantiate a catalog format by name, with a helpful error."""
+    if name not in FORMAT_REGISTRY:
+        from ..errors import ConfigError
+        raise ConfigError(f"unknown format {name!r}; "
+                          f"available: {', '.join(sorted(FORMAT_REGISTRY))}")
+    return FORMAT_REGISTRY[name]()
+
+
+def format_fingerprint(name: str) -> tuple:
+    """Hashable fingerprint of a catalog format's configuration.
+
+    Feeds the sweep cache key, so a change to a format's defaults (group
+    size, scale rule, element spec) invalidates cached sweep arms even
+    when the code-salt hash is unchanged (e.g. an env-driven default).
+    """
+    fmt = make_format(name)
+    key = fmt.weight_cache_key
+    if key is not None:
+        return (name, key)
+    return (name, repr(fmt), f"{fmt.ebw:.6f}")

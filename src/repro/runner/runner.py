@@ -1,0 +1,141 @@
+"""Sharded process-pool execution of the experiment registry.
+
+Execution model
+---------------
+
+The parent computes a content-addressed cache key per experiment
+(``cache.cache_key``), serves hits straight from disk, and shards the
+misses over a ``spawn`` process pool (``--jobs``) via
+:func:`repro.runner.execution.pool_execute`. ``spawn`` (rather than
+``fork``) gives every worker a fresh interpreter: no inherited runtime
+caches, no copy-on-write surprises — a worker run is the same
+computation as an inline run with the same :class:`RunContext` applied,
+which is what makes ``--jobs 1`` and ``--jobs N`` artifacts
+byte-identical.
+
+Artifacts
+---------
+
+Each run writes two files under the results directory:
+
+* ``<exp_id>.json`` — the deterministic result payload
+  (:meth:`ExperimentResult.to_json`, canonical JSON). Bit-identical
+  across serial/parallel/cached runs; safe to diff.
+* ``<exp_id>.meta.json`` — run provenance: wall-clock timings, cache
+  hit/miss, job count, code salt. Deliberately split out because
+  timings are the one thing that can never be deterministic.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..experiments import run_experiment
+from ..experiments.report import ExperimentResult
+from .cache import ResultCache, cache_key
+from .context import RunContext
+from .execution import make_cache, pool_execute, write_artifact_pair
+
+__all__ = ["ExperimentRunner", "RunRecord", "execute_one"]
+
+
+def execute_one(experiment_id: str, kwargs: dict, seed: int) -> dict:
+    """Run one experiment under a deterministic context (pool-safe).
+
+    Module-level so it pickles into ``spawn`` workers; also the inline
+    path, so serial and parallel execution share one code path.
+    """
+    RunContext(seed=seed).apply()
+    t0 = time.perf_counter()
+    result = run_experiment(experiment_id, **kwargs)
+    return {"payload": result.to_json(),
+            "seconds": time.perf_counter() - t0}
+
+
+@dataclass
+class RunRecord:
+    """Outcome of one experiment under the runner."""
+
+    experiment_id: str
+    key: str
+    cached: bool
+    seconds: float
+    result: ExperimentResult
+    artifact_path: str = ""
+    meta_path: str = ""
+
+
+class ExperimentRunner:
+    """Run registry experiments in parallel with result caching."""
+
+    def __init__(self, context: RunContext | None = None,
+                 cache: ResultCache | None = None) -> None:
+        self.context = context or RunContext()
+        self.cache = cache if cache is not None else make_cache(self.context)
+
+    def run(self, experiment_ids: list[str],
+            extra_kwargs: dict | None = None,
+            progress=None) -> list[RunRecord]:
+        """Execute ``experiment_ids``, sharded over the context's jobs.
+
+        ``extra_kwargs`` are forwarded to every experiment on top of the
+        context's (validated before any worker is spawned, so a bad name
+        fails fast in the parent). ``progress`` is an optional
+        ``callable(RunRecord)`` fired as each experiment completes; the
+        returned list follows ``experiment_ids`` order regardless of
+        completion order.
+        """
+        from ..experiments.registry import validate_experiment_kwargs
+        kwargs = dict(self.context.experiment_kwargs())
+        kwargs.update(extra_kwargs or {})
+        tasks: dict[str, tuple] = {}
+        keys: dict[str, str] = {}
+        records: dict[str, RunRecord] = {}
+
+        def finish(record: RunRecord) -> None:
+            records[record.experiment_id] = record
+            self._write_artifacts(record)
+            if progress is not None:
+                progress(record)
+
+        for exp_id in experiment_ids:
+            validate_experiment_kwargs(exp_id, kwargs)
+            keys[exp_id] = cache_key(exp_id, kwargs,
+                                     extra=("seed", self.context.seed))
+            hit = self.cache.get(keys[exp_id])
+            if hit is not None:
+                # ``seconds`` is the original compute time persisted with
+                # the entry, so cache-served records (and docs generated
+                # from them) report stable runtimes instead of 0.0.
+                finish(RunRecord(
+                    exp_id, keys[exp_id], cached=True,
+                    seconds=float(hit.get("seconds", 0.0)),
+                    result=ExperimentResult.from_json(hit["payload"])))
+            else:
+                tasks[exp_id] = (exp_id, kwargs, self.context.seed)
+
+        jobs = max(1, int(self.context.jobs))
+        for exp_id, outcome in pool_execute(execute_one, tasks, jobs):
+            self.cache.put(keys[exp_id],
+                           {"payload": outcome["payload"], "key": keys[exp_id],
+                            "seconds": round(outcome["seconds"], 4)})
+            finish(RunRecord(
+                exp_id, keys[exp_id], cached=False,
+                seconds=outcome["seconds"],
+                result=ExperimentResult.from_json(outcome["payload"])))
+
+        return [records[e] for e in experiment_ids]
+
+    def _write_artifacts(self, record: RunRecord) -> None:
+        record.artifact_path, record.meta_path = write_artifact_pair(
+            self.context.results_dir, record.experiment_id,
+            record.result.to_json(), {
+                "experiment_id": record.experiment_id,
+                "cache_key": record.key,
+                "cached": record.cached,
+                "seconds": round(record.seconds, 4),
+                "jobs": self.context.jobs,
+                "fast": self.context.fast,
+                "seed": self.context.seed,
+            })

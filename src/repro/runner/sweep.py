@@ -1,0 +1,116 @@
+"""Format x profile sweep grids beyond the paper's fixed tables.
+
+The registry reproduces the paper's 13 artifacts with their hard-coded
+arms; ``SweepRunner`` generalizes the same machinery to arbitrary grids
+over the format catalog (:mod:`repro.runner.formats`) and the model
+profiles. Each arm (one perplexity evaluation of one format on one
+profile) is an independent cache entry keyed by the arm parameters plus
+the format's configuration fingerprint, so adding a format to a sweep
+re-pays only the new arms, and a partially-failed sweep resumes from
+the arms that finished.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..experiments.report import ExperimentResult
+from .cache import ResultCache, cache_key
+from .context import RunContext
+from .execution import make_cache, pool_execute, write_artifact_pair
+from .formats import format_fingerprint, make_format
+from .runner import RunRecord
+
+__all__ = ["SweepRunner", "sweep_arm"]
+
+
+def sweep_arm(profile_key: str, format_name: str,
+              n_seq: int | None, seq_len: int | None, seed: int) -> dict:
+    """Evaluate one (profile, format) arm (module-level: pool-safe)."""
+    from ..eval.perplexity import quantized_perplexity
+    from ..models.profiles import load_runtime
+    RunContext(seed=seed).apply()
+    t0 = time.perf_counter()
+    rt = load_runtime(profile_key, n_seq=n_seq, seq_len=seq_len)
+    fmt = make_format(format_name)
+    ppl = quantized_perplexity(rt, fmt)
+    return {
+        "payload": {
+            "profile": profile_key,
+            "format": format_name,
+            "ebw": float(fmt.ebw),
+            "ppl": float(ppl),
+            "fp16_ppl": float(rt.fp16_ppl),
+        },
+        "seconds": time.perf_counter() - t0,
+    }
+
+
+class SweepRunner:
+    """Run a format x profile perplexity grid with per-arm caching."""
+
+    def __init__(self, context: RunContext | None = None,
+                 cache: ResultCache | None = None) -> None:
+        self.context = context or RunContext()
+        self.cache = cache if cache is not None else make_cache(self.context)
+
+    def run(self, formats: list[str], profiles: list[str],
+            progress=None) -> RunRecord:
+        """Evaluate every (profile, format) arm; returns one RunRecord.
+
+        Arm order in the result table is grid order (profiles outer,
+        formats inner) regardless of completion order.
+        """
+        n_seq, seq_len = (8, 64) if self.context.fast else (None, None)
+        arms = [(p, f) for p in profiles for f in formats]
+        keys = {arm: cache_key("sweep_arm",
+                               {"profile": arm[0], "format": arm[1],
+                                "n_seq": n_seq, "seq_len": seq_len},
+                               extra=(format_fingerprint(arm[1]),
+                                      ("seed", self.context.seed)))
+                for arm in arms}
+        cells: dict[tuple[str, str], dict] = {}
+        tasks: dict[tuple[str, str], tuple] = {}
+        for arm in arms:
+            hit = self.cache.get(keys[arm])
+            if hit is not None:
+                cells[arm] = hit["payload"]
+            else:
+                tasks[arm] = (arm[0], arm[1], n_seq, seq_len,
+                              self.context.seed)
+
+        t0 = time.perf_counter()
+        jobs = max(1, int(self.context.jobs))
+        for arm, outcome in pool_execute(sweep_arm, tasks, jobs):
+            self.cache.put(keys[arm], {"payload": outcome["payload"],
+                                       "key": keys[arm]})
+            cells[arm] = outcome["payload"]
+            if progress is not None:
+                progress(arm, outcome)
+
+        headers = ["model", "format", "ebw", "ppl", "fp16 ppl", "ppl delta"]
+        rows = [[p, f, cells[(p, f)]["ebw"], cells[(p, f)]["ppl"],
+                 cells[(p, f)]["fp16_ppl"],
+                 cells[(p, f)]["ppl"] - cells[(p, f)]["fp16_ppl"]]
+                for (p, f) in arms]
+        result = ExperimentResult(
+            "sweep", f"{len(formats)} formats x {len(profiles)} profiles",
+            headers, rows,
+            notes=f"fast={self.context.fast} (cache counts live in "
+                  "sweep.meta.json so this artifact stays deterministic)",
+            extras={"formats": list(formats), "profiles": list(profiles),
+                    "cells": {f"{p}|{f}": cells[(p, f)] for (p, f) in arms}})
+        record = RunRecord("sweep", keys[arms[0]] if arms else "",
+                           cached=not tasks,
+                           seconds=time.perf_counter() - t0, result=result)
+        record.artifact_path, record.meta_path = write_artifact_pair(
+            self.context.results_dir, "sweep", result.to_json(), {
+                "experiment_id": "sweep",
+                "arms": len(arms),
+                "cache_hits": len(arms) - len(tasks),
+                "seconds": round(record.seconds, 4),
+                "jobs": self.context.jobs,
+                "fast": self.context.fast,
+                "seed": self.context.seed,
+            })
+        return record

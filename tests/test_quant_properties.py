@@ -1,0 +1,233 @@
+"""Randomized property suite over every format in the catalog.
+
+Each property runs against all formats registered in
+``repro.runner.formats.FORMAT_REGISTRY`` under **both** kernel dispatch
+modes (fast and ``REPRO_REFERENCE_KERNELS=1``), so a regression in
+either implementation — or a divergence between them — trips the suite.
+
+Formats that genuinely do not satisfy a property are exempted by name
+with the reason recorded next to the exemption; an exemption is a
+documented design fact (e.g. Elem-EM's top-k FP6 refinement is not a
+projection), never a shrug.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.sg_em import SG_EM_MULTIPLIERS
+from repro.errors import FormatError
+from repro.formats.registry import FP4_E2M1, FP6_E2M3, SCALAR_FORMATS
+from repro.kernels import fast_kernels, reference_kernels
+from repro.runner.formats import FORMAT_REGISTRY, make_format
+
+ALL_FORMATS = sorted(FORMAT_REGISTRY)
+
+#: Formats whose quantize() is not a projection.
+#: * Elem-EM/EE re-select their per-subgroup refinement targets from the
+#:   quantized data on a second pass, so q(q(x)) can refine differently;
+#:   the M2XFP hybrids inherit this through their Elem-EM activation
+#:   path (M2XFP's Sg-EM weight path *is* idempotent — tested below).
+#: * NVFP4's tensor-level FP32 scale is derived from the live tensor
+#:   amax, which quantization itself perturbs; m2-nvfp4 builds on it.
+#: * MaxPreserving stores the group max FP16-quantized, shifting the
+#:   inner format's shared scale on the second pass.
+NOT_IDEMPOTENT = {"elem-em", "elem-ee", "m2xfp", "m2-nvfp4",
+                  "nvfp4", "mxfp4-maxkeep"}
+
+#: Formats that are monotone on sorted data within one shared-scale
+#: group. The exemptions all refine *subgroups* independently (SMX4's
+#: pair micro-exponents, Sg-EM/EE multipliers, Elem-EM top-k FP6,
+#: MaxPreserving's special-cased group max), so two neighbours can land
+#: on differently-refined sub-grids and swap order by one step.
+MONOTONE_IN_GROUP = sorted(set(ALL_FORMATS) - {
+    "mxfp4-maxkeep", "smx4", "elem-em", "sg-em", "sg-ee",
+    "m2xfp", "m2-nvfp4"})
+
+
+@pytest.fixture(params=["fast", "reference"])
+def dispatch(request):
+    """Run the test body under one kernel dispatch mode."""
+    cm = fast_kernels() if request.param == "fast" else reference_kernels()
+    with cm:
+        yield request.param
+
+
+def _draws(n_draws: int = 3, shape=(4, 64)):
+    """Adversarially-scaled random tensors (heavy tails, mixed binades)."""
+    rng = np.random.default_rng(20260728)
+    for _ in range(n_draws):
+        x = rng.standard_normal(shape)
+        x *= np.exp2(rng.integers(-6, 7, size=shape).astype(np.float64))
+        yield x
+
+
+@pytest.mark.parametrize("name", sorted(set(ALL_FORMATS) - NOT_IDEMPOTENT))
+def test_idempotent(name, dispatch):
+    """q(q(x)) == q(x): quantized data is a fixed point."""
+    fmt = make_format(name)
+    for x in _draws():
+        q = fmt.quantize(x, axis=-1)
+        assert np.array_equal(fmt.quantize(q, axis=-1), q)
+
+
+@pytest.mark.parametrize("name", ["m2xfp"])
+def test_weight_path_idempotent(name, dispatch):
+    """M2XFP's offline (Sg-EM) weight path is a projection.
+
+    m2-nvfp4 is excluded: its weight path sits on NVFP4's two-level
+    scaling, whose tensor scale moves with the quantized amax.
+    """
+    fmt = make_format(name)
+    for x in _draws():
+        q = fmt.quantize_weight(x, axis=-1)
+        assert np.array_equal(fmt.quantize_weight(q, axis=-1), q)
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_sign_symmetry(name, dispatch):
+    """Sign-magnitude formats commute with negation: q(-x) == -q(x)."""
+    fmt = make_format(name)
+    for x in _draws():
+        assert np.array_equal(fmt.quantize(-x, axis=-1),
+                              -fmt.quantize(x, axis=-1))
+
+
+@pytest.mark.parametrize("name", MONOTONE_IN_GROUP)
+def test_monotone_within_group(name, dispatch):
+    """Sorted inputs under one shared scale quantize non-decreasingly."""
+    fmt = make_format(name)
+    g = int(getattr(fmt, "group_size", 32) or 32)
+    rng = np.random.default_rng(97)
+    for _ in range(6):
+        row = np.sort(rng.standard_normal(g) *
+                      np.exp2(int(rng.integers(-4, 5))))
+        q = fmt.quantize(row[None, :], axis=-1)[0]
+        assert np.all(np.diff(q) >= 0), f"{name}: {row!r} -> {q!r}"
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_zeros_preserved(name, dispatch):
+    """All-zero groups stay zero, and zeros embedded in data stay zero."""
+    fmt = make_format(name)
+    assert np.all(fmt.quantize(np.zeros((3, 64)), axis=-1) == 0)
+    rng = np.random.default_rng(5)
+    x = rng.standard_normal((4, 64))
+    x[:, ::5] = 0.0
+    q = fmt.quantize(x, axis=-1)
+    assert np.all(q[:, ::5] == 0)
+
+
+@pytest.mark.parametrize("name", sorted(set(ALL_FORMATS) - {"fp16"}))
+@pytest.mark.parametrize("bad", [np.nan, np.inf, -np.inf])
+def test_nonfinite_rejected(name, bad, dispatch):
+    """NaN/Inf raise FormatError instead of poisoning the shared scale."""
+    fmt = make_format(name)
+    x = np.ones((2, 64))
+    x[1, 3] = bad
+    with pytest.raises(FormatError):
+        fmt.quantize(x, axis=-1)
+
+
+# ----------------------------------------------------------------------
+# On-grid checks: every output value is an element-grid point times the
+# format's scale. For dyadic-scale formats the scale is a power of two,
+# so the *significand* of each nonzero output (via exact ``np.frexp``)
+# must appear among the significands of the element grid (times the
+# Sg-EM multipliers for the subgroup-refined formats). Formats with
+# non-dyadic scales (NVFP4's E4M3, GroupFP4's FP16 scale) are excluded:
+# their outputs have no scale-free invariant to check.
+# ----------------------------------------------------------------------
+
+def _significands(values: np.ndarray) -> set:
+    vals = np.abs(np.asarray(values, dtype=np.float64).ravel())
+    vals = vals[vals > 0]
+    return set(np.frexp(vals)[0].tolist())
+
+
+def _int_grid(max_value: float) -> np.ndarray:
+    return np.arange(0.0, max_value + 1.0)
+
+
+def _grid_sets():
+    fp4 = FP4_E2M1.grid
+    fp6 = FP6_E2M3.grid
+    mult = np.asarray(SG_EM_MULTIPLIERS)
+    sg = np.outer(fp4, mult)
+    return {
+        "mxfp4": _significands(fp4),
+        "mxfp6-e2m3": _significands(fp6),
+        "mxfp6-e3m2": _significands(SCALAR_FORMATS["fp6_e3m2"].grid),
+        "mxfp8-e4m3": _significands(SCALAR_FORMATS["fp8_e4m3"].grid),
+        "mxfp8-e5m2": _significands(SCALAR_FORMATS["fp8_e5m2"].grid),
+        "mxint8": _significands(_int_grid(127)),
+        "smx4": _significands(_int_grid(3)),
+        "smx6": _significands(_int_grid(15)),
+        "smx9": _significands(_int_grid(127)),
+        "msfp12": _significands(_int_grid(7)),
+        "msfp16": _significands(_int_grid(127)),
+        "elem-ee": _significands(fp4),
+        "elem-em": _significands(fp4) | _significands(fp6),
+        "sg-em": _significands(sg),
+        "sg-ee": _significands(sg),
+        "mxfp4-maxkeep": None,  # group max passes through unquantized
+    }
+
+
+GRID_SETS = _grid_sets()
+
+
+@pytest.mark.parametrize("name", sorted(k for k, v in GRID_SETS.items() if v))
+def test_outputs_on_grid(name, dispatch):
+    """Nonzero outputs are element-grid points under a power-of-two scale."""
+    allowed = GRID_SETS[name]
+    fmt = make_format(name)
+    for x in _draws():
+        q = np.abs(fmt.quantize(x, axis=-1)).ravel()
+        sig = np.frexp(q[q > 0])[0]
+        extra = set(sig.tolist()) - allowed
+        assert not extra, f"{name}: off-grid significands {sorted(extra)[:5]}"
+
+
+def test_maxkeep_stores_group_max_in_fp16(dispatch):
+    """MaxPreserving stores each group's max FP16-quantized, not FP4."""
+    from repro.formats.registry import FP16
+    fmt = make_format("mxfp4-maxkeep")
+    for x in _draws():
+        q = fmt.quantize(x, axis=-1)
+        groups = np.abs(x).reshape(-1, 32)
+        qg = np.abs(q).reshape(-1, 32)
+        idx = np.argmax(groups, axis=1)
+        rows = np.arange(groups.shape[0])
+        assert np.array_equal(qg[rows, idx], FP16.quantize(groups[rows, idx]))
+
+
+# ----------------------------------------------------------------------
+# Scalar FloatSpec properties (the element grids everything builds on).
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("spec_name", sorted(SCALAR_FORMATS))
+def test_floatspec_decode_on_grid(spec_name, dispatch):
+    """encode/decode lands every value exactly on the signed grid."""
+    spec = SCALAR_FORMATS[spec_name]
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal(512) * np.exp2(rng.integers(-8, 9, 512).astype(float))
+    sign, mag = spec.encode(x)
+    decoded = spec.decode(sign, mag)
+    grid_set = set(spec.grid.tolist())
+    assert all(abs(v) in grid_set for v in decoded.tolist())
+    # Round trip: decoded values re-encode to the same codes.
+    sign2, mag2 = spec.encode(decoded)
+    assert np.array_equal(mag2, mag)
+    nonzero = decoded != 0
+    assert np.array_equal(sign2[nonzero], sign[nonzero])
+
+
+@pytest.mark.parametrize("spec_name", sorted(SCALAR_FORMATS))
+def test_floatspec_monotone(spec_name, dispatch):
+    """Scalar encode is monotone: larger magnitudes, larger codes."""
+    spec = SCALAR_FORMATS[spec_name]
+    x = np.sort(np.abs(np.random.default_rng(9).standard_normal(256)))
+    _, mag = spec.encode(x)
+    assert np.all(np.diff(mag) >= 0)

@@ -1,0 +1,267 @@
+"""Tests for the sharded experiment runner and the result cache.
+
+The cheap experiments (tbl5, fig13: no model evaluation) drive the
+default-suite tests; the heavy serial-vs-parallel CLI determinism check
+over fig3/tbl6/tbl8 is marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import run_experiment
+from repro.experiments.report import ExperimentResult
+from repro.runner import (ExperimentRunner, ResultCache, RunContext,
+                          SweepRunner, cache_key, canonical_dumps, code_salt,
+                          format_fingerprint, list_formats, make_format)
+
+CHEAP = ["tbl5", "fig13"]
+
+
+def _runner(tmp_path: Path, **ctx_kwargs) -> ExperimentRunner:
+    ctx_kwargs.setdefault("results_dir", str(tmp_path / "results"))
+    ctx_kwargs.setdefault("cache_dir", str(tmp_path / "cache"))
+    return ExperimentRunner(RunContext(**ctx_kwargs))
+
+
+class TestCacheKey:
+    def test_stable_within_process(self):
+        assert cache_key("tbl5", {"fast": True}) == cache_key("tbl5", {"fast": True})
+
+    def test_sensitive_to_kwargs_and_id(self):
+        base = cache_key("tbl5", {"fast": True})
+        assert cache_key("tbl5", {"fast": False}) != base
+        assert cache_key("tbl3", {"fast": True}) != base
+        assert cache_key("tbl5", {"fast": True}, extra=("x",)) != base
+
+    def test_kwarg_order_irrelevant(self):
+        a = cache_key("x", {"a": 1, "b": (2, 3)})
+        b = cache_key("x", {"b": (2, 3), "a": 1})
+        assert a == b
+
+    def test_dispatch_mode_namespaces_the_key(self, monkeypatch):
+        base = cache_key("tbl5", {"fast": True})
+        monkeypatch.setenv("REPRO_REFERENCE_KERNELS", "1")
+        assert cache_key("tbl5", {"fast": True}) != base
+
+    def test_code_salt_is_hex_and_cached(self):
+        assert code_salt() == code_salt()
+        int(code_salt(), 16)
+
+
+class TestResultCache:
+    def test_roundtrip_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        assert cache.get("k") is None
+        cache.put("k", {"payload": {"a": 1}})
+        assert cache.get("k") == {"payload": {"a": 1}}
+        assert cache.stats == {"hits": 1, "misses": 1}
+
+    def test_disabled_by_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_RESULT_CACHE", "1")
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"payload": 1})
+        assert cache.get("k") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"payload": 1})
+        cache.path("k").write_text("{not json")
+        assert cache.get("k") is None
+
+    def test_wrong_shape_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k", {"payload": 1})
+        cache.path("k").write_text('["valid json", "wrong shape"]')
+        assert cache.get("k") is None
+        cache.path("k2").write_text('{"no_payload_field": 1}')
+        assert cache.get("k2") is None
+
+
+class TestResultJson:
+    def test_round_trip_fixpoint(self):
+        res = run_experiment("tbl5", fast=True)
+        payload = res.to_json()
+        rebuilt = ExperimentResult.from_json(payload)
+        assert rebuilt.to_json() == payload
+        assert rebuilt.render() == res.render()
+
+    def test_tuple_keys_and_numpy_values_serialize(self):
+        import numpy as np
+        res = ExperimentResult("x", "t", ["h"], [[np.float64(1.5)]],
+                               extras={("a", "b"): np.int64(3),
+                                       "arr": np.arange(2)})
+        payload = json.loads(canonical_dumps(res.to_json()))
+        assert payload["extras"]["a|b"] == 3
+        assert payload["extras"]["arr"] == [0, 1]
+        assert payload["rows"] == [[1.5]]
+
+
+class TestKwargValidation:
+    def test_unknown_kwarg_is_clear_config_error(self):
+        with pytest.raises(ConfigError) as exc:
+            run_experiment("tbl5", fats=True)
+        assert "fats" in str(exc.value)
+        assert "fast" in str(exc.value)  # lists the accepted names
+
+    def test_unknown_experiment_still_keyerror(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", fast=True)
+
+    def test_runner_validates_before_spawning(self, tmp_path):
+        runner = _runner(tmp_path, jobs=4)
+        with pytest.raises(ConfigError):
+            runner.run(["tbl5"], extra_kwargs={"bogus_knob": 1})
+
+
+class TestExperimentRunner:
+    def test_artifacts_written_and_cached(self, tmp_path):
+        runner = _runner(tmp_path)
+        records = runner.run(CHEAP)
+        assert [r.experiment_id for r in records] == CHEAP
+        assert not any(r.cached for r in records)
+        for r in records:
+            data = json.loads(Path(r.artifact_path).read_text())
+            assert data["experiment_id"] == r.experiment_id
+            meta = json.loads(Path(r.meta_path).read_text())
+            assert meta["cached"] is False and meta["cache_key"] == r.key
+
+        again = _runner(tmp_path).run(CHEAP)
+        assert all(r.cached for r in again)
+        assert [r.result.to_json() for r in again] == \
+               [r.result.to_json() for r in records]
+
+    def test_serial_and_parallel_artifacts_byte_identical(self, tmp_path):
+        r1 = _runner(tmp_path / "s", jobs=1).run(CHEAP)
+        r4 = _runner(tmp_path / "p", jobs=4).run(CHEAP)
+        for a, b in zip(r1, r4):
+            assert Path(a.artifact_path).read_bytes() == \
+                   Path(b.artifact_path).read_bytes()
+
+    def test_no_cache_context_reruns(self, tmp_path):
+        _runner(tmp_path).run(["tbl5"])
+        rerun = _runner(tmp_path, use_cache=False).run(["tbl5"])
+        assert not rerun[0].cached
+
+    def test_cached_record_reports_original_seconds(self, tmp_path):
+        first = _runner(tmp_path).run(["fig13"])
+        again = _runner(tmp_path).run(["fig13"])
+        assert again[0].cached
+        assert again[0].seconds == pytest.approx(first[0].seconds, abs=1e-3)
+
+    def test_cache_defaults_under_results_dir(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        runner = ExperimentRunner(RunContext(results_dir=str(tmp_path / "out")))
+        assert Path(runner.cache.root) == tmp_path / "out" / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "envcache"))
+        runner = ExperimentRunner(RunContext(results_dir=str(tmp_path / "out")))
+        assert Path(runner.cache.root) == tmp_path / "envcache"
+
+    def test_seed_namespaces_the_cache(self, tmp_path):
+        r0 = _runner(tmp_path, seed=0).run(["tbl5"])
+        r7 = _runner(tmp_path, seed=7).run(["tbl5"])
+        assert r0[0].key != r7[0].key
+        assert not r7[0].cached  # a new seed is never served stale results
+
+
+class TestSweepRunner:
+    def test_sweep_arms_cached_incrementally(self, tmp_path):
+        ctx = dict(results_dir=str(tmp_path / "results"),
+                   cache_dir=str(tmp_path / "cache"))
+        first = SweepRunner(RunContext(**ctx)).run(["mxfp4"], ["llama2-7b"])
+        assert not first.cached
+        assert first.result.rows[0][0] == "llama2-7b"
+
+        second = SweepRunner(RunContext(**ctx))
+        record = second.run(["mxfp4", "mxint8"], ["llama2-7b"])
+        assert second.cache.stats["hits"] == 1  # the mxfp4 arm resumed
+        names = [row[1] for row in record.result.rows]
+        assert names == ["mxfp4", "mxint8"]
+        data = json.loads(Path(record.artifact_path).read_text())
+        assert data["extras"]["cells"]["llama2-7b|mxfp4"]["ppl"] == \
+               first.result.extras["cells"]["llama2-7b|mxfp4"]["ppl"]
+
+    def test_format_fingerprint_feeds_key(self):
+        assert format_fingerprint("mxfp4") != format_fingerprint("mxint8")
+        for name in list_formats():
+            make_format(name)  # every catalog entry constructs
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigError):
+            make_format("mxfp99")
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        from repro.runner.cli import main
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "tbl3" in out and "mxfp4" in out
+
+    def test_unknown_id_exits_cleanly(self, capsys):
+        from repro.runner.cli import main
+        assert main(["run", "fig99"]) == 2
+        assert "fig99" in capsys.readouterr().err
+
+    def test_legacy_alias_runs_experiment(self, tmp_path, capsys, monkeypatch):
+        from repro.runner.cli import main
+        monkeypatch.chdir(tmp_path)
+        assert main(["tbl5", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "tbl5" in out
+        assert (tmp_path / "results" / "tbl5.json").exists()
+
+    def test_legacy_alias_accepts_flag_first(self, tmp_path, capsys,
+                                             monkeypatch):
+        # The pre-runner CLI accepted flags in any position.
+        from repro.runner.cli import main
+        monkeypatch.chdir(tmp_path)
+        assert main(["--fast", "tbl5"]) == 0
+        assert "tbl5" in capsys.readouterr().out
+
+    def test_no_args_prints_help(self, capsys):
+        from repro.runner.cli import main
+        assert main([]) == 1
+        assert "available experiments" in capsys.readouterr().out
+
+
+def _cli(cwd: Path, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep * bool(env.get("PYTHONPATH")) + \
+        env.get("PYTHONPATH", "")
+    return subprocess.run([sys.executable, "-m", "repro", *args],
+                          cwd=cwd, env=env, capture_output=True, text=True,
+                          check=True)
+
+
+@pytest.mark.slow
+class TestCliDeterminism:
+    """`python -m repro run` is byte-deterministic across --jobs."""
+
+    IDS = ["fig3", "tbl6", "tbl8"]
+
+    def test_jobs1_jobs4_identical_then_fully_cached(self, tmp_path):
+        _cli(tmp_path, "run", *self.IDS, "--jobs", "1", "--fast", "--quiet",
+             "--results-dir", "r1", "--cache-dir", "c1")
+        _cli(tmp_path, "run", *self.IDS, "--jobs", "4", "--fast", "--quiet",
+             "--results-dir", "r4", "--cache-dir", "c4")
+        for exp_id in self.IDS:
+            a = (tmp_path / "r1" / f"{exp_id}.json").read_bytes()
+            b = (tmp_path / "r4" / f"{exp_id}.json").read_bytes()
+            assert a == b, f"{exp_id}: serial/parallel artifact drift"
+
+        again = _cli(tmp_path, "run", *self.IDS, "--jobs", "4", "--fast",
+                     "--quiet", "--results-dir", "r4", "--cache-dir", "c4")
+        assert f"cache: {len(self.IDS)} hits / {len(self.IDS)}" in again.stdout
+        for exp_id in self.IDS:
+            b2 = (tmp_path / "r4" / f"{exp_id}.json").read_bytes()
+            a = (tmp_path / "r1" / f"{exp_id}.json").read_bytes()
+            assert a == b2, f"{exp_id}: cache-served artifact drift"
