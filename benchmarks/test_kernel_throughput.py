@@ -2,8 +2,9 @@
 
 Small, fast-running pytest-benchmark cases so every suite run leaves a
 throughput trace per format, plus an opt-in regression gate
-(``REPRO_BENCH_REGRESSION=1``) that re-runs the full kernel benchmark
-and compares speedups against the committed ``BENCH_kernels.json``.
+(``REPRO_BENCH_REGRESSION=1``, listed in the README's environment-knob
+table) that re-runs the full kernel benchmark and compares speedups
+against the committed ``BENCH_kernels.json``.
 """
 
 from __future__ import annotations

@@ -1,0 +1,141 @@
+"""Benchmark the packed-tensor codec and the batched quantization service.
+
+Measures, per catalog format arm:
+
+* **encode** — original tensor -> ``PackedTensor`` (quantization search
+  included, since that is what a cold encode costs);
+* **decode** — ``PackedTensor`` -> dequantized float64;
+* **footprint** — measured payload bits/element vs the format's nominal
+  EBW (and the container's total-with-header bytes).
+
+Plus a service section: per-tensor ``quantize`` calls vs micro-batched
+``QuantService.submit`` over a stream of small activation tensors.
+
+Run:  PYTHONPATH=src python scripts/bench_codec.py [--out PATH] [--quick]
+
+Writes ``BENCH_codec.json``. Absolute throughput is machine-dependent;
+the footprint columns and the batched-vs-serial ratio are the stable
+part.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.codec import PackedTensor, decode, encode
+from repro.runner.formats import make_format
+from repro.serve import QuantService
+
+DEFAULT_OUT = "BENCH_codec.json"
+
+#: (catalog name, operand path) arms to measure.
+ARMS = (
+    ("mxfp4", "activation"),
+    ("nvfp4", "activation"),
+    ("smx4", "activation"),
+    ("elem-em", "activation"),
+    ("sg-em", "weight"),
+    ("m2xfp", "weight"),
+    ("m2xfp", "activation"),
+    ("m2-nvfp4", "weight"),
+)
+
+
+def _best_time(fn, reps: int) -> float:
+    fn()  # warm caches and allocators
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """Run every codec/service benchmark; returns the payload dict."""
+    rng = np.random.default_rng(0)
+    rows = 128 if quick else 512
+    cols = 1024
+    x = rng.standard_normal((rows, cols)) * np.exp(
+        0.4 * rng.standard_normal((rows, cols)))
+    n = x.size
+    reps = 2 if quick else 3
+
+    results: dict[str, dict] = {}
+    for name, op in ARMS:
+        fmt = make_format(name)
+        pt = encode(fmt, x, op=op)
+        blob = pt.to_bytes()
+        enc_s = _best_time(lambda: encode(fmt, x, op=op), reps)
+        dec_s = _best_time(lambda: decode(PackedTensor.from_bytes(blob)), reps)
+        nominal = fmt.weight_ebw if op == "weight" else fmt.activation_ebw
+        results[f"{name}:{op}"] = {
+            "elements": n,
+            "encode_s": round(enc_s, 6),
+            "decode_s": round(dec_s, 6),
+            "encode_elems_per_s": round(n / enc_s, 1),
+            "decode_elems_per_s": round(n / dec_s, 1),
+            "payload_bits_per_elem": round(pt.bits_per_element, 4),
+            "nominal_ebw": round(nominal, 4),
+            "total_bytes": pt.total_bytes,
+            "header_bytes": pt.header_bytes,
+        }
+
+    # --- service: serial vs micro-batched ------------------------------
+    n_req = 64 if quick else 256
+    tensors = [rng.standard_normal((4, 256)) for _ in range(n_req)]
+    fmt = make_format("m2xfp")
+
+    def serial():
+        for t in tensors:
+            fmt.quantize_activation(t, axis=-1)
+
+    def batched():
+        with QuantService(fmt, max_batch=64, max_delay_s=0.05) as svc:
+            futs = [svc.submit(t) for t in tensors]
+            for f in futs:
+                f.result()
+
+    serial_s = _best_time(serial, reps)
+    batched_s = _best_time(batched, reps)
+    total = sum(t.size for t in tensors)
+    results["service_m2xfp_activation"] = {
+        "requests": n_req,
+        "elements": total,
+        "serial_s": round(serial_s, 6),
+        "batched_s": round(batched_s, 6),
+        "speedup": round(serial_s / batched_s, 3),
+        "batched_elems_per_s": round(total / batched_s, 1),
+    }
+    return {"schema": 1, "quick": bool(quick), "arms": results}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="smaller tensors / fewer reps")
+    ns = parser.parse_args()
+    payload = run_benchmarks(quick=ns.quick)
+    with open(ns.out, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {ns.out}")
+    for name, row in payload["arms"].items():
+        if "encode_s" in row:
+            print(f"  {name:24s} enc {row['encode_elems_per_s']:>12,.0f} e/s  "
+                  f"dec {row['decode_elems_per_s']:>12,.0f} e/s  "
+                  f"{row['payload_bits_per_elem']:.3f} b/e "
+                  f"(nominal {row['nominal_ebw']:.3f})")
+        else:
+            print(f"  {name:24s} serial {row['serial_s']*1e3:8.1f} ms  "
+                  f"batched {row['batched_s']*1e3:8.1f} ms  "
+                  f"({row['speedup']:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Regenerate the golden packed-bytes vectors for the tensor codec.
+
+Run:  PYTHONPATH=src python scripts/regen_packed_vectors.py --regen
+
+Writes ``tests/golden/packed_vectors.json``: a deterministic adversarial
+input (stored as ``float.hex()`` text), the exact serialized container
+bytes for the m2xfp and m2-nvfp4 formats on both operand paths, and the
+decoded output. ``tests/test_codec.py`` re-encodes from the committed
+inputs under every kernel dispatch mode and compares the *bytes* — the
+container layout is part of the conformance surface, so any silent
+change to stream order, header fields or bit packing fails tier-1.
+
+Like ``scripts/regen_golden_vectors.py``, run this only when the wire
+format changes intentionally, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.codec import decode, encode
+from repro.runner.formats import make_format
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" / \
+    "packed_vectors.json"
+
+#: The formats whose wire layout is pinned (the paper's two headliners).
+PINNED = ("m2xfp", "m2-nvfp4")
+
+
+def _adversarial_input(rng: np.random.Generator) -> np.ndarray:
+    """A (4, 64) matrix hitting scales, ties, zeros and outliers."""
+    x = rng.standard_normal((4, 64)) * np.exp(rng.standard_normal((4, 64)))
+    x[0, 0:6] = [0.0, -0.0, 1e-30, -1e-30, 640.0, -0.4375]
+    x[1, :] = 0.0                      # an all-zero group row
+    x[2, 3] = 3.0                      # exact FP4 grid point
+    x[2, 7] = -6.0 * 2.0 ** 5          # saturating block maximum
+    return x
+
+
+def build_payload() -> dict:
+    rng = np.random.default_rng(20260728)
+    x = _adversarial_input(rng)
+    payload = {"input_hex": [float(v).hex() for v in x.ravel()],
+               "shape": list(x.shape), "cases": {}}
+    for name in PINNED:
+        fmt = make_format(name)
+        for op in ("weight", "activation"):
+            pt = encode(fmt, x, op=op, verify=True)
+            payload["cases"][f"{name}:{op}"] = {
+                "format": name,
+                "op": op,
+                "packed_hex": pt.to_bytes().hex(),
+                "payload_bytes": pt.payload_bytes,
+                "bits_per_element": pt.bits_per_element,
+                "decoded_hex": [float(v).hex() for v in decode(pt).ravel()],
+            }
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--regen", action="store_true",
+                        help="actually overwrite the golden file")
+    ns = parser.parse_args()
+    payload = build_payload()
+    if not ns.regen:
+        print("dry run (use --regen to write); cases:")
+        for key, case in payload["cases"].items():
+            print(f"  {key:24s} {case['payload_bytes']:5d} payload bytes, "
+                  f"{case['bits_per_element']:.4f} bits/elem")
+        return
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

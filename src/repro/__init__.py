@@ -14,7 +14,16 @@ Public API highlights:
   BlockDialect, QuaRot/DuQuant, MR-GPTQ);
 * :mod:`repro.accel` — the accelerator model (bit-accurate PE, decode unit,
   quantization engine, cycle/energy/area models);
-* :mod:`repro.experiments` — one runner per paper table/figure.
+* :mod:`repro.experiments` — one runner per paper table/figure;
+* :mod:`repro.kernels` — fast quantization kernels with bit-identical
+  fast/reference dispatch;
+* :mod:`repro.runner` — the sharded, cached experiment runner and the
+  format catalog (``python -m repro``);
+* :mod:`repro.codec` — packed-tensor codec: any catalog format serialized
+  to true-bit-width bytes with bit-exact decode;
+* :mod:`repro.serve` — the micro-batched quantization service.
+
+See README.md for the architecture map and DESIGN.md for the rationale.
 """
 
 from .core import M2NVFP4, M2XFP, ElemEM, SgEM, m2_nvfp4, m2xfp

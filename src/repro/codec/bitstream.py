@@ -1,0 +1,72 @@
+"""Arbitrary-width bit field packing for the tensor codec.
+
+:mod:`repro.core.packing` handles the Sec. 5.2 accelerator layout, whose
+field widths (4-bit nibbles, 2-bit metadata) happen to divide a byte.
+The serialized container cannot afford that restriction: SMX6 mantissa
+codes are 5 bits, Elem-EE refinement codes are 3, MaxPreserving indices
+are ``ceil(log2(k))``. These helpers pack any fixed width ``1..64``
+densely, LSB-first within the stream, so a stream of ``count`` fields
+costs exactly ``ceil(count * width / 8)`` bytes — the property the
+measured-vs-nominal EBW assertions in ``tests/test_codec.py`` rest on.
+
+Example::
+
+    buf = pack_bits(np.array([5, 2, 7]), width=3)   # 9 bits -> 2 bytes
+    vals = unpack_bits(buf, width=3, count=3)       # array([5, 2, 7])
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CodecError
+
+__all__ = ["pack_bits", "unpack_bits", "packed_nbytes", "bits_needed"]
+
+
+def bits_needed(n_values: int) -> int:
+    """Width of the smallest field that can hold codes ``0..n_values-1``."""
+    if n_values < 1:
+        raise CodecError("bits_needed requires at least one code value")
+    return max(1, int(n_values - 1).bit_length())
+
+
+def packed_nbytes(count: int, width: int) -> int:
+    """Bytes :func:`pack_bits` emits for ``count`` fields of ``width`` bits."""
+    return (count * width + 7) // 8
+
+
+def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Pack non-negative integers into a dense LSB-first bitstream.
+
+    Returns a ``uint8`` array of :func:`packed_nbytes` bytes; the unused
+    high bits of the final byte are zero, so equal field sequences always
+    serialize to equal bytes.
+    """
+    if not 1 <= width <= 64:
+        raise CodecError(f"field width must be in [1, 64], got {width}")
+    values = np.asarray(values, dtype=np.int64).reshape(-1)
+    if values.size and (values.min() < 0 or
+                        (width < 64 and values.max() >= (1 << width))):
+        raise CodecError(f"field values must fit in {width} unsigned bits")
+    if values.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    shifts = np.arange(width, dtype=np.uint64)
+    bits = (values.astype(np.uint64)[:, None] >> shifts) & np.uint64(1)
+    return np.packbits(bits.astype(np.uint8).reshape(-1), bitorder="little")
+
+
+def unpack_bits(buf: bytes | np.ndarray, width: int, count: int) -> np.ndarray:
+    """Invert :func:`pack_bits` into ``count`` int64 fields."""
+    if not 1 <= width <= 64:
+        raise CodecError(f"field width must be in [1, 64], got {width}")
+    raw = np.frombuffer(memoryview(buf), dtype=np.uint8)
+    if raw.size < packed_nbytes(count, width):
+        raise CodecError(f"bitstream truncated: need "
+                         f"{packed_nbytes(count, width)} bytes, have {raw.size}")
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    bits = np.unpackbits(raw, count=count * width, bitorder="little")
+    shifts = np.arange(width, dtype=np.uint64)
+    fields = (bits.reshape(count, width).astype(np.uint64) << shifts).sum(axis=1)
+    return fields.astype(np.int64)

@@ -1,0 +1,183 @@
+"""The ``PackedTensor`` container: header + named bitstream sections.
+
+Wire layout (all little-endian)::
+
+    bytes 0..3   magic  b"RPT1"
+    bytes 4..7   uint32 header length H
+    bytes 8..8+H canonical JSON header (ascii, sorted keys)
+    remainder    the stream sections, concatenated in header order
+
+The header is self-describing: it carries the catalog format name, a
+configuration fingerprint (the format's ``repr``), the original tensor
+shape/axis, the group size, the operand path (``weight`` or
+``activation``), per-stream ``(name, width, count, nbytes)`` records and
+a codec-specific ``extra`` dict (floats stored as ``float.hex()`` text so
+round-trips are bit-exact). :func:`repro.codec.decode` needs nothing but
+these bytes plus the format catalog.
+
+Example::
+
+    from repro.codec import encode, decode
+    pt = encode(make_format("m2xfp"), w, op="weight")
+    blob = pt.to_bytes()                  # contiguous bytes, ships anywhere
+    w_hat = decode(PackedTensor.from_bytes(blob))
+    # w_hat == M2XFP().quantize_weight(w) bit for bit
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CodecError
+
+__all__ = ["MAGIC", "CONTAINER_VERSION", "Stream", "PackedTensor"]
+
+MAGIC = b"RPT1"
+CONTAINER_VERSION = 1
+
+
+@dataclass
+class Stream:
+    """One named, densely packed section of a :class:`PackedTensor`."""
+
+    name: str
+    data: bytes
+    width: int   # bits per field (accounting; raw streams use 8 * itemsize)
+    count: int   # number of fields
+
+    @property
+    def nbytes(self) -> int:
+        """Serialized size of this section."""
+        return len(self.data)
+
+
+@dataclass
+class PackedTensor:
+    """A tensor serialized to true-width bitstreams plus a header.
+
+    ``streams`` preserve insertion order — the serialization order — and
+    ``extra`` holds codec-specific scalars (e.g. NVFP4's tensor scale as
+    a ``float.hex()`` string).
+    """
+
+    format_name: str
+    fingerprint: str
+    op: str
+    shape: tuple[int, ...]
+    axis: int
+    group_size: int
+    streams: dict[str, Stream] = field(default_factory=dict)
+    extra: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Stream plumbing
+    # ------------------------------------------------------------------
+    def add_stream(self, name: str, data: bytes | np.ndarray,
+                   width: int, count: int) -> None:
+        """Append a section; duplicate names are a codec bug."""
+        if name in self.streams:
+            raise CodecError(f"duplicate stream {name!r}")
+        if isinstance(data, np.ndarray):
+            data = data.tobytes()
+        self.streams[name] = Stream(name, bytes(data), width, count)
+
+    def stream(self, name: str) -> Stream:
+        """Fetch a section by name with a decode-friendly error."""
+        if name not in self.streams:
+            raise CodecError(f"container has no stream {name!r} "
+                             f"(has: {', '.join(self.streams) or 'none'})")
+        return self.streams[name]
+
+    # ------------------------------------------------------------------
+    # Footprint accounting
+    # ------------------------------------------------------------------
+    @property
+    def n_elements(self) -> int:
+        """Logical element count of the original tensor."""
+        return int(np.prod(self.shape, dtype=np.int64)) if self.shape else 1
+
+    @property
+    def payload_bytes(self) -> int:
+        """Total bytes of the packed streams (excluding the header)."""
+        return sum(s.nbytes for s in self.streams.values())
+
+    @property
+    def header_bytes(self) -> int:
+        """Bytes of magic + length word + JSON header."""
+        return len(MAGIC) + 4 + len(self._header_json())
+
+    @property
+    def total_bytes(self) -> int:
+        """Full serialized size, header included."""
+        return self.header_bytes + self.payload_bytes
+
+    @property
+    def bits_per_element(self) -> float:
+        """Measured storage cost (payload only), comparable to nominal EBW.
+
+        Partial trailing groups are padded to ``group_size`` before
+        packing, so on group-aligned shapes this is exactly the sum of
+        the per-stream widths amortized over the elements.
+        """
+        return self.payload_bytes * 8 / max(1, self.n_elements)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _header_json(self) -> bytes:
+        header = {
+            "version": CONTAINER_VERSION,
+            "format": self.format_name,
+            "fingerprint": self.fingerprint,
+            "op": self.op,
+            "shape": list(self.shape),
+            "axis": self.axis,
+            "group_size": self.group_size,
+            "streams": [[s.name, s.width, s.count, s.nbytes]
+                        for s in self.streams.values()],
+            "extra": self.extra,
+        }
+        return json.dumps(header, sort_keys=True,
+                          separators=(",", ":")).encode("ascii")
+
+    def to_bytes(self) -> bytes:
+        """Serialize to one contiguous, self-describing byte string."""
+        head = self._header_json()
+        parts = [MAGIC, struct.pack("<I", len(head)), head]
+        parts += [s.data for s in self.streams.values()]
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "PackedTensor":
+        """Parse bytes produced by :meth:`to_bytes`."""
+        blob = bytes(blob)
+        if len(blob) < len(MAGIC) + 4 or blob[:len(MAGIC)] != MAGIC:
+            raise CodecError("not a packed tensor container (bad magic)")
+        (hlen,) = struct.unpack_from("<I", blob, len(MAGIC))
+        start = len(MAGIC) + 4
+        if len(blob) < start + hlen:
+            raise CodecError("truncated container header")
+        try:
+            header = json.loads(blob[start:start + hlen].decode("ascii"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CodecError(f"unreadable container header: {exc}") from exc
+        if header.get("version") != CONTAINER_VERSION:
+            raise CodecError(f"unsupported container version "
+                             f"{header.get('version')!r}")
+        pt = cls(format_name=header["format"],
+                 fingerprint=header["fingerprint"], op=header["op"],
+                 shape=tuple(header["shape"]), axis=int(header["axis"]),
+                 group_size=int(header["group_size"]),
+                 extra=header.get("extra", {}))
+        offset = start + hlen
+        for name, width, count, nbytes in header["streams"]:
+            data = blob[offset:offset + nbytes]
+            if len(data) != nbytes:
+                raise CodecError(f"truncated stream {name!r}")
+            pt.add_stream(name, data, int(width), int(count))
+            offset += nbytes
+        return pt

@@ -15,3 +15,7 @@ class ShapeError(ReproError):
 
 class ConfigError(ReproError):
     """An experiment or hardware configuration is invalid."""
+
+
+class CodecError(ReproError):
+    """A packed tensor container is malformed or cannot be (de)serialized."""

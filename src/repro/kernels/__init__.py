@@ -20,12 +20,22 @@ Modules (all pure NumPy, importable without the rest of the library):
   search behind Sg-EM, adaptive Sg-EE and M2-NVFP4 weights;
 * :mod:`~repro.kernels.elem` — fused Elem-EM top-k / Elem-EE offset
   refinement.
+
+Example::
+
+    from repro.kernels import reference_kernels
+
+    fast = fmt.quantize_weight(w)            # default fast path
+    with reference_kernels():
+        slow = fmt.quantize_weight(w)        # ground truth
+    assert fast.tobytes() == slow.tobytes()  # the parity contract
 """
 
 from .bittwiddle import encode_magnitudes
 from .dispatch import (BITTWIDDLE_ENV, REFERENCE_ENV, fast_kernels,
                        reference_kernels, use_bittwiddle, use_reference)
-from .elem import elem_ee_offsets, fp6_topk_refine, top_indices
+from .elem import (elem_ee_offsets, elem_ee_select, fp6_topk_refine,
+                   top_indices)
 from .lut import (boundaries_are_exact, cached_boundaries, exact_boundaries,
                   rtne_boundaries)
 from .search import candidate_search, gather_candidate_codes, hierarchical_select
@@ -37,5 +47,5 @@ __all__ = [
     "cached_boundaries",
     "encode_magnitudes",
     "candidate_search", "hierarchical_select", "gather_candidate_codes",
-    "top_indices", "fp6_topk_refine", "elem_ee_offsets",
+    "top_indices", "fp6_topk_refine", "elem_ee_select", "elem_ee_offsets",
 ]

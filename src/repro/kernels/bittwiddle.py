@@ -16,8 +16,17 @@ at all. This kernel works on the IEEE-754 representation of the input:
 
 This is the idiom hardware MX implementations (and BFPsim-style
 simulators) use; here it is the optional fast path for ``FloatSpec``
-encoding (``REPRO_BITTWIDDLE=1``), parity-tested against both the
-reference search and the boundary-cache kernel.
+encoding (``REPRO_BITTWIDDLE=1``, see the README's environment-knob
+table), parity-tested against both the reference search and the
+boundary-cache kernel.
+
+Example::
+
+    from repro.kernels.bittwiddle import encode_magnitudes
+    from repro.formats.registry import FP4_E2M1
+
+    codes = encode_magnitudes(FP4_E2M1, x)            # |x| -> FP4 codes
+    scaled = encode_magnitudes(FP4_E2M1, x, exp_shift=e)   # |x| / 2**e
 """
 
 from __future__ import annotations

@@ -18,7 +18,18 @@ context managers for scoped control (they override the environment).
 ``REPRO_BITTWIDDLE=1`` additionally switches ``FloatSpec`` encoding from
 the boundary-cache ``searchsorted`` kernel to the integer bit-twiddle
 encoder in :mod:`repro.kernels.bittwiddle`; both fast flavours are
-parity-tested against the reference.
+parity-tested against the reference. (Both knobs are listed in the
+README's environment-knob table.)
+
+Example::
+
+    from repro.kernels import reference_kernels, use_reference
+    from repro.formats.registry import FP4_E2M1
+
+    fast_codes = FP4_E2M1.encode(x)          # default: fast kernels
+    with reference_kernels():                # scoped, env-independent
+        assert use_reference()
+        ref_codes = FP4_E2M1.encode(x)       # bit-identical, slower
 """
 
 from __future__ import annotations

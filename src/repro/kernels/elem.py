@@ -10,13 +10,23 @@ reconstructs the encoder's selection (same codes, same stable tie
 order), the round trip collapses into one fused pass with bit-identical
 output. The same fusion serves ``M2NVFP4.quantize_activation``, whose
 top-1 refinement is the ``top_k == 1`` special case.
+
+Example (one fused Elem-EM transfer over already-scaled groups)::
+
+    from repro.kernels.elem import fp6_topk_refine
+    from repro.formats.registry import FP4_E2M1, FP6_E2M3
+
+    dq = fp6_topk_refine(scaled, sub_size=8, top_k=1,
+                         fp4=FP4_E2M1, fp6=FP6_E2M3)
+    # dq == elem_em_decode(elem_em_encode(...)) bit for bit
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["top_indices", "fp6_topk_refine", "elem_ee_offsets"]
+__all__ = ["top_indices", "fp6_topk_refine", "elem_ee_select",
+           "elem_ee_offsets"]
 
 
 def top_indices(mag_sub: np.ndarray, top_k: int) -> np.ndarray:
@@ -65,12 +75,17 @@ def fp6_topk_refine(scaled: np.ndarray, sub_size: int, top_k: int,
     return out.reshape(n, k)
 
 
-def elem_ee_offsets(top_val: np.ndarray, o_max: int, fp4) -> np.ndarray:
-    """Best exponent-increment refinement of the top elements, batched.
+def elem_ee_select(top_val: np.ndarray, o_max: int, fp4
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The Elem-EE offset search, exposed at the code level.
 
-    Evaluates ``quantize(v / 2**o) * 2**o`` for every offset in one shot;
-    ``argmin`` keeps the first minimum, matching the reference's
-    ``<``-guarded ascending-offset loop.
+    Evaluates ``quantize(v / 2**o) * 2**o`` for every offset in one shot
+    and returns ``(codes, cand, pick)``: the per-offset magnitude codes,
+    the signed candidate values, and the chosen offset index per element
+    (``argmin`` keeps the first minimum, matching the reference's
+    ``<``-guarded ascending-offset loop). The packed-tensor codec stores
+    ``pick`` and the picked code, so it shares this exact search rather
+    than re-deriving it.
     """
     offs = np.exp2(np.arange(o_max + 1, dtype=np.float64))
     scaled = np.abs(top_val)[..., None] / offs
@@ -79,4 +94,10 @@ def elem_ee_offsets(top_val: np.ndarray, o_max: int, fp4) -> np.ndarray:
     cand = np.where(np.signbit(top_val)[..., None], -cand, cand)
     err = np.abs(cand - top_val[..., None])
     pick = np.argmin(err, axis=-1)
+    return codes, cand, pick
+
+
+def elem_ee_offsets(top_val: np.ndarray, o_max: int, fp4) -> np.ndarray:
+    """Best exponent-increment refinement of the top elements, batched."""
+    _, cand, pick = elem_ee_select(top_val, o_max, fp4)
     return np.take_along_axis(cand, pick[..., None], axis=-1)[..., 0]

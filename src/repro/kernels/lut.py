@@ -25,6 +25,16 @@ a midpoint, so :func:`exact_boundaries` refuses them and callers fall
 back to the reference search. ``tests/test_kernel_parity.py`` checks
 the equivalence on adversarial inputs (ties, denormal-range values,
 saturating extremes) including non-dyadic grids.
+
+Example::
+
+    import numpy as np
+    from repro.kernels.lut import exact_boundaries
+    from repro.formats.registry import FP4_E2M1
+
+    bounds = exact_boundaries(FP4_E2M1.grid)      # built once per grid
+    codes = np.searchsorted(bounds, np.abs(x), side="left")
+    # codes == quantize_to_grid_reference(np.abs(x), FP4_E2M1.grid)
 """
 
 from __future__ import annotations

@@ -21,6 +21,13 @@ Error sums are reduced along a contiguous trailing axis of the same
 length as the reference's, so NumPy's pairwise summation visits the
 addends in the identical order — a requirement for the argmin decisions
 (and therefore the emitted codes) to match the reference bit for bit.
+
+Example (the Sg-EM shape: 3 biases x 4 multipliers per subgroup)::
+
+    cand = (scales_per_bias[:, :, None] * MULTIPLIERS).reshape(n, -1)
+    codes, err = candidate_search(subs, cand, fp4.grid, fp4.boundaries)
+    outer, inner, _ = hierarchical_select(err, n_outer=3, n_inner=4)
+    mag = gather_candidate_codes(codes, outer, inner, n_inner=4)
 """
 
 from __future__ import annotations

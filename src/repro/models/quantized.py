@@ -12,6 +12,14 @@ rebuild ``QuantizedLM`` wrappers around the *same* cached runtime model
 for every format arm, and the adaptive weight searches are by far the
 most expensive step of construction. ``REPRO_NO_WEIGHT_CACHE=1`` disables
 the cache; overridden projections always bypass it.
+
+``REPRO_PACKED_WEIGHTS=1`` stores quantized weights as true-bit-width
+:class:`repro.codec.PackedTensor` containers instead of dequantized
+float64 arrays — the memory-footprint story the paper's EBW accounting
+promises — decoding (bit-exactly) on each projection use. Opt-in: it
+trades decode time for a ~10x smaller resident weight set; see
+:meth:`QuantizedLM.weight_footprint` and the README's environment-knob
+table.
 """
 
 from __future__ import annotations
@@ -27,6 +35,9 @@ __all__ = ["QuantizedLM", "Fp16Format"]
 
 #: Environment variable disabling the per-model weight-quantization cache.
 NO_WEIGHT_CACHE_ENV = "REPRO_NO_WEIGHT_CACHE"
+
+#: Environment variable selecting packed (true-bit-width) weight storage.
+PACKED_WEIGHTS_ENV = "REPRO_PACKED_WEIGHTS"
 
 
 class Fp16Format(TensorFormat):
@@ -59,6 +70,12 @@ class QuantizedLM:
         self.fmt = fmt
         self.quantize_activations = bool(quantize_activations)
         override = weight_override or {}
+        self.packed_weights = False
+        if os.environ.get(PACKED_WEIGHTS_ENV, "0") == "1":
+            from ..codec import supports
+            # Formats without a codec keep dense storage silently: the
+            # knob is a storage-mode preference, not a hard requirement.
+            self.packed_weights = supports(fmt)
         cache = None
         fmt_key = None
         if os.environ.get(NO_WEIGHT_CACHE_ENV, "0") != "1":
@@ -67,10 +84,20 @@ class QuantizedLM:
                 # The dispatch mode is part of the key: fast and reference
                 # kernels are bit-identical by contract, but a cross-check
                 # of that very contract must not be fed cached results
-                # from the other mode.
+                # from the other mode. Packed containers get their own
+                # namespace so dense arms never see containers (and vice
+                # versa).
                 from ..kernels.dispatch import use_bittwiddle, use_reference
-                fmt_key = (fmt_key, use_reference(), use_bittwiddle())
+                fmt_key = (fmt_key, use_reference(), use_bittwiddle(),
+                           self.packed_weights)
                 cache = model.__dict__.setdefault("_quant_weight_cache", {})
+
+        def quantize(w):
+            if self.packed_weights:
+                from ..codec import encode
+                return encode(fmt, w, op="weight", axis=-1)
+            return fmt.quantize_weight(w, axis=-1)
+
         self._weights: dict[str, np.ndarray] = {}
         for li, layer in enumerate(model.layers):
             for name in ("wq", "wk", "wv", "wo", "w_gate", "w_up", "w_down"):
@@ -80,10 +107,10 @@ class QuantizedLM:
                 elif cache is not None:
                     entry = (fmt_key, key)
                     if entry not in cache:
-                        cache[entry] = fmt.quantize_weight(layer[name], axis=-1)
+                        cache[entry] = quantize(layer[name])
                     self._weights[key] = cache[entry]
                 else:
-                    self._weights[key] = fmt.quantize_weight(layer[name], axis=-1)
+                    self._weights[key] = quantize(layer[name])
         self._act_amax: dict[str, float] = {}
         if calibration_tokens is not None and hasattr(fmt, "quantize_activation_calibrated"):
             self._calibrate_activations(np.atleast_2d(calibration_tokens))
@@ -98,6 +125,38 @@ class QuantizedLM:
         self.model.forward(tokens, linear_fn=record)
         self._act_amax = amax
 
+    def _weight(self, name: str) -> np.ndarray:
+        """The dequantized weight matrix (decoding packed storage)."""
+        w = self._weights[name]
+        if isinstance(w, np.ndarray):
+            return w
+        from ..codec import decode
+        return decode(w, fmt=self.fmt)
+
+    def weight_footprint(self) -> dict:
+        """Resident weight storage, measured.
+
+        ``total_bytes`` counts packed containers at their serialized size
+        (header included) and dense projections at float64 size;
+        ``dense_float64_bytes`` is what the same weights cost without
+        ``REPRO_PACKED_WEIGHTS=1``.
+        """
+        total = 0
+        dense = 0
+        elements = 0
+        for w in self._weights.values():
+            if isinstance(w, np.ndarray):
+                total += w.nbytes
+                elements += w.size
+                dense += w.size * 8
+            else:
+                total += w.total_bytes
+                elements += w.n_elements
+                dense += w.n_elements * 8
+        return {"packed": self.packed_weights, "total_bytes": total,
+                "dense_float64_bytes": dense, "elements": elements,
+                "bits_per_element": total * 8 / max(1, elements)}
+
     def _linear(self, name: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         if not self.quantize_activations:
             xq = x
@@ -105,7 +164,7 @@ class QuantizedLM:
             xq = self.fmt.quantize_activation_calibrated(x, self._act_amax[name], axis=-1)
         else:
             xq = self.fmt.quantize_activation(x, axis=-1)
-        return xq @ self._weights[name].T
+        return xq @ self._weight(name).T
 
     def forward(self, tokens: np.ndarray) -> np.ndarray:
         """Quantized logits."""

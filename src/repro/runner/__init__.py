@@ -5,6 +5,15 @@ into infrastructure: experiments (and format x profile sweep grids) run
 in parallel worker processes, every completed run is cached on disk under
 a content-addressed key, and each run leaves machine-readable JSON
 artifacts under ``results/``. See ``python -m repro --help``.
+
+Example::
+
+    from repro.runner import ExperimentRunner, RunContext, SweepRunner
+
+    runner = ExperimentRunner(RunContext(fast=True, jobs=4))
+    records = runner.run(["tbl3", "fig6"])            # cached + sharded
+    sweep = SweepRunner(RunContext(fast=True)).run(
+        formats=["mxfp4", "m2xfp"], profiles=["llama2-7b"])
 """
 
 from .cache import ResultCache, cache_key, canonical_dumps, code_salt

@@ -17,7 +17,18 @@ Entries are JSON files under ``<cache_dir>/<key>.json`` (default
 ``results/cache/``, overridable via ``REPRO_CACHE_DIR``); writes are
 atomic (temp file + ``os.replace``) so concurrent runners on the same
 tree can only ever observe complete entries. ``REPRO_NO_RESULT_CACHE=1``
-disables the cache globally.
+disables the cache globally. (Both knobs are listed in the README's
+environment-knob table.)
+
+Example::
+
+    from repro.runner.cache import ResultCache, cache_key
+
+    cache = ResultCache()                      # REPRO_CACHE_DIR-aware
+    key = cache_key("tbl3", {"fast": True})
+    if (hit := cache.get(key)) is None:
+        payload = expensive_compute()
+        cache.put(key, {"payload": payload})
 """
 
 from __future__ import annotations

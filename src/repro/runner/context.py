@@ -7,7 +7,16 @@ but seeding the legacy global RNG closes the door on any future path
 that reaches for it), and the cache/artifact locations. The runner
 applies the same context before executing an experiment whether it runs
 inline (``--jobs 1``) or inside a pool worker, which is what makes the
-two bit-identical by construction rather than by luck.
+two bit-identical by construction rather than by luck. The artifact
+directory defaults to ``results/`` and follows ``REPRO_RESULTS_DIR``
+(see the README's environment-knob table).
+
+Example::
+
+    from repro.runner import ExperimentRunner, RunContext
+
+    ctx = RunContext(fast=True, jobs=4)        # full sizes: fast=False
+    records = ExperimentRunner(ctx).run(["tbl3", "fig6"])
 """
 
 from __future__ import annotations

@@ -6,6 +6,14 @@ construction with the documented default-directory chain, the
 meta-sidecar writer — so a fix to any of them cannot drift between
 :class:`~repro.runner.runner.ExperimentRunner` and
 :class:`~repro.runner.sweep.SweepRunner`.
+
+Example::
+
+    from repro.runner.execution import pool_execute
+
+    tasks = {eid: (eid, kwargs) for eid in ["fig3", "tbl6"]}
+    for eid, result in pool_execute(run_one, tasks, jobs=4):
+        ...   # completion order; reorder if task order matters
 """
 
 from __future__ import annotations

@@ -6,6 +6,14 @@ sweep runner, the property-based test suite and the golden-vector
 conformance layer all iterate so "every registered format" means the same
 thing everywhere. Factories (rather than shared instances) keep the sweep
 workers free of cross-arm state.
+
+Example::
+
+    from repro.runner.formats import list_formats, make_format
+
+    for name in list_formats():          # all 21 catalog formats
+        fmt = make_format(name)
+        fmt.quantize_weight(w, axis=-1)
 """
 
 from __future__ import annotations

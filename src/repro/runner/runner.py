@@ -24,6 +24,14 @@ Each run writes two files under the results directory:
 * ``<exp_id>.meta.json`` — run provenance: wall-clock timings, cache
   hit/miss, job count, code salt. Deliberately split out because
   timings are the one thing that can never be deterministic.
+
+Example::
+
+    from repro.runner import ExperimentRunner, RunContext
+
+    runner = ExperimentRunner(RunContext(fast=True, jobs=4))
+    for record in runner.run(["tbl3", "fig6"]):      # or list_experiments()
+        print(record.result.experiment_id, record.cached, record.seconds)
 """
 
 from __future__ import annotations

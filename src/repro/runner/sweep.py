@@ -8,6 +8,15 @@ profile) is an independent cache entry keyed by the arm parameters plus
 the format's configuration fingerprint, so adding a format to a sweep
 re-pays only the new arms, and a partially-failed sweep resumes from
 the arms that finished.
+
+Example::
+
+    from repro.runner import RunContext, SweepRunner
+
+    runner = SweepRunner(RunContext(fast=True, jobs=4))
+    record = runner.run(formats=["mxfp4", "m2xfp"],
+                        profiles=["llama2-7b", "opt-6.7b"])
+    print(record.result.render())        # ppl per (profile, format) arm
 """
 
 from __future__ import annotations

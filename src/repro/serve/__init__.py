@@ -1,0 +1,19 @@
+"""Batched quantization serving layer (the deployment-shaped front end).
+
+One class, :class:`QuantService`: submit tensors, get futures; compatible
+requests are micro-batched into single kernel-dispatched passes (bit-
+identical to per-tensor quantization), weight requests are memoized, and
+``packed=True`` returns true-bit-width :class:`repro.codec.PackedTensor`
+containers with measured-vs-nominal footprint reporting.
+
+Example::
+
+    from repro.serve import QuantService
+    with QuantService("m2xfp", packed=True) as svc:
+        pt = svc.quantize(weights, op="weight")
+        print(svc.stats()["measured_bits_per_element"])
+"""
+
+from .service import QuantService
+
+__all__ = ["QuantService"]

@@ -1,0 +1,311 @@
+"""Batched quantization service over the kernel-dispatched formats.
+
+``QuantService`` is the deployment-shaped entry point the ROADMAP's
+"serves heavy traffic" goal asks for: callers ``submit()`` tensors and
+get futures back, a collector thread micro-batches compatible requests
+(same operand path, same reduction width) into one kernel-dispatched
+quantization pass, and an optional thread pool overlaps independent
+batches (NumPy releases the GIL inside the hot loops). Group-wise
+formats quantize each group independently, so stacking requests row-wise
+is *bit-identical* to quantizing them one by one — the batching is a
+pure throughput move, asserted in ``tests/test_serve.py``. Tensor-scoped
+formats (NVFP4 / M2-NVFP4, whose tensor-level scale depends on the whole
+input) are detected and never cross-batched.
+
+Weight-path requests are memoized per (format fingerprint, kernel
+dispatch mode, tensor digest) — the service-side analogue of the
+``QuantizedLM`` weight cache — so re-submitting the same weights costs a
+hash. ``REPRO_NO_WEIGHT_CACHE=1`` disables this too (documented in the
+README's environment-knob table).
+
+With ``packed=True`` results are :class:`~repro.codec.PackedTensor`
+containers instead of dequantized arrays, and :meth:`QuantService.stats`
+reports the measured bytes-per-element against the format's nominal EBW
+— the number the paper's storage claims are about.
+
+Example::
+
+    from repro.serve import QuantService
+
+    with QuantService("m2xfp", max_batch=32) as svc:
+        futs = [svc.submit(x, op="activation") for x in activations]
+        outs = [f.result() for f in futs]          # == per-tensor quantize
+    svc.stats()["batches"]                          # « len(activations)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+import numpy as np
+
+from ..core.m2xfp import M2NVFP4
+from ..errors import ConfigError
+from ..models.quantized import NO_WEIGHT_CACHE_ENV
+from ..mx.base import TensorFormat
+from ..mx.max_preserve import MaxPreserving
+from ..mx.nvfp import NVFP4
+
+__all__ = ["QuantService"]
+
+_OPS = ("weight", "activation")
+
+
+def _tensor_scoped(fmt) -> bool:
+    """True when quantization depends on whole-tensor state (no batching)."""
+    if isinstance(fmt, (NVFP4, M2NVFP4)):
+        return True
+    if isinstance(fmt, MaxPreserving):
+        return _tensor_scoped(fmt.inner)
+    return False
+
+
+def _digest(x: np.ndarray) -> str:
+    h = hashlib.sha256()
+    h.update(str(x.shape).encode())
+    h.update(x.tobytes())
+    return h.hexdigest()[:24]
+
+
+class _Request:
+    __slots__ = ("x", "op", "future")
+
+    def __init__(self, x: np.ndarray, op: str, future: Future) -> None:
+        self.x = x
+        self.op = op
+        self.future = future
+
+
+class QuantService:
+    """Micro-batching quantize/dequantize (or pack) service for one format.
+
+    Parameters
+    ----------
+    fmt:
+        A :class:`TensorFormat` or a catalog name (``"m2xfp"``).
+    packed:
+        Return :class:`~repro.codec.PackedTensor` containers instead of
+        dequantized arrays, and track measured vs nominal footprint.
+    max_batch / max_delay_s:
+        Micro-batch limits: the collector closes a batch at
+        ``max_batch`` requests or ``max_delay_s`` after its first one.
+    workers:
+        ``> 0`` processes batches on a thread pool of that size;
+        ``0`` (default) processes them on the collector thread.
+    """
+
+    def __init__(self, fmt: TensorFormat | str, *, packed: bool = False,
+                 max_batch: int = 64, max_delay_s: float = 0.002,
+                 workers: int = 0) -> None:
+        if isinstance(fmt, str):
+            from ..runner.formats import make_format
+            fmt = make_format(fmt)
+        if max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        self.fmt = fmt
+        self.packed = bool(packed)
+        self.max_batch = int(max_batch)
+        self.max_delay_s = float(max_delay_s)
+        self._batchable = not (_tensor_scoped(fmt) or self.packed)
+        self._queue: queue.Queue[_Request | None] = queue.Queue()
+        self._pool = ThreadPoolExecutor(max_workers=workers) if workers else None
+        self._lock = threading.Lock()
+        self._stats = {"requests": 0, "batches": 0, "batched_requests": 0,
+                       "elements": 0, "weight_cache_hits": 0,
+                       "payload_bytes": 0, "header_bytes": 0,
+                       "packed_elements": 0}
+        self._weight_cache: dict = {}
+        self._closed = False
+        self._collector = threading.Thread(target=self._collect_loop,
+                                           name="quant-service", daemon=True)
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray, op: str = "activation") -> Future:
+        """Enqueue one tensor; the future resolves to the quantized result
+        (a dequantized array, or a ``PackedTensor`` when ``packed=True``)."""
+        if op not in _OPS:
+            raise ConfigError(f"op must be one of {_OPS}, got {op!r}")
+        fut: Future = Future()
+        req = _Request(np.asarray(x, dtype=np.float64), op, fut)
+        cached = self._weight_lookup(req)
+        # The closed-check and the enqueue are atomic against close(), so
+        # a request either lands ahead of the shutdown sentinel (and is
+        # processed) or raises — a future can never be left unresolved.
+        with self._lock:
+            if self._closed:
+                raise ConfigError("service is closed")
+            self._stats["requests"] += 1
+            if cached is not None:
+                self._stats["weight_cache_hits"] += 1
+            else:
+                self._queue.put(req)
+        if cached is not None:
+            fut.set_result(cached)
+        return fut
+
+    def quantize(self, x: np.ndarray, op: str = "activation"):
+        """Synchronous single-tensor path (submit + wait on one future).
+
+        On a batchable service this still rides the micro-batch window
+        (up to ``max_delay_s`` of latency); packed or tensor-scoped
+        services dispatch immediately.
+        """
+        return self.submit(x, op).result()
+
+    def quantize_batch(self, tensors, op: str = "activation") -> list:
+        """Submit many tensors at once and wait for all results."""
+        futures = [self.submit(x, op) for x in tensors]
+        return [f.result() for f in futures]
+
+    def stats(self) -> dict:
+        """Counters, plus measured-vs-nominal footprint when packing."""
+        with self._lock:
+            out = dict(self._stats)
+        if out["packed_elements"]:
+            out["measured_bits_per_element"] = (
+                out["payload_bytes"] * 8 / out["packed_elements"])
+        out["nominal_bits_per_element"] = {
+            "weight": self.fmt.weight_ebw,
+            "activation": self.fmt.activation_ebw,
+        }
+        return out
+
+    def close(self) -> None:
+        """Drain the queue, stop the collector, release the pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            # Enqueued under the same lock as submit(): every accepted
+            # request sits ahead of this sentinel.
+            self._queue.put(None)
+        self._collector.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "QuantService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Weight memoization
+    # ------------------------------------------------------------------
+    def _weight_key(self, req: _Request):
+        if req.op != "weight" or \
+                os.environ.get(NO_WEIGHT_CACHE_ENV, "0") == "1":
+            return None
+        fmt_key = self.fmt.weight_cache_key
+        if fmt_key is None:
+            return None
+        from ..kernels.dispatch import use_bittwiddle, use_reference
+        return (fmt_key, use_reference(), use_bittwiddle(), self.packed,
+                _digest(req.x))
+
+    def _weight_lookup(self, req: _Request):
+        """Cached result for a weight request (stats counted by submit)."""
+        key = self._weight_key(req)
+        if key is None:
+            return None
+        with self._lock:
+            return self._weight_cache.get(key)
+
+    def _weight_store(self, req: _Request, result) -> None:
+        key = self._weight_key(req)
+        if key is not None:
+            with self._lock:
+                self._weight_cache[key] = result
+
+    # ------------------------------------------------------------------
+    # Collector / execution
+    # ------------------------------------------------------------------
+    def _collect_loop(self) -> None:
+        while True:
+            req = self._queue.get()
+            if req is None:
+                return
+            batch = [req]
+            # Waiting for companions only pays when requests can actually
+            # be stacked; packed/tensor-scoped services run solo anyway.
+            deadline = (time.monotonic() + self.max_delay_s
+                        if self._batchable else time.monotonic())
+            while len(batch) < self.max_batch:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 and self._queue.empty():
+                    break
+                try:
+                    nxt = self._queue.get(timeout=max(0.0, remaining))
+                except queue.Empty:
+                    break
+                if nxt is None:
+                    self._run_batch(batch)
+                    return
+                batch.append(nxt)
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        groups: dict = {}
+        for req in batch:
+            key = (req.op, req.x.shape[-1] if req.x.ndim else 0) \
+                if self._batchable and req.x.ndim >= 1 else ("solo", id(req))
+            groups.setdefault(key, []).append(req)
+        for key, reqs in groups.items():
+            if self._pool is not None:
+                self._pool.submit(self._process_group, key, reqs)
+            else:
+                self._process_group(key, reqs)
+
+    def _process_group(self, key, reqs: list[_Request]) -> None:
+        try:
+            if key[0] in _OPS and len(reqs) > 1:
+                self._process_stacked(reqs, op=key[0])
+            else:
+                for req in reqs:
+                    self._finish(req, self._quantize_one(req))
+            with self._lock:
+                self._stats["batches"] += 1
+                self._stats["elements"] += sum(r.x.size for r in reqs)
+        except BaseException as exc:  # surface on every waiting future
+            for req in reqs:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+
+    def _process_stacked(self, reqs: list[_Request], op: str) -> None:
+        """One kernel pass over row-stacked requests (bit-exact split)."""
+        width = reqs[0].x.shape[-1]
+        mats = [r.x.reshape(-1, width) for r in reqs]
+        rows = np.cumsum([m.shape[0] for m in mats])[:-1]
+        stacked = np.concatenate(mats, axis=0)
+        fn = (self.fmt.quantize_weight if op == "weight"
+              else self.fmt.quantize_activation)
+        out = fn(stacked, axis=-1)
+        with self._lock:
+            self._stats["batched_requests"] += len(reqs)
+        for req, part in zip(reqs, np.split(out, rows, axis=0)):
+            self._finish(req, part.reshape(req.x.shape))
+
+    def _quantize_one(self, req: _Request):
+        if self.packed:
+            from ..codec import encode
+            pt = encode(self.fmt, req.x, op=req.op, axis=-1)
+            with self._lock:
+                self._stats["payload_bytes"] += pt.payload_bytes
+                self._stats["header_bytes"] += pt.header_bytes
+                self._stats["packed_elements"] += pt.n_elements
+            return pt
+        fn = (self.fmt.quantize_weight if req.op == "weight"
+              else self.fmt.quantize_activation)
+        return fn(req.x, axis=-1)
+
+    def _finish(self, req: _Request, result) -> None:
+        self._weight_store(req, result)
+        req.future.set_result(result)

@@ -1,0 +1,231 @@
+"""Packed-tensor codec conformance: bit-exact round trips + footprint.
+
+Three layers:
+
+* **Round-trip property** — for every catalog format and both operand
+  paths, ``decode(encode(x))`` equals the format's own kernel-dispatched
+  quantize output *bit for bit* (``tobytes`` equality, so -0.0 counts),
+  including zero tensors, negative zeros, padding of partial groups and
+  non-default axes, under fast / reference / bittwiddle dispatch.
+* **Footprint** — on group-aligned tensors the packed payload costs the
+  format's nominal EBW per element (within per-stream byte rounding),
+  with the two documented exceptions pinned exactly: Elem-EE stores a
+  3-bit refined code per subgroup, M2-NVFP4 weights a 2-bit bias code
+  per group.
+* **Golden packed bytes** — the serialized m2xfp / m2-nvfp4 containers
+  are pinned in ``tests/golden/packed_vectors.json`` (regen via
+  ``scripts/regen_packed_vectors.py --regen``); any header, stream-order
+  or bit-packing drift fails here first.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codec import PackedTensor, decode, encode
+from repro.errors import CodecError
+from repro.kernels import fast_kernels, reference_kernels
+from repro.kernels.dispatch import BITTWIDDLE_ENV
+from repro.runner.formats import FORMAT_REGISTRY, make_format
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "packed_vectors.json"
+
+ALL_FORMATS = sorted(FORMAT_REGISTRY)
+
+#: Formats re-checked under the non-default dispatch modes (the adaptive
+#: searches and metadata paths where codes could plausibly drift).
+DISPATCH_SUBSET = ("mxfp4", "nvfp4", "smx4", "msfp12", "elem-em", "elem-ee",
+                   "sg-em", "sg-ee", "m2xfp", "m2-nvfp4", "mxfp4-maxkeep")
+
+
+@contextmanager
+def _bittwiddle_kernels():
+    old = os.environ.get(BITTWIDDLE_ENV)
+    os.environ[BITTWIDDLE_ENV] = "1"
+    try:
+        with fast_kernels():
+            yield
+    finally:
+        if old is None:
+            os.environ.pop(BITTWIDDLE_ENV, None)
+        else:
+            os.environ[BITTWIDDLE_ENV] = old
+
+
+DISPATCH = {"fast": fast_kernels, "reference": reference_kernels,
+            "bittwiddle": _bittwiddle_kernels}
+
+
+def _reference_output(fmt, x, op, axis=-1):
+    if op == "weight":
+        return np.asarray(fmt.quantize_weight(x, axis=axis), dtype=np.float64)
+    return np.asarray(fmt.quantize_activation(x, axis=axis), dtype=np.float64)
+
+
+def _assert_roundtrip(fmt, x, op, axis=-1):
+    expect = _reference_output(fmt, x, op, axis)
+    pt = encode(fmt, x, op=op, axis=axis)
+    # Through the full byte container, not just the in-memory object.
+    out = decode(PackedTensor.from_bytes(pt.to_bytes()))
+    assert out.shape == expect.shape
+    assert out.tobytes() == expect.tobytes(), \
+        f"{fmt!r} {op} round-trip not bit-exact"
+    return pt
+
+
+# ----------------------------------------------------------------------
+# Round-trip property over the whole catalog
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_FORMATS)
+@pytest.mark.parametrize("op", ["weight", "activation"])
+def test_roundtrip_every_format(name, op, heavy_tensor):
+    _assert_roundtrip(make_format(name), heavy_tensor, op)
+
+
+@pytest.mark.parametrize("name", ALL_FORMATS)
+def test_roundtrip_adversarial_inputs(name, rng):
+    fmt = make_format(name)
+    cases = {
+        "zeros": np.zeros((3, 64)),
+        "negzero": -(rng.random((2, 64)) < 0.5).astype(np.float64) * 0.0,
+        "padding": rng.standard_normal((5, 50)),       # partial trailing group
+        "1d": rng.standard_normal(70),
+        "outliers": rng.standard_normal((4, 64)) * np.exp(
+            3 * rng.standard_normal((4, 64))),
+    }
+    for x in cases.values():
+        _assert_roundtrip(fmt, x, "activation")
+
+
+@pytest.mark.parametrize("name", ["m2xfp", "mxfp4", "nvfp4", "smx4"])
+def test_roundtrip_axis0(name, rng):
+    x = rng.standard_normal((64, 7))
+    _assert_roundtrip(make_format(name), x, "weight", axis=0)
+
+
+@pytest.mark.parametrize("dispatch", sorted(DISPATCH))
+@pytest.mark.parametrize("name", DISPATCH_SUBSET)
+def test_roundtrip_dispatch_modes(name, dispatch, heavy_tensor):
+    with DISPATCH[dispatch]():
+        fmt = make_format(name)
+        for op in ("weight", "activation"):
+            _assert_roundtrip(fmt, heavy_tensor, op)
+
+
+def test_fp16_representable_input_uses_16_bits(rng):
+    x = rng.standard_normal((8, 32)).astype(np.float16).astype(np.float64)
+    pt = _assert_roundtrip(make_format("fp16"), x, "activation")
+    assert pt.extra["storage"] == "f16"
+    assert pt.bits_per_element == 16.0
+
+
+# ----------------------------------------------------------------------
+# Footprint: measured payload vs nominal EBW
+# ----------------------------------------------------------------------
+#: Documented bits-per-element overhead beyond the nominal EBW, exact on
+#: group-aligned tensors (see repro/codec/codecs.py module docstring).
+FOOTPRINT_EXEMPTIONS = {
+    ("elem-ee", "weight"): 3 * 4 / 32,       # 3-bit refined code / subgroup
+    ("elem-ee", "activation"): 3 * 4 / 32,
+    ("m2-nvfp4", "weight"): 2 / 16,          # 2-bit bias code / group
+}
+
+
+@pytest.mark.parametrize("name", [n for n in ALL_FORMATS if n != "fp16"])
+@pytest.mark.parametrize("op", ["weight", "activation"])
+def test_payload_matches_nominal_ebw(name, op, rng):
+    fmt = make_format(name)
+    x = rng.standard_normal((12, 96))      # 96 = lcm of group sizes 32/16
+    pt = _assert_roundtrip(fmt, x, op)
+    nominal = fmt.weight_ebw if op == "weight" else fmt.activation_ebw
+    exempt = FOOTPRINT_EXEMPTIONS.get((name, op), 0.0)
+    # Per-stream byte rounding can waste at most 7 bits per stream.
+    slack = 7 * len(pt.streams) / pt.n_elements
+    assert pt.bits_per_element <= nominal + exempt + slack, \
+        (pt.bits_per_element, nominal, exempt)
+    # The payload really is low-bit: it can't undercut the element bits.
+    assert pt.bits_per_element >= nominal - 1.0
+    # "Within one header" end to end: total = payload + one small header.
+    assert pt.total_bytes == pt.payload_bytes + pt.header_bytes
+    assert pt.header_bytes < 600
+
+
+def test_fp16_nominal_on_representable_data(rng):
+    x = rng.standard_normal((12, 96)).astype(np.float16).astype(np.float64)
+    pt = encode(make_format("fp16"), x)
+    assert pt.bits_per_element == 16.0
+
+
+# ----------------------------------------------------------------------
+# Container plumbing and error paths
+# ----------------------------------------------------------------------
+def test_container_header_is_self_describing(heavy_tensor):
+    fmt = make_format("m2xfp")
+    pt = encode(fmt, heavy_tensor, op="weight")
+    blob = pt.to_bytes()
+    back = PackedTensor.from_bytes(blob)
+    assert back.format_name == "m2xfp"
+    assert back.fingerprint == repr(fmt)
+    assert back.op == "weight"
+    assert back.shape == heavy_tensor.shape
+    assert back.group_size == 32
+    assert back.to_bytes() == blob       # serialization is a fixed point
+
+
+def test_bad_magic_and_truncation_raise():
+    with pytest.raises(CodecError):
+        PackedTensor.from_bytes(b"NOPE" + b"\0" * 16)
+    fmt = make_format("mxfp4")
+    blob = encode(fmt, np.ones((2, 32))).to_bytes()
+    with pytest.raises(CodecError):
+        PackedTensor.from_bytes(blob[:len(blob) - 3])
+
+
+def test_fingerprint_mismatch_raises(rng):
+    x = rng.standard_normal((2, 32))
+    pt = encode(make_format("mxfp4"), x)
+    with pytest.raises(CodecError):
+        decode(pt, fmt=make_format("mxfp8-e4m3"))
+
+
+def test_bad_op_raises(rng):
+    with pytest.raises(CodecError):
+        encode(make_format("mxfp4"), rng.standard_normal((2, 32)), op="bogus")
+
+
+def test_verify_flag_roundtrips(rng):
+    encode(make_format("sg-ee"), rng.standard_normal((4, 64)),
+           op="weight", verify=True)
+
+
+# ----------------------------------------------------------------------
+# Golden packed bytes (wire-format conformance)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def packed_golden() -> dict:
+    assert GOLDEN_PATH.exists(), \
+        "golden packed vectors missing; run scripts/regen_packed_vectors.py --regen"
+    with open(GOLDEN_PATH) as f:
+        return json.load(f)
+
+
+@pytest.mark.parametrize("dispatch", sorted(DISPATCH))
+def test_packed_bytes_pinned(packed_golden, dispatch):
+    x = np.array([float.fromhex(v) for v in packed_golden["input_hex"]],
+                 dtype=np.float64).reshape(packed_golden["shape"])
+    with DISPATCH[dispatch]():
+        for key, case in sorted(packed_golden["cases"].items()):
+            fmt = make_format(case["format"])
+            pt = encode(fmt, x, op=case["op"])
+            got = pt.to_bytes().hex()
+            assert got == case["packed_hex"], \
+                f"{key}: container bytes drifted under {dispatch} dispatch"
+            expect = np.array([float.fromhex(v) for v in case["decoded_hex"]])
+            assert decode(pt).ravel().tobytes() == expect.tobytes(), \
+                f"{key}: decoded values drifted"

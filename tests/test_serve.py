@@ -1,0 +1,148 @@
+"""Batched quantization service: batching is invisible, caching is real.
+
+The contract under test: whatever mix of ``submit`` calls arrives, every
+future resolves to *exactly* the tensor the format's own quantizer would
+produce for that request alone — micro-batching, the thread pool and the
+weight memo are pure throughput moves. Plus the ``REPRO_PACKED_WEIGHTS``
+storage mode of ``QuantizedLM``: packed weights decode bit-exactly, so
+NLL/perplexity are unchanged while the resident footprint shrinks by the
+format's EBW ratio.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.codec import PackedTensor
+from repro.errors import ConfigError, FormatError
+from repro.models.quantized import QuantizedLM
+from repro.runner.formats import make_format
+from repro.serve import QuantService
+from repro.serve.service import _tensor_scoped
+
+
+@pytest.fixture()
+def tensors(rng):
+    return [rng.standard_normal((3 + i % 4, 64)) * (1 + i) for i in range(12)]
+
+
+def test_batched_results_equal_per_tensor_quantize(tensors):
+    fmt = make_format("m2xfp")
+    with QuantService(fmt, max_batch=32, max_delay_s=0.05) as svc:
+        outs = svc.quantize_batch(tensors, op="activation")
+        stats = svc.stats()
+    for x, out in zip(tensors, outs):
+        assert out.tobytes() == fmt.quantize_activation(x, axis=-1).tobytes()
+    # The requests really were coalesced, not processed one by one.
+    assert stats["batched_requests"] >= 2
+    assert stats["batches"] < stats["requests"]
+
+
+def test_weight_path_batched_and_exact(tensors):
+    fmt = make_format("sg-em")
+    with QuantService(fmt, max_batch=32, max_delay_s=0.05) as svc:
+        outs = svc.quantize_batch(tensors, op="weight")
+    for x, out in zip(tensors, outs):
+        assert out.tobytes() == fmt.quantize_weight(x, axis=-1).tobytes()
+
+
+def test_tensor_scoped_formats_never_cross_batch(rng):
+    # NVFP4's tensor-level scale depends on the whole input: stacking two
+    # tensors would change both results. The service must keep them apart.
+    assert _tensor_scoped(make_format("nvfp4"))
+    assert _tensor_scoped(make_format("m2-nvfp4"))
+    assert not _tensor_scoped(make_format("m2xfp"))
+    fmt = make_format("nvfp4")
+    xs = [rng.standard_normal((4, 64)), rng.standard_normal((4, 64)) * 1000]
+    with QuantService(fmt, max_batch=8, max_delay_s=0.05) as svc:
+        outs = svc.quantize_batch(xs, op="activation")
+        stats = svc.stats()
+    for x, out in zip(xs, outs):
+        assert out.tobytes() == fmt.quantize_activation(x, axis=-1).tobytes()
+    assert stats["batched_requests"] == 0
+
+
+def test_thread_pool_path(tensors):
+    fmt = make_format("mxfp4")
+    with QuantService(fmt, max_batch=4, max_delay_s=0.01, workers=2) as svc:
+        outs = svc.quantize_batch(tensors, op="activation")
+    for x, out in zip(tensors, outs):
+        assert out.tobytes() == fmt.quantize(x, axis=-1).tobytes()
+
+
+def test_weight_cache_hits_and_disable(rng, monkeypatch):
+    w = rng.standard_normal((16, 64))
+    with QuantService("sg-em") as svc:
+        a = svc.quantize(w, op="weight")
+        b = svc.quantize(w, op="weight")
+        assert a.tobytes() == b.tobytes()
+        assert svc.stats()["weight_cache_hits"] == 1
+    monkeypatch.setenv("REPRO_NO_WEIGHT_CACHE", "1")
+    with QuantService("sg-em") as svc:
+        svc.quantize(w, op="weight")
+        svc.quantize(w, op="weight")
+        assert svc.stats()["weight_cache_hits"] == 0
+
+
+def test_packed_mode_returns_containers_with_footprint(rng):
+    with QuantService("m2xfp", packed=True) as svc:
+        pt = svc.quantize(rng.standard_normal((8, 96)), op="weight")
+        stats = svc.stats()
+    assert isinstance(pt, PackedTensor)
+    assert stats["measured_bits_per_element"] == pytest.approx(4.5, abs=0.2)
+    assert stats["nominal_bits_per_element"]["weight"] == pytest.approx(4.5)
+
+
+def test_errors_propagate_through_futures():
+    with QuantService("mxfp4") as svc:
+        fut = svc.submit(np.array([[np.nan] * 32]))
+        with pytest.raises(FormatError):
+            fut.result(timeout=10)
+
+
+def test_submit_validation(rng):
+    svc = QuantService("mxfp4")
+    with pytest.raises(ConfigError):
+        svc.submit(rng.standard_normal(8), op="nope")
+    svc.close()
+    with pytest.raises(ConfigError):
+        svc.submit(rng.standard_normal(8))
+    svc.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# QuantizedLM packed-weight storage (REPRO_PACKED_WEIGHTS=1)
+# ----------------------------------------------------------------------
+def test_quantized_lm_packed_weights_bit_exact(rt_small, monkeypatch):
+    fmt = make_format("m2xfp")
+    tokens = rt_small.tokens[:2, :24]
+    monkeypatch.delenv("REPRO_PACKED_WEIGHTS", raising=False)
+    dense = QuantizedLM(rt_small.model, fmt)
+    assert not dense.packed_weights
+    nll_dense = dense.nll(tokens)
+    monkeypatch.setenv("REPRO_PACKED_WEIGHTS", "1")
+    packed = QuantizedLM(rt_small.model, fmt)
+    assert packed.packed_weights
+    nll_packed = packed.nll(tokens)
+    assert nll_packed == nll_dense
+    fp = packed.weight_footprint()
+    # ~4.5-bit containers vs 64-bit float storage, headers included.
+    assert fp["bits_per_element"] < 8.0
+    assert fp["total_bytes"] * 10 < fp["dense_float64_bytes"]
+    assert dense.weight_footprint()["bits_per_element"] == 64.0
+
+
+def test_quantized_lm_packed_cache_namespaced(rt_small, monkeypatch):
+    # Dense and packed arms share the model-level cache dict but must not
+    # serve each other's entries.
+    fmt = make_format("mxfp4")
+    monkeypatch.setenv("REPRO_PACKED_WEIGHTS", "1")
+    packed = QuantizedLM(rt_small.model, fmt)
+    monkeypatch.delenv("REPRO_PACKED_WEIGHTS")
+    dense = QuantizedLM(rt_small.model, fmt)
+    w_packed = packed._weights["l0.wq"]
+    w_dense = dense._weights["l0.wq"]
+    assert isinstance(w_packed, PackedTensor)
+    assert isinstance(w_dense, np.ndarray)
+    assert packed._weight("l0.wq").tobytes() == w_dense.tobytes()
