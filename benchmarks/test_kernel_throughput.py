@@ -107,3 +107,28 @@ def test_no_kernel_throughput_regression():
         assert run_check(str(baseline), None, threshold=0.2, quick=False) == 0
     finally:
         sys.path.pop(0)
+
+
+@pytest.mark.skipif(os.environ.get("REPRO_BENCH_REGRESSION", "0") != "1",
+                    reason="opt-in: export REPRO_BENCH_REGRESSION=1")
+@pytest.mark.parametrize("suite,baseline_name,module", [
+    ("codec", "BENCH_codec.json", "bench_codec"),
+    ("eval", "BENCH_eval.json", "bench_eval"),
+])
+def test_no_bench_suite_regression(suite, baseline_name, module):
+    """Quick fresh codec/eval benchmarks vs the committed baselines.
+
+    Quick mode shrinks tensors and profiles, so the loosened threshold
+    below absorbs the extra noise while still catching a silently
+    disabled fast path (those regressions are 2-10x, not 40%).
+    """
+    root = Path(__file__).resolve().parent.parent
+    baseline = root / baseline_name
+    assert baseline.exists(), f"no committed {baseline_name} baseline"
+    sys.path.insert(0, str(root / "scripts"))
+    try:
+        from check_bench_regression import run_check
+        assert run_check(str(baseline), None, threshold=0.4, quick=True,
+                         bench_module=module) == 0
+    finally:
+        sys.path.pop(0)

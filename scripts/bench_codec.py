@@ -85,6 +85,34 @@ def run_benchmarks(quick: bool = False) -> dict:
             "header_bytes": pt.header_bytes,
         }
 
+    # --- bitstream: aligned fast paths vs the generic bit expansion ----
+    from repro.codec.bitstream import (_pack_bits_generic,
+                                       _unpack_bits_generic, pack_bits,
+                                       unpack_bits)
+    n_fields = 200_000 if quick else 800_000
+    for width in (4, 8, 16):
+        vals = rng.integers(0, 1 << width, n_fields)
+        blob = pack_bits(vals, width)
+        raw_bytes = blob.tobytes()
+        raw = np.frombuffer(raw_bytes, dtype=np.uint8)
+        pack_fast = _best_time(lambda: pack_bits(vals, width), reps)
+        pack_gen = _best_time(lambda: _pack_bits_generic(vals, width), reps)
+        unpack_fast = _best_time(
+            lambda: unpack_bits(raw_bytes, width, n_fields), reps)
+        unpack_gen = _best_time(
+            lambda: _unpack_bits_generic(raw, width, n_fields), reps)
+        results[f"bitstream_w{width}"] = {
+            "fields": n_fields,
+            "pack_fast_s": round(pack_fast, 6),
+            "pack_generic_s": round(pack_gen, 6),
+            "unpack_fast_s": round(unpack_fast, 6),
+            "unpack_generic_s": round(unpack_gen, 6),
+            "pack_fields_per_s": round(n_fields / pack_fast, 1),
+            "unpack_fields_per_s": round(n_fields / unpack_fast, 1),
+            "speedup_pack": round(pack_gen / pack_fast, 3),
+            "speedup_unpack": round(unpack_gen / unpack_fast, 3),
+        }
+
     # --- service: serial vs micro-batched ------------------------------
     n_req = 64 if quick else 256
     tensors = [rng.standard_normal((4, 256)) for _ in range(n_req)]
@@ -131,10 +159,15 @@ def main() -> None:
                   f"dec {row['decode_elems_per_s']:>12,.0f} e/s  "
                   f"{row['payload_bits_per_elem']:.3f} b/e "
                   f"(nominal {row['nominal_ebw']:.3f})")
-        else:
+        elif "serial_s" in row:
             print(f"  {name:24s} serial {row['serial_s']*1e3:8.1f} ms  "
                   f"batched {row['batched_s']*1e3:8.1f} ms  "
                   f"({row['speedup']:.2f}x)")
+        else:
+            print(f"  {name:24s} pack {row['pack_fields_per_s']:>13,.0f} f/s "
+                  f"({row['speedup_pack']:.1f}x)  "
+                  f"unpack {row['unpack_fields_per_s']:>13,.0f} f/s "
+                  f"({row['speedup_unpack']:.1f}x)")
 
 
 if __name__ == "__main__":

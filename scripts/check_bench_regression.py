@@ -1,19 +1,22 @@
-"""Fail when kernel throughput regresses against the committed baseline.
+"""Fail when benchmark speedups regress against the committed baselines.
 
-Compares a candidate ``BENCH_kernels.json`` (a fresh run by default)
-against the committed baseline and exits non-zero if any kernel's
-fast-path *speedup over the reference* dropped by more than the
-threshold (default 20%). Speedup is compared rather than raw
-elements/sec because both runs of a speedup measurement happen on the
-same machine, making the ratio portable across hardware — the committed
+Covers all three committed benchmark files — ``BENCH_kernels.json``
+(kernel fast-vs-reference speedups), ``BENCH_codec.json`` (codec /
+service / bitstream) and ``BENCH_eval.json`` (compiled plans + eval
+engine) — and exits non-zero if any recorded *speedup* dropped by more
+than the threshold (default 20%). Speedups are compared rather than raw
+throughput because both sides of a speedup are measured on the same
+machine, making the ratio portable across hardware — the committed
 baseline may come from a different box than CI.
 
 Run:  PYTHONPATH=src python scripts/check_bench_regression.py \
-          [--baseline BENCH_kernels.json] [--candidate fresh.json] \
-          [--threshold 0.2] [--quick]
+          [--suite kernels|codec|eval|all] [--baseline PATH] \
+          [--candidate PATH] [--threshold 0.2] [--quick]
 
-Wired into the benchmark suite as an opt-in test: export
-``REPRO_BENCH_REGRESSION=1`` and run ``pytest benchmarks/test_kernel_throughput.py``.
+With no ``--candidate``, a fresh benchmark run supplies the candidate
+(``--quick`` shrinks it). Wired into the benchmark suite as opt-in
+tests: export ``REPRO_BENCH_REGRESSION=1`` and run
+``pytest benchmarks/test_kernel_throughput.py``.
 """
 
 from __future__ import annotations
@@ -22,62 +25,105 @@ import argparse
 import json
 import sys
 
+#: suite -> (baseline file, bench module with run_benchmarks(quick)).
+SUITES = {
+    "kernels": ("BENCH_kernels.json", "bench_kernels"),
+    "codec": ("BENCH_codec.json", "bench_codec"),
+    "eval": ("BENCH_eval.json", "bench_eval"),
+}
+
+
+def _speedups(payload, path=()) -> dict[str, float]:
+    """All ``speedup*`` numbers in a payload, keyed by their JSON path.
+
+    Pre-PR columns (``speedup_vs_pre_pr``) and the embedded ``pre_pr``
+    section are skipped: they compare against a checkout a fresh run
+    cannot reproduce.
+    """
+    out: dict[str, float] = {}
+    if isinstance(payload, dict):
+        if "warm_s" in payload:
+            # Cache-effect rows (e.g. the QuantizedLM weight-cache entry)
+            # are informational: their ratio measures a ~zero-cost hit
+            # and swings by orders of magnitude between runs.
+            return out
+        for key, value in payload.items():
+            if key == "pre_pr":
+                continue
+            if key.startswith("speedup") and key != "speedup_vs_pre_pr" \
+                    and isinstance(value, (int, float)):
+                out["/".join((*path, key))] = float(value)
+            else:
+                out.update(_speedups(value, (*path, str(key))))
+    return out
+
 
 def compare(baseline: dict, candidate: dict, threshold: float = 0.2) -> list[str]:
     """Return a list of human-readable regression messages (empty = pass)."""
     failures = []
-    base_kernels = baseline.get("kernels", {})
-    cand_kernels = candidate.get("kernels", {})
-    for name, base in sorted(base_kernels.items()):
-        if "speedup" not in base or "ref_s" not in base:
-            continue  # informational rows (e.g. the weight-cache entry)
-        cand = cand_kernels.get(name)
-        if cand is None:
+    base = _speedups(baseline)
+    cand = _speedups(candidate)
+    for name in sorted(base):
+        if name not in cand:
             failures.append(f"{name}: missing from candidate run")
             continue
-        floor = base["speedup"] * (1.0 - threshold)
-        if cand["speedup"] < floor:
+        floor = base[name] * (1.0 - threshold)
+        if cand[name] < floor:
             failures.append(
-                f"{name}: speedup {cand['speedup']:.2f}x < "
-                f"{floor:.2f}x (baseline {base['speedup']:.2f}x - {threshold:.0%})")
+                f"{name}: speedup {cand[name]:.2f}x < {floor:.2f}x "
+                f"(baseline {base[name]:.2f}x - {threshold:.0%})")
     return failures
 
 
 def run_check(baseline_path: str, candidate_path: str | None,
-              threshold: float, quick: bool) -> int:
+              threshold: float, quick: bool,
+              bench_module: str = "bench_kernels") -> int:
     with open(baseline_path) as f:
         baseline = json.load(f)
     if candidate_path is not None:
         with open(candidate_path) as f:
             candidate = json.load(f)
     else:
-        from bench_kernels import run_benchmarks
-        candidate = run_benchmarks(quick=quick)
+        module = __import__(bench_module)
+        candidate = module.run_benchmarks(quick=quick)
     failures = compare(baseline, candidate, threshold)
-    for name, base in sorted(baseline.get("kernels", {}).items()):
-        cand = candidate.get("kernels", {}).get(name, {})
-        if "speedup" in base and "speedup" in cand and "ref_s" in base:
-            print(f"  {name:>24}: baseline {base['speedup']:6.2f}x  "
-                  f"candidate {cand['speedup']:6.2f}x")
+    base = _speedups(baseline)
+    cand = _speedups(candidate)
+    for name in sorted(base):
+        if name in cand:
+            print(f"  {name:>48}: baseline {base[name]:6.2f}x  "
+                  f"candidate {cand[name]:6.2f}x")
     if failures:
         print("THROUGHPUT REGRESSION:")
         for msg in failures:
             print(f"  - {msg}")
         return 1
-    print("no kernel throughput regression")
+    print(f"no throughput regression vs {baseline_path}")
     return 0
 
 
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", default="BENCH_kernels.json")
+    ap.add_argument("--suite", default="kernels",
+                    choices=[*SUITES, "all"])
+    ap.add_argument("--baseline", default=None,
+                    help="override the suite's committed baseline path")
     ap.add_argument("--candidate", default=None,
                     help="pre-recorded candidate JSON; omitted = run fresh")
     ap.add_argument("--threshold", type=float, default=0.2)
     ap.add_argument("--quick", action="store_true",
                     help="fresh runs use smaller tensors")
     args = ap.parse_args()
-    sys.exit(run_check(args.baseline, args.candidate, args.threshold, args.quick))
+    if args.suite == "all" and (args.baseline or args.candidate):
+        ap.error("--baseline/--candidate name one file and cannot be "
+                 "combined with --suite all")
+    suites = list(SUITES) if args.suite == "all" else [args.suite]
+    rc = 0
+    for suite in suites:
+        baseline, module = SUITES[suite]
+        rc |= run_check(args.baseline or baseline, args.candidate,
+                        args.threshold, args.quick, bench_module=module)
+    sys.exit(rc)
 
 
 if __name__ == "__main__":

@@ -41,7 +41,11 @@ def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
 
     Returns a ``uint8`` array of :func:`packed_nbytes` bytes; the unused
     high bits of the final byte are zero, so equal field sequences always
-    serialize to equal bytes.
+    serialize to equal bytes. Widths 4, 8 and 16 — the FP4 nibbles,
+    E8M0/FP8 scale bytes and FP16 scale codes that dominate every real
+    container — take direct nibble/byte paths instead of the per-bit
+    expansion; ``tests/test_codec.py`` asserts the emitted bytes equal
+    the generic path's, and the pinned golden containers are unchanged.
     """
     if not 1 <= width <= 64:
         raise CodecError(f"field width must be in [1, 64], got {width}")
@@ -51,6 +55,22 @@ def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
         raise CodecError(f"field values must fit in {width} unsigned bits")
     if values.size == 0:
         return np.zeros(0, dtype=np.uint8)
+    if width == 8:
+        return values.astype(np.uint8)
+    if width == 16:
+        return values.astype("<u2").view(np.uint8)
+    if width == 4:
+        lo = values[0::2].astype(np.uint8)
+        out = np.zeros(packed_nbytes(values.size, 4), dtype=np.uint8)
+        out[: lo.size] = lo
+        hi = values[1::2].astype(np.uint8)
+        out[: hi.size] |= hi << np.uint8(4)
+        return out
+    return _pack_bits_generic(values, width)
+
+
+def _pack_bits_generic(values: np.ndarray, width: int) -> np.ndarray:
+    """Per-bit expansion path for arbitrary widths (and parity checks)."""
     shifts = np.arange(width, dtype=np.uint64)
     bits = (values.astype(np.uint64)[:, None] >> shifts) & np.uint64(1)
     return np.packbits(bits.astype(np.uint8).reshape(-1), bitorder="little")
@@ -66,6 +86,21 @@ def unpack_bits(buf: bytes | np.ndarray, width: int, count: int) -> np.ndarray:
                          f"{packed_nbytes(count, width)} bytes, have {raw.size}")
     if count == 0:
         return np.zeros(0, dtype=np.int64)
+    if width == 8:
+        return raw[:count].astype(np.int64)
+    if width == 16:
+        return raw[: 2 * count].view("<u2").astype(np.int64)
+    if width == 4:
+        used = raw[: packed_nbytes(count, 4)]
+        fields = np.empty(2 * used.size, dtype=np.int64)
+        fields[0::2] = used & 0x0F
+        fields[1::2] = used >> 4
+        return fields[:count]
+    return _unpack_bits_generic(raw, width, count)
+
+
+def _unpack_bits_generic(raw: np.ndarray, width: int, count: int) -> np.ndarray:
+    """Per-bit expansion path for arbitrary widths (and parity checks)."""
     bits = np.unpackbits(raw, count=count * width, bitorder="little")
     shifts = np.arange(width, dtype=np.uint64)
     fields = (bits.reshape(count, width).astype(np.uint64) << shifts).sum(axis=1)

@@ -79,10 +79,11 @@ class M2XFP(TensorFormat):
         return self.activation_format.quantize(x, axis=axis)
 
     def quantize_weight(self, w: np.ndarray, axis: int = -1) -> np.ndarray:
-        return self.weight_format.quantize(w, axis=axis)
+        # Via the operand format's entry point so the plan cache applies.
+        return self.weight_format.quantize_weight(w, axis=axis)
 
     def quantize_activation(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        return self.activation_format.quantize(x, axis=axis)
+        return self.activation_format.quantize_activation(x, axis=axis)
 
 
 def _fp6_top1_refine(scaled: np.ndarray, sub_size: int) -> np.ndarray:

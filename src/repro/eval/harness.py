@@ -1,9 +1,17 @@
-"""Grid runners shared by the experiment scripts."""
+"""Grid runners shared by the experiment scripts.
+
+``accuracy_table`` routes through the single-pass evaluation engine
+(:mod:`repro.eval.engine`) — one runtime load, one task-item build and
+one ``QuantizedLM`` per format arm for the whole grid.
+``REPRO_NO_EVAL_ENGINE=1`` selects the original per-cell path below
+(bit-identical results).
+"""
 
 from __future__ import annotations
 
 from ..models.profiles import load_runtime
 from ..mx.base import TensorFormat
+from .engine import default_engine, engine_enabled
 from .tasks import TaskSpec, build_task_items, evaluate_format_on_task
 
 __all__ = ["accuracy_table", "average_accuracy_loss"]
@@ -15,6 +23,10 @@ def accuracy_table(profile_key: str, tasks: dict[str, TaskSpec],
                    n_seq: int | None = None,
                    seq_len: int | None = None) -> dict[str, dict[str, float]]:
     """Accuracy grid ``{format: {task: percent}}`` incl. the fp16 row."""
+    if engine_enabled():
+        return default_engine().accuracy_grid(profile_key, tasks, fp16_targets,
+                                              formats, n_seq=n_seq,
+                                              seq_len=seq_len)
     runtime = load_runtime(profile_key, n_seq=n_seq, seq_len=seq_len)
     table: dict[str, dict[str, float]] = {"fp16": {}}
     for name in formats:

@@ -22,7 +22,8 @@ import numpy as np
 from ..errors import FormatError
 from ..kernels.bittwiddle import encode_magnitudes
 from ..kernels.dispatch import use_bittwiddle, use_reference
-from ..kernels.lut import cached_boundaries, exact_boundaries
+from ..kernels.lut import (cached_boundaries, cached_thresholds,
+                           exact_boundaries, threshold_codes)
 
 __all__ = ["FloatSpec", "quantize_to_grid", "quantize_to_grid_reference"]
 
@@ -50,16 +51,20 @@ def quantize_to_grid(x: np.ndarray, grid: np.ndarray) -> np.ndarray:
     Ties round to the entry with the even index (round-to-nearest-even in
     code space); values beyond the last entry saturate. Returns grid
     *indices*, not values. Dispatches to a cached decision-boundary
-    ``searchsorted`` (one binary search, no per-call grid arithmetic)
-    unless the reference kernels are selected or the grid's boundaries
-    are not provably exact (non-dyadic grids like BlockDialect's dialect
-    levels); both paths are bit-identical.
+    ``searchsorted`` (one binary search, no per-call grid arithmetic);
+    grids whose midpoint boundaries are not provably exact (non-dyadic
+    grids like BlockDialect's dialect levels) go through bisected
+    decision thresholds (:func:`repro.kernels.lut.compiled_thresholds`)
+    instead. ``REPRO_REFERENCE_KERNELS=1`` selects the original search;
+    all paths are bit-identical.
     """
     if not use_reference():
+        ax = np.asarray(x, dtype=np.float64)
         bounds = cached_boundaries(grid)
         if bounds is not None:
-            ax = np.asarray(x, dtype=np.float64)
             return np.searchsorted(bounds, ax, side="left")
+        return np.asarray(threshold_codes(cached_thresholds(grid), ax),
+                          dtype=np.int64)
     return quantize_to_grid_reference(x, grid)
 
 

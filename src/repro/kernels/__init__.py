@@ -36,15 +36,17 @@ from .dispatch import (BITTWIDDLE_ENV, REFERENCE_ENV, fast_kernels,
                        reference_kernels, use_bittwiddle, use_reference)
 from .elem import (elem_ee_offsets, elem_ee_select, fp6_topk_refine,
                    top_indices)
-from .lut import (boundaries_are_exact, cached_boundaries, exact_boundaries,
-                  rtne_boundaries)
+from .lut import (boundaries_are_exact, cached_boundaries, cached_thresholds,
+                  compiled_thresholds, exact_boundaries, rtne_boundaries,
+                  threshold_codes)
 from .search import candidate_search, gather_candidate_codes, hierarchical_select
 
 __all__ = [
     "REFERENCE_ENV", "BITTWIDDLE_ENV", "use_reference", "use_bittwiddle",
     "reference_kernels", "fast_kernels",
     "rtne_boundaries", "boundaries_are_exact", "exact_boundaries",
-    "cached_boundaries",
+    "cached_boundaries", "compiled_thresholds", "cached_thresholds",
+    "threshold_codes",
     "encode_magnitudes",
     "candidate_search", "hierarchical_select", "gather_candidate_codes",
     "top_indices", "fp6_topk_refine", "elem_ee_select", "elem_ee_offsets",

@@ -42,7 +42,8 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = ["rtne_boundaries", "boundaries_are_exact", "exact_boundaries",
-           "cached_boundaries"]
+           "cached_boundaries", "compiled_thresholds", "cached_thresholds",
+           "threshold_codes"]
 
 
 def rtne_boundaries(grid: np.ndarray) -> np.ndarray:
@@ -88,6 +89,74 @@ def exact_boundaries(grid: np.ndarray) -> np.ndarray | None:
     return rtne_boundaries(grid)
 
 
+def _reference_decision(v: float, grid: np.ndarray, i: int) -> bool:
+    """True when the reference search assigns ``v`` a code above ``i``.
+
+    Scalar re-statement of ``quantize_to_grid_reference`` restricted to
+    ``v`` in ``[grid[i], grid[i + 1]]`` — the exact semantics the
+    compiled threshold must reproduce.
+    """
+    lo, hi = float(grid[i]), float(grid[i + 1])
+    d_lo = v - lo
+    d_hi = hi - v
+    return d_hi < d_lo or (d_hi == d_lo and (i + 1) % 2 == 0)
+
+
+def compiled_thresholds(grid: np.ndarray) -> np.ndarray:
+    """Exact decision thresholds for *any* ascending grid.
+
+    Threshold ``i`` is the smallest float64 assigned code ``i + 1`` by
+    the reference nearest-with-even-ties search, found by bisection on
+    the float bit patterns. Unlike :func:`exact_boundaries` this works
+    for non-dyadic grids too (power-law M-ANT types, BlockDialect
+    levels): the reference decision ``d_hi < d_lo`` is monotone in the
+    value — both distances are correctly-rounded monotone functions —
+    so its flip point is a single float that bisection pins exactly.
+
+    ``searchsorted(thresholds, x, side="right")`` (count of thresholds
+    ``<= x``) then reproduces the reference codes for every finite
+    ``x >= 0`` bit for bit, in one binary search with no per-call
+    distance arithmetic. The equivalence is asserted over adversarial
+    values (ties, boundary neighbours) in ``tests/test_plan.py``.
+    """
+    g = np.asarray(grid, dtype=np.float64)
+    out = np.empty(g.shape[0] - 1, dtype=np.float64)
+    for i in range(g.shape[0] - 1):
+        lo_bits = int(np.float64(g[i]).view(np.uint64))
+        hi_bits = int(np.float64(g[i + 1]).view(np.uint64))
+        # Invariant: decision(lo) is False (the lower grid point keeps
+        # its own code), decision(hi) is True. Bisect on bit patterns,
+        # which order positive floats like their values.
+        while hi_bits - lo_bits > 1:
+            mid_bits = (lo_bits + hi_bits) // 2
+            v = float(np.uint64(mid_bits).view(np.float64))
+            if _reference_decision(v, g, i):
+                hi_bits = mid_bits
+            else:
+                lo_bits = mid_bits
+        out[i] = float(np.uint64(hi_bits).view(np.float64))
+    return out
+
+
+def threshold_codes(thresholds: np.ndarray, ax: np.ndarray) -> np.ndarray:
+    """Codes for non-negative magnitudes ``ax`` from compiled thresholds.
+
+    Small threshold sets (the 4-bit grids every hot path uses) go
+    through a vectorized compare-accumulate — one ``>=`` pass per
+    threshold into an int8 counter, several times faster than a binary
+    search; larger sets fall back to one ``searchsorted``. Both return
+    the count of thresholds ``<= ax``, i.e. the reference code.
+    """
+    if thresholds.shape[0] == 0:
+        return np.zeros(np.shape(ax), dtype=np.int8)
+    if thresholds.shape[0] <= 16:
+        c = (ax >= thresholds[0]).view(np.int8).copy()
+        for t in thresholds[1:]:
+            c += (ax >= t).view(np.int8)
+        return c
+    return np.searchsorted(thresholds, ax, side="right")
+
+
 _CACHE: dict[int, tuple[np.ndarray, np.ndarray | None]] = {}
 
 
@@ -109,3 +178,24 @@ def cached_boundaries(grid: np.ndarray) -> np.ndarray | None:
     bounds = exact_boundaries(grid)
     _CACHE[key] = (grid, bounds)
     return bounds
+
+
+_THRESHOLD_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+
+def cached_thresholds(grid: np.ndarray) -> np.ndarray:
+    """:func:`compiled_thresholds` for ``grid``, cached by array identity.
+
+    Same keying discipline as :func:`cached_boundaries`: the keyed grid
+    is retained so its ``id`` cannot be recycled, and the cache is
+    cleared defensively if ad-hoc grids ever churn through it.
+    """
+    key = id(grid)
+    hit = _THRESHOLD_CACHE.get(key)
+    if hit is not None and hit[0] is grid:
+        return hit[1]
+    if len(_THRESHOLD_CACHE) > 512:
+        _THRESHOLD_CACHE.clear()
+    thresholds = compiled_thresholds(grid)
+    _THRESHOLD_CACHE[key] = (grid, thresholds)
+    return thresholds

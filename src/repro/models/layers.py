@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["rms_norm", "silu", "softmax", "rope_tables", "apply_rope",
@@ -20,19 +22,41 @@ def silu(x: np.ndarray) -> np.ndarray:
 
 
 def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Numerically stable softmax."""
+    """Numerically stable softmax.
+
+    The exp and divide reuse the shifted buffer in place — the same
+    float operations as the textbook three-liner, bit for bit, without
+    two extra tensor-sized temporaries (the attention-score arrays this
+    runs over are the largest allocations in a forward pass).
+    """
     z = x - np.max(x, axis=axis, keepdims=True)
-    e = np.exp(z)
-    return e / np.sum(e, axis=axis, keepdims=True)
+    np.exp(z, out=z)
+    s = np.sum(z, axis=axis, keepdims=True)
+    np.divide(z, s, out=z)
+    return z
 
 
 def rope_tables(seq_len: int, head_dim: int, theta: float = 10000.0,
                 offset: int = 0) -> tuple[np.ndarray, np.ndarray]:
-    """Rotary-embedding cos/sin tables for positions [offset, offset+seq)."""
+    """Rotary-embedding cos/sin tables for positions [offset, offset+seq).
+
+    Cached per signature (decode loops request one position per step,
+    thousands of times); the returned arrays are read-only.
+    """
+    return _rope_tables_cached(int(seq_len), int(head_dim), float(theta),
+                               int(offset))
+
+
+@lru_cache(maxsize=4096)
+def _rope_tables_cached(seq_len: int, head_dim: int, theta: float,
+                        offset: int) -> tuple[np.ndarray, np.ndarray]:
     half = head_dim // 2
     freqs = theta ** (-np.arange(half) / half)
     pos = np.arange(offset, offset + seq_len)[:, None] * freqs[None, :]
-    return np.cos(pos), np.sin(pos)
+    cos, sin = np.cos(pos), np.sin(pos)
+    cos.setflags(write=False)
+    sin.setflags(write=False)
+    return cos, sin
 
 
 def apply_rope(x: np.ndarray, cos: np.ndarray, sin: np.ndarray) -> np.ndarray:
@@ -50,10 +74,15 @@ def causal_attention(q: np.ndarray, k: np.ndarray, v: np.ndarray,
     mask aligns the query block to the end of the key sequence.
     """
     dh = q.shape[-1]
-    scores = np.einsum("bhqd,bhkd->bhqk", q, k) / np.sqrt(dh)
+    scores = np.einsum("bhqd,bhkd->bhqk", q, k)
+    scores /= np.sqrt(dh)
     if causal:
         tq, tk = q.shape[-2], k.shape[-2]
-        qi = np.arange(tq)[:, None] + (tk - tq)
-        mask = qi < np.arange(tk)[None, :]
-        scores = np.where(mask, -1e30, scores)
+        if tq > 1 or tk > tq:
+            qi = np.arange(tq)[:, None] + (tk - tq)
+            mask = qi < np.arange(tk)[None, :]
+            if mask.any():
+                # In-place masked fill: same values as the np.where
+                # copy, without another score-sized temporary.
+                np.copyto(scores, -1e30, where=mask)
     return np.einsum("bhqk,bhkd->bhqd", softmax(scores), v)

@@ -14,6 +14,7 @@ quantization noise strictly degrades.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -105,7 +106,17 @@ def get_profile(key: str) -> ModelProfile:
     return PROFILES[key]
 
 
-_RUNTIME_CACHE: dict[tuple, ProfileRuntime] = {}
+#: Keyed LRU over calibrated runtimes. Calibration is the single most
+#: expensive step of any evaluation (a few seconds of bisected
+#: sampling per profile), so the bound is generous — but it *is* a
+#: bound: a sweep over every profile at several corpus sizes no longer
+#: grows memory without limit.
+_RUNTIME_CACHE: "OrderedDict[tuple, ProfileRuntime]" = OrderedDict()
+
+#: Maximum number of cached ``(profile, n_seq, seq_len)`` runtimes.
+#: Generous (a runtime is a few MB) so long-lived sessions — the full
+#: test suite loads dozens of corpus variants — rarely re-calibrate.
+RUNTIME_CACHE_SIZE = 64
 
 
 def _calibrate(model: TransformerLM, profile: ModelProfile, n_seq: int,
@@ -144,6 +155,10 @@ def load_runtime(key: str, n_seq: int | None = None,
         _RUNTIME_CACHE[cache_key] = ProfileRuntime(profile=profile, model=model,
                                                    tokens=tokens, fp16_ppl=ppl,
                                                    calib_tokens=calib)
+        if len(_RUNTIME_CACHE) > RUNTIME_CACHE_SIZE:
+            _RUNTIME_CACHE.popitem(last=False)
+    else:
+        _RUNTIME_CACHE.move_to_end(cache_key)
     return _RUNTIME_CACHE[cache_key]
 
 

@@ -70,12 +70,27 @@ class QuantizedLM:
         self.fmt = fmt
         self.quantize_activations = bool(quantize_activations)
         override = weight_override or {}
+        # Every environment lookup is resolved here, once per instance:
+        # the projection path (``_linear``/``forward``) performs zero
+        # ``os.environ`` reads — a regression test in
+        # ``tests/test_plan.py`` monkeypatches the environment mapping
+        # to prove it.
+        from ..kernels.dispatch import use_bittwiddle, use_reference
+        self._dispatch = (use_reference(), use_bittwiddle())
+        from ..plan import get_plan, plans_enabled
+        self._get_plan = get_plan
+        self._use_plans = plans_enabled() and self._dispatch == (False, False)
+        self._act_plans: dict = {}
         self.packed_weights = False
+        self._decode = None
         if os.environ.get(PACKED_WEIGHTS_ENV, "0") == "1":
             from ..codec import supports
             # Formats without a codec keep dense storage silently: the
             # knob is a storage-mode preference, not a hard requirement.
             self.packed_weights = supports(fmt)
+        if self.packed_weights:
+            from ..codec import decode
+            self._decode = decode
         cache = None
         fmt_key = None
         if os.environ.get(NO_WEIGHT_CACHE_ENV, "0") != "1":
@@ -87,9 +102,7 @@ class QuantizedLM:
                 # from the other mode. Packed containers get their own
                 # namespace so dense arms never see containers (and vice
                 # versa).
-                from ..kernels.dispatch import use_bittwiddle, use_reference
-                fmt_key = (fmt_key, use_reference(), use_bittwiddle(),
-                           self.packed_weights)
+                fmt_key = (fmt_key, *self._dispatch, self.packed_weights)
                 cache = model.__dict__.setdefault("_quant_weight_cache", {})
 
         def quantize(w):
@@ -130,8 +143,7 @@ class QuantizedLM:
         w = self._weights[name]
         if isinstance(w, np.ndarray):
             return w
-        from ..codec import decode
-        return decode(w, fmt=self.fmt)
+        return self._decode(w, fmt=self.fmt)
 
     def weight_footprint(self) -> dict:
         """Resident weight storage, measured.
@@ -157,13 +169,32 @@ class QuantizedLM:
                 "dense_float64_bytes": dense, "elements": elements,
                 "bits_per_element": total * 8 / max(1, elements)}
 
+    def _quantize_activation(self, x: np.ndarray) -> np.ndarray:
+        """Plan-cached activation quantization (no per-call env reads).
+
+        Plans are fetched once per shape with the dispatch mode resolved
+        at construction and held on the instance, so repeated forwards
+        hit a plain dict; non-plannable formats (or non-default
+        dispatch) use the format entry point, which re-reads the
+        environment — the documented dynamic escape hatch.
+        """
+        if self._use_plans:
+            plan = self._act_plans.get(x.shape, False)
+            if plan is False:
+                plan = self._get_plan(self.fmt, "activation", x.shape, -1,
+                                      self._dispatch)
+                self._act_plans[x.shape] = plan
+            if plan is not None:
+                return plan.run(x)
+        return self.fmt.quantize_activation(x, axis=-1)
+
     def _linear(self, name: str, x: np.ndarray, w: np.ndarray) -> np.ndarray:
         if not self.quantize_activations:
             xq = x
         elif name in self._act_amax:
             xq = self.fmt.quantize_activation_calibrated(x, self._act_amax[name], axis=-1)
         else:
-            xq = self.fmt.quantize_activation(x, axis=-1)
+            xq = self._quantize_activation(x)
         return xq @ self._weight(name).T
 
     def forward(self, tokens: np.ndarray) -> np.ndarray:

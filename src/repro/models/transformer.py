@@ -138,12 +138,8 @@ class TransformerLM:
     def sample(self, n_seq: int, seq_len: int, rng: np.random.Generator,
                temperature: float = 1.0) -> np.ndarray:
         """Sample ``(n_seq, seq_len)`` token sequences with a KV cache."""
-        cfg = self.config
-        dh = cfg.d_model // cfg.n_heads
         tokens = np.zeros((n_seq, seq_len), dtype=np.int64)
-        caches = [{"k": np.zeros((n_seq, cfg.n_heads, 0, dh)),
-                   "v": np.zeros((n_seq, cfg.n_heads, 0, dh))}
-                  for _ in self.layers]
+        caches = self._decode_caches(n_seq, seq_len)
         for t in range(seq_len - 1):
             logits = self._step(tokens[:, t], t, caches)
             probs = softmax(logits / temperature)
@@ -156,13 +152,9 @@ class TransformerLM:
                            rng: np.random.Generator,
                            temperature: float = 1.0) -> np.ndarray:
         """Sample ``n_new`` continuation tokens after each prefix row."""
-        cfg = self.config
-        dh = cfg.d_model // cfg.n_heads
         prefix = np.atleast_2d(prefix)
         b, plen = prefix.shape
-        caches = [{"k": np.zeros((b, cfg.n_heads, 0, dh)),
-                   "v": np.zeros((b, cfg.n_heads, 0, dh))}
-                  for _ in self.layers]
+        caches = self._decode_caches(b, plen + n_new)
         logits = None
         for t in range(plen):
             logits = self._step(prefix[:, t], t, caches)
@@ -177,6 +169,20 @@ class TransformerLM:
                 logits = self._step(out[:, j], plen + j, caches)
         return out
 
+    def _decode_caches(self, batch: int, capacity: int) -> list[dict]:
+        """Preallocated per-layer KV buffers for an incremental decode.
+
+        ``_step`` writes position ``pos`` in place and attends over the
+        leading view — the same values the previous per-step
+        ``np.concatenate`` produced, without re-copying the whole cache
+        every step.
+        """
+        cfg = self.config
+        dh = cfg.d_model // cfg.n_heads
+        return [{"k": np.zeros((batch, cfg.n_heads, capacity, dh)),
+                 "v": np.zeros((batch, cfg.n_heads, capacity, dh))}
+                for _ in self.layers]
+
     def _step(self, token: np.ndarray, pos: int, caches: list[dict]) -> np.ndarray:
         cfg = self.config
         dh = cfg.d_model // cfg.n_heads
@@ -189,9 +195,17 @@ class TransformerLM:
             k = self._heads(a @ layer["wk"].T, b, 1)
             v = self._heads(a @ layer["wv"].T, b, 1)
             q, k = apply_rope(q, cos, sin), apply_rope(k, cos, sin)
-            cache["k"] = np.concatenate([cache["k"], k], axis=2)
-            cache["v"] = np.concatenate([cache["v"], v], axis=2)
-            ctx = causal_attention(q, cache["k"], cache["v"])
+            if cache["k"].shape[2] <= pos:
+                # Legacy growing cache (external callers): append.
+                cache["k"] = np.concatenate([cache["k"], k], axis=2)
+                cache["v"] = np.concatenate([cache["v"], v], axis=2)
+                kv, vv = cache["k"], cache["v"]
+            else:
+                cache["k"][:, :, pos] = k[:, :, 0]
+                cache["v"][:, :, pos] = v[:, :, 0]
+                kv = cache["k"][:, :, : pos + 1]
+                vv = cache["v"][:, :, : pos + 1]
+            ctx = causal_attention(q, kv, vv)
             ctx = ctx.transpose(0, 2, 1, 3).reshape(b, 1, cfg.d_model)
             h = h + cfg.branch_scale * (ctx @ layer["wo"].T)
             a = rms_norm(h, layer["norm2"])

@@ -47,11 +47,28 @@ class TensorFormat(abc.ABC):
         """Quantize-dequantize ``x`` group-wise along ``axis``."""
 
     def quantize_weight(self, w: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Weight entry point (offline; hybrids may use a richer search)."""
+        """Weight entry point (offline; hybrids may use a richer search).
+
+        Routed through the compiled-plan cache (:mod:`repro.plan`) when
+        a fused executor exists for this format under the default fast
+        dispatch; otherwise (or with ``REPRO_NO_PLANS=1``) falls back to
+        :meth:`quantize`. Both paths are bit-identical.
+        """
+        from ..plan import lookup_plan
+        plan = lookup_plan(self, "weight", w, axis)
+        if plan is not None:
+            return plan.run(w)
         return self.quantize(w, axis=axis)
 
     def quantize_activation(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Activation entry point (online; must stay lightweight)."""
+        """Activation entry point (online; must stay lightweight).
+
+        Plan-routed exactly like :meth:`quantize_weight`.
+        """
+        from ..plan import lookup_plan
+        plan = lookup_plan(self, "activation", x, axis)
+        if plan is not None:
+            return plan.run(x)
         return self.quantize(x, axis=axis)
 
     @property

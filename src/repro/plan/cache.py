@@ -1,0 +1,137 @@
+"""Bounded, thread-safe cache of compiled quantization plans.
+
+Plans are keyed by the full identity of the computation they compile:
+the format's configuration fingerprint (``weight_cache_key`` — class
+name plus every scalar attribute, recursing into nested formats), the
+kernel dispatch mode, the operand path, and the exact (shape, axis)
+signature. Fast, reference and bit-twiddle dispatch never share an
+entry; in fact only the default fast mode compiles at all — the
+reference and bit-twiddle modes are the escape hatches whose code paths
+must keep running unreplaced — so their entries are negative ("no
+plan") and the entry points stay on the legacy implementations.
+
+The cache is a lock-protected LRU bounded at :data:`MAX_PLANS`
+entries; negative lookups are cached too, so unplannable formats cost
+one dict probe per call, not a compile attempt.
+
+``REPRO_NO_PLANS=1`` disables the layer entirely (every lookup returns
+None), which is the escape hatch — and the baseline arm of
+``scripts/bench_eval.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .executors import compile_executor
+from .geometry import GroupGeometry
+
+__all__ = ["QuantPlan", "PLANS_ENV", "MAX_PLANS", "plans_enabled",
+           "get_plan", "lookup_plan", "clear_plan_cache", "plan_cache_stats"]
+
+#: Environment variable disabling plan compilation ("=1" turns it off).
+PLANS_ENV = "REPRO_NO_PLANS"
+
+#: Maximum number of cached (plan or no-plan) entries.
+MAX_PLANS = 512
+
+_OPS = ("weight", "activation")
+
+
+@dataclass
+class QuantPlan:
+    """A compiled, reusable quantization program for one call signature."""
+
+    key: tuple
+    run: Callable[[np.ndarray], np.ndarray]
+    geometry: GroupGeometry = field(repr=False, default=None)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.run(x)
+
+
+_lock = threading.Lock()
+_cache: "OrderedDict[tuple, QuantPlan | None]" = OrderedDict()
+_stats = {"hits": 0, "misses": 0, "compiles": 0, "evictions": 0}
+
+
+def plans_enabled() -> bool:
+    """True unless ``REPRO_NO_PLANS=1`` is exported."""
+    return os.environ.get(PLANS_ENV, "0") != "1"
+
+
+def _group_size(fmt) -> int | None:
+    size = getattr(fmt, "group_size", None)
+    if size is None:
+        inner = getattr(fmt, "activation_format", None)
+        size = getattr(inner, "group_size", None)
+    return size
+
+
+def get_plan(fmt, op: str, shape: tuple, axis: int,
+             mode: tuple[bool, bool] = (False, False)) -> QuantPlan | None:
+    """The cached plan for ``(fmt, op, shape, axis, mode)``, or None.
+
+    ``mode`` is the ``(use_reference, use_bittwiddle)`` dispatch pair;
+    non-default modes always resolve to None (negative-cached). The
+    fingerprint comes from ``fmt.weight_cache_key``; formats it cannot
+    fingerprint are never planned.
+    """
+    if op not in _OPS:
+        raise ValueError(f"op must be one of {_OPS}, got {op!r}")
+    fingerprint = fmt.weight_cache_key
+    if fingerprint is None or not shape:
+        return None
+    key = (fingerprint, op, tuple(shape), axis, tuple(mode))
+    with _lock:
+        if key in _cache:
+            _cache.move_to_end(key)
+            _stats["hits"] += 1
+            return _cache[key]
+        _stats["misses"] += 1
+        plan = None
+        if mode == (False, False):
+            size = _group_size(fmt)
+            if size is not None and shape[axis % len(shape)] is not None:
+                geom = GroupGeometry(shape, axis, size)
+                run = compile_executor(fmt, op, geom)
+                if run is not None:
+                    plan = QuantPlan(key=key, run=run, geometry=geom)
+                    _stats["compiles"] += 1
+        _cache[key] = plan
+        if len(_cache) > MAX_PLANS:
+            _cache.popitem(last=False)
+            _stats["evictions"] += 1
+        return plan
+
+
+def lookup_plan(fmt, op: str, x, axis: int) -> QuantPlan | None:
+    """Entry-point helper: resolve dispatch state, then :func:`get_plan`."""
+    if not plans_enabled():
+        return None
+    from ..kernels.dispatch import use_bittwiddle, use_reference
+    mode = (use_reference(), use_bittwiddle())
+    if mode != (False, False):
+        return None
+    shape = np.shape(x)
+    if not shape:
+        return None
+    return get_plan(fmt, op, shape, axis, mode)
+
+
+def clear_plan_cache() -> None:
+    """Drop every cached plan (used by tests)."""
+    with _lock:
+        _cache.clear()
+
+
+def plan_cache_stats() -> dict:
+    """Counters plus the current entry count."""
+    with _lock:
+        return {**_stats, "entries": len(_cache)}

@@ -1,0 +1,63 @@
+"""Compiled group-reshape geometry for a fixed (shape, axis, group size).
+
+:func:`repro.formats.grouping.to_groups` re-derives the same facts on
+every call: the normalized axis, whether a move/pad is needed, the
+padded length, the 2-D group view. A :class:`GroupGeometry` derives them
+once at plan-compile time and exposes ``pack``/``unpack`` closures that
+only do the data movement. The data-dependent finiteness contract moves
+to the (much cheaper) per-group maxima — see
+:func:`repro.plan.ops.validate_amax` — so ``pack`` itself never scans
+the full tensor.
+
+Example::
+
+    geom = GroupGeometry(shape=(12, 96, 128), axis=-1, group_size=32)
+    groups = geom.pack(x)          # (n_groups, 32) float64, zero padded
+    y = geom.unpack(out_groups)    # back to (12, 96, 128)
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["GroupGeometry"]
+
+
+class GroupGeometry:
+    """Precomputed ``to_groups``/``from_groups`` for one shape signature."""
+
+    def __init__(self, shape: tuple[int, ...], axis: int, group_size: int) -> None:
+        if group_size < 1:
+            raise ShapeError(f"group_size must be >= 1, got {group_size}")
+        self.shape = tuple(int(s) for s in shape)
+        self.group_size = int(group_size)
+        self.axis = axis % len(self.shape)
+        self.axis_len = self.shape[self.axis]
+        self.padded_len = -(-self.axis_len // group_size) * group_size
+        self.needs_move = self.axis != len(self.shape) - 1
+        self.needs_pad = self.padded_len != self.axis_len
+        self.lead = [self.shape[i] for i in range(len(self.shape))
+                     if i != self.axis]
+        self.n_groups = (int(np.prod(self.lead)) * self.padded_len
+                         // group_size if self.shape else 0)
+
+    def pack(self, x: np.ndarray) -> np.ndarray:
+        """``x`` as a ``(n_groups, group_size)`` float64 matrix (a copy)."""
+        x = np.asarray(x, dtype=np.float64)
+        moved = np.moveaxis(x, self.axis, -1) if self.needs_move else x
+        if self.needs_pad:
+            pad = [(0, 0)] * (moved.ndim - 1) + \
+                [(0, self.padded_len - self.axis_len)]
+            moved = np.pad(moved, pad)
+        return moved.reshape(-1, self.group_size)
+
+    def unpack(self, groups: np.ndarray) -> np.ndarray:
+        """Invert :meth:`pack`, dropping any zero padding."""
+        lead = self.lead
+        moved = groups.reshape(*lead, self.padded_len) if lead \
+            else groups.reshape(self.padded_len)
+        if self.needs_pad:
+            moved = moved[..., : self.axis_len]
+        return np.moveaxis(moved, -1, self.axis) if self.needs_move else moved

@@ -229,3 +229,54 @@ def test_packed_bytes_pinned(packed_golden, dispatch):
             expect = np.array([float.fromhex(v) for v in case["decoded_hex"]])
             assert decode(pt).ravel().tobytes() == expect.tobytes(), \
                 f"{key}: decoded values drifted"
+
+
+# ----------------------------------------------------------------------
+# Bitstream aligned fast paths (widths 4 / 8 / 16)
+# ----------------------------------------------------------------------
+class TestBitstreamFastPaths:
+    """The nibble/byte/uint16 paths must emit the generic path's bytes."""
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    @pytest.mark.parametrize("count", [0, 1, 2, 3, 7, 8, 255, 4097])
+    def test_pack_matches_generic(self, width, count):
+        from repro.codec.bitstream import _pack_bits_generic, pack_bits
+
+        values = np.random.default_rng(width * 1000 + count).integers(
+            0, 1 << width, count)
+        fast = pack_bits(values, width)
+        if count:
+            generic = _pack_bits_generic(
+                np.asarray(values, dtype=np.int64).reshape(-1), width)
+            assert fast.tobytes() == generic.tobytes()
+        assert fast.dtype == np.uint8
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    @pytest.mark.parametrize("count", [0, 1, 3, 8, 255, 4097])
+    def test_unpack_inverts_pack(self, width, count):
+        from repro.codec.bitstream import pack_bits, unpack_bits
+
+        values = np.random.default_rng(width * 77 + count).integers(
+            0, 1 << width, count)
+        blob = pack_bits(values, width).tobytes()
+        back = unpack_bits(blob, width, count)
+        assert np.array_equal(back, values)
+        assert back.dtype == np.int64
+
+    @pytest.mark.parametrize("width", [4, 8, 16])
+    def test_unpack_matches_generic(self, width):
+        from repro.codec.bitstream import (_unpack_bits_generic, pack_bits,
+                                           unpack_bits)
+
+        count = 1001
+        values = np.random.default_rng(width).integers(0, 1 << width, count)
+        raw = np.frombuffer(pack_bits(values, width).tobytes(), dtype=np.uint8)
+        fast = unpack_bits(raw, width, count)
+        generic = _unpack_bits_generic(raw, width, count)
+        assert np.array_equal(fast, generic)
+
+    def test_width4_odd_count_zero_pads_high_nibble(self):
+        from repro.codec.bitstream import pack_bits
+
+        blob = pack_bits(np.array([0xF, 0xF, 0xF]), 4)
+        assert blob.tolist() == [0xFF, 0x0F]

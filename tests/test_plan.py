@@ -1,0 +1,239 @@
+"""Compiled quantization plans: parity, cache semantics, env hygiene.
+
+The plan layer's whole contract is "bit-identical, just faster":
+
+* every catalog format's plan-routed ``quantize_weight`` /
+  ``quantize_activation`` must equal the reference kernels bit for bit
+  over adversarial tensors (denormals, huge/mixed magnitudes, padding,
+  odd axes);
+* the bisected decision thresholds must reproduce the reference grid
+  search on *non-dyadic* grids (where the midpoint-boundary cache
+  provably cannot);
+* the plan cache must key on dispatch mode and configuration
+  fingerprint, stay bounded, and survive concurrent use;
+* a warmed ``QuantizedLM`` forward pass must read ``os.environ``
+  exactly zero times.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.algos.mant import MANT_TYPES
+from repro.core import ElemEM, SgEM
+from repro.core.m2xfp import M2XFP
+from repro.errors import FormatError
+from repro.formats.floatspec import quantize_to_grid_reference
+from repro.kernels.dispatch import reference_kernels
+from repro.kernels.lut import compiled_thresholds, threshold_codes
+from repro.models.profiles import load_runtime
+from repro.models.quantized import QuantizedLM
+from repro.plan import (MAX_PLANS, QuantPlan, clear_plan_cache, get_plan,
+                        lookup_plan, plan_cache_stats)
+from repro.runner.formats import FORMAT_REGISTRY, make_format
+
+_RNG = np.random.default_rng(7)
+
+
+def _adversarial_tensors() -> dict[str, np.ndarray]:
+    r = np.random.default_rng(11)
+    return {
+        "normal": r.standard_normal((23, 96)),
+        "outliers": r.standard_normal((8, 64)) * np.exp(4 * r.standard_normal((8, 64))),
+        "denormal": r.standard_normal((4, 64)) * 5e-310,
+        "mixed": np.where(r.random((6, 64)) < 0.5,
+                          r.standard_normal((6, 64)) * 1e6,
+                          r.standard_normal((6, 64)) * 1e-150),
+        "huge": r.standard_normal((4, 64)) * 1e300,
+        "zeros": np.zeros((3, 64)),
+        "padded": r.standard_normal((5, 50)),
+        "three_d": r.standard_normal((3, 7, 64)),
+    }
+
+
+class TestPlanParity:
+    @pytest.mark.parametrize("name", sorted(FORMAT_REGISTRY))
+    def test_catalog_plan_matches_reference(self, name):
+        fmt = make_format(name)
+        for tensor in _adversarial_tensors().values():
+            for op in ("weight", "activation"):
+                fn = fmt.quantize_weight if op == "weight" \
+                    else fmt.quantize_activation
+                fast = fn(tensor, axis=-1)
+                with reference_kernels():
+                    ref = fn(tensor, axis=-1)
+                assert fast.tobytes() == ref.tobytes(), (name, op)
+
+    def test_axis_zero_parity(self):
+        x = _RNG.standard_normal((64, 9))
+        for name in ("mxfp4", "elem-em", "sg-em", "m2xfp"):
+            fmt = make_format(name)
+            fast = fmt.quantize_weight(x, axis=0)
+            with reference_kernels():
+                ref = fmt.quantize_weight(x, axis=0)
+            assert fast.tobytes() == ref.tobytes(), name
+
+    def test_non_finite_raises_same_error(self):
+        x = _RNG.standard_normal((4, 64))
+        x[2, 10] = np.nan
+        fmt = make_format("elem-em")
+        with pytest.raises(FormatError, match="non-finite"):
+            fmt.quantize_activation(x, axis=-1)
+        y = _RNG.standard_normal((4, 64))
+        y[0, 0] = -np.inf
+        with pytest.raises(FormatError, match="non-finite"):
+            make_format("sg-em").quantize_activation(y, axis=-1)
+
+    def test_no_plans_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_PLANS", "1")
+        x = _RNG.standard_normal((8, 64))
+        assert lookup_plan(make_format("elem-em"), "activation", x, -1) is None
+        # Results are identical either way.
+        fmt = make_format("m2xfp")
+        off = fmt.quantize_activation(x, axis=-1)
+        monkeypatch.delenv("REPRO_NO_PLANS")
+        on = fmt.quantize_activation(x, axis=-1)
+        assert off.tobytes() == on.tobytes()
+
+
+class TestCompiledThresholds:
+    @pytest.mark.parametrize("typ", [t for t in MANT_TYPES if hasattr(t, "grid")])
+    def test_thresholds_match_reference_search(self, typ):
+        grid = typ.grid
+        t = compiled_thresholds(grid)
+        probes = np.concatenate([
+            np.random.default_rng(3).uniform(0, float(grid[-1]) * 1.5, 4000),
+            t, np.nextafter(t, -np.inf), np.nextafter(t, np.inf),
+            grid, np.array([0.0, 5e-324, 1e-300, float(grid[-1]) * 10]),
+        ])
+        ref = quantize_to_grid_reference(probes, grid)
+        got = np.asarray(threshold_codes(t, probes), dtype=np.int64)
+        assert np.array_equal(ref, got), typ.name
+
+
+class TestPlanCache:
+    def setup_method(self):
+        clear_plan_cache()
+
+    def test_modes_never_share_plans(self):
+        fmt = make_format("elem-em")
+        shape = (8, 64)
+        fast = get_plan(fmt, "activation", shape, -1, (False, False))
+        assert isinstance(fast, QuantPlan)
+        assert get_plan(fmt, "activation", shape, -1, (True, False)) is None
+        assert get_plan(fmt, "activation", shape, -1, (False, True)) is None
+        # The fast-mode entry is untouched by the negative mode entries.
+        again = get_plan(fmt, "activation", shape, -1, (False, False))
+        assert again is fast
+
+    def test_fingerprint_keying(self):
+        shape = (8, 64)
+        floor = get_plan(SgEM(scale_rule="floor"), "weight", shape, -1)
+        ceil = get_plan(SgEM(scale_rule="ceil"), "weight", shape, -1)
+        assert floor is not ceil
+        # Same configuration from a fresh instance shares the entry.
+        assert get_plan(SgEM(scale_rule="floor"), "weight", shape, -1) is floor
+
+    def test_ops_get_distinct_plans(self):
+        fmt = M2XFP()
+        w = get_plan(fmt, "weight", (8, 64), -1)
+        a = get_plan(fmt, "activation", (8, 64), -1)
+        assert w is not a  # Sg-EM weights vs Elem-EM activations
+
+    def test_bounded_eviction(self):
+        fmt = make_format("mxfp4")
+        for i in range(MAX_PLANS + 40):
+            get_plan(fmt, "activation", (2, 32 + i), -1)
+        stats = plan_cache_stats()
+        assert stats["entries"] <= MAX_PLANS
+        assert stats["evictions"] >= 40
+
+    def test_thread_safety_under_concurrent_submits(self):
+        from repro.serve import QuantService
+
+        clear_plan_cache()
+        rng = np.random.default_rng(5)
+        tensors = [rng.standard_normal((4 + (i % 7), 64)) for i in range(48)]
+        expected = None
+        with QuantService("m2xfp", workers=4, max_batch=8,
+                          max_delay_s=0.001) as svc:
+            futures = [svc.submit(x, op="activation") for x in tensors]
+            results = [f.result() for f in futures]
+        with reference_kernels():
+            fmt = make_format("m2xfp")
+            expected = [fmt.quantize_activation(x, axis=-1) for x in tensors]
+        for got, want in zip(results, expected):
+            assert got.tobytes() == want.tobytes()
+        errors: list[Exception] = []
+
+        def hammer(seed: int) -> None:
+            try:
+                r = np.random.default_rng(seed)
+                fmt = make_format("elem-em")
+                for i in range(30):
+                    shape = (2 + (seed + i) % 5, 64)
+                    x = r.standard_normal(shape)
+                    plan = get_plan(fmt, "activation", x.shape, -1)
+                    out = plan.run(x)
+                    assert out.shape == x.shape
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(s,)) for s in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert plan_cache_stats()["entries"] <= MAX_PLANS
+
+
+class _EnvSpy(dict):
+    """An ``os.environ`` stand-in that counts every read."""
+
+    def __init__(self, real):
+        super().__init__(real)
+        self.reads = 0
+
+    def __getitem__(self, key):
+        self.reads += 1
+        return super().__getitem__(key)
+
+    def get(self, key, default=None):
+        self.reads += 1
+        return super().get(key, default)
+
+    def __contains__(self, key):
+        self.reads += 1
+        return super().__contains__(key)
+
+
+class TestEnvHygiene:
+    def test_forward_performs_zero_environ_reads(self, monkeypatch):
+        """The QuantizedLM projection path resolves all flags at init."""
+        runtime = load_runtime("llama2-7b", n_seq=2, seq_len=24)
+        qlm = QuantizedLM(runtime.model, M2XFP(),
+                          calibration_tokens=runtime.calib_tokens)
+        tokens = runtime.tokens[:, :16]
+        qlm.forward(tokens)  # warm the per-shape plan cache
+        spy = _EnvSpy(os.environ)
+        monkeypatch.setattr(os, "environ", spy)
+        qlm.forward(tokens)
+        assert spy.reads == 0
+
+    def test_forward_zero_reads_covers_elem_and_block_formats(self, monkeypatch):
+        runtime = load_runtime("llama2-7b", n_seq=2, seq_len=24)
+        tokens = runtime.tokens[:, :16]
+        for fmt in (ElemEM(), make_format("mxfp4")):
+            qlm = QuantizedLM(runtime.model, fmt,
+                              calibration_tokens=runtime.calib_tokens)
+            qlm.forward(tokens)
+            spy = _EnvSpy(os.environ)
+            monkeypatch.setattr(os, "environ", spy)
+            qlm.forward(tokens)
+            monkeypatch.undo()
+            assert spy.reads == 0, type(fmt).__name__
