@@ -114,9 +114,10 @@ def test_no_kernel_throughput_regression():
 @pytest.mark.parametrize("suite,baseline_name,module", [
     ("codec", "BENCH_codec.json", "bench_codec"),
     ("eval", "BENCH_eval.json", "bench_eval"),
+    ("server", "BENCH_server.json", "bench_server"),
 ])
 def test_no_bench_suite_regression(suite, baseline_name, module):
-    """Quick fresh codec/eval benchmarks vs the committed baselines.
+    """Quick fresh codec/eval/server benchmarks vs committed baselines.
 
     Quick mode shrinks tensors and profiles, so the loosened threshold
     below absorbs the extra noise while still catching a silently

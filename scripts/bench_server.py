@@ -1,0 +1,199 @@
+"""Closed-loop load generator for the network quantization server.
+
+Measures, per (format, operand-path, packed) arm and concurrency level:
+
+* **requests/s** — closed loop: each client thread keeps exactly one
+  request in flight on its own connection, so offered load tracks
+  service rate (no coordinated-omission artifacts);
+* **p50 / p99 latency** — per-request wall time, protocol round trip
+  included.
+
+Plus the **sharding** section: the same closed-loop load against a
+spawn-based :class:`~repro.server.WorkerPool` with one worker vs two,
+on the m2xfp activation arm. The sharded section runs a
+throughput-tuned batching window (``SHARD_DELAY_S``, larger than the
+latency-oriented default used for the per-arm table): a single worker's
+cycle is ``window + T(all requests)`` with the CPU idle for the whole
+window, while each sharded worker's cycle is ``window + T(half)`` and
+one worker's CPU-bound quantize pass overlaps the other's collection
+window. That overlap pays even on a single core (measured here); on
+multi-core hosts the passes additionally run truly in parallel.
+``speedup_sharded_vs_single`` records the measured requests/s ratio.
+
+Run:  PYTHONPATH=src python scripts/bench_server.py [--out PATH] [--quick]
+
+Writes ``BENCH_server.json``. Absolute requests/s are machine-dependent;
+the speedup ratio is the stable, regression-gated part
+(``scripts/check_bench_regression.py --suite server``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ServerBusy
+from repro.server import QuantClient, ServerThread, WorkerPool
+
+DEFAULT_OUT = "BENCH_server.json"
+
+#: (catalog name, operand path, packed) load arms.
+ARMS = (
+    ("m2xfp", "activation", False),
+    ("m2xfp", "activation", True),
+    ("elem-em", "activation", False),
+    ("elem-em", "activation", True),
+    ("m2-nvfp4", "activation", False),
+    ("m2-nvfp4", "activation", True),
+)
+
+#: The arm the sharded-vs-single comparison runs on.
+SHARDED_ARM = ("m2xfp", "activation", False)
+
+#: Latency-oriented micro-batch window for the per-arm table (the
+#: server default).
+MAX_DELAY_S = 0.002
+
+#: Throughput-tuned window for the sharding comparison — identical for
+#: the single and the sharded pool, sized so batch formation (not the
+#: quantize pass) dominates a worker's cycle.
+SHARD_DELAY_S = 0.008
+
+
+def _run_load(port: int, fmt: str, op: str, packed: bool,
+              concurrency: int, duration_s: float,
+              x: np.ndarray) -> dict:
+    """Closed-loop hammer: ``concurrency`` threads, one connection each."""
+    barrier = threading.Barrier(concurrency + 1)
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    busy = [0] * concurrency
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def worker(slot: int) -> None:
+        try:
+            with QuantClient(port=port, timeout=120.0) as cli:
+                for _ in range(3):  # warm the service/plan caches
+                    cli.quantize(x, fmt=fmt, op=op, packed=packed)
+                barrier.wait()
+                while not stop.is_set():
+                    t0 = time.perf_counter()
+                    try:
+                        cli.quantize(x, fmt=fmt, op=op, packed=packed)
+                    except ServerBusy:
+                        busy[slot] += 1
+                        continue
+                    latencies[slot].append(time.perf_counter() - t0)
+        except BaseException as exc:  # surfaced after the join
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(s,))
+               for s in range(concurrency)]
+    for t in threads:
+        t.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass  # a worker failed during warm-up; surface its error below
+    t_start = time.perf_counter()
+    if not errors:
+        time.sleep(duration_s)
+    stop.set()
+    for t in threads:
+        t.join(timeout=120)
+    elapsed = time.perf_counter() - t_start
+    if errors:
+        raise errors[0]
+    lats = np.array([v for slot in latencies for v in slot])
+    return {
+        "concurrency": concurrency,
+        "requests": int(lats.size),
+        "busy_rejections": int(sum(busy)),
+        "rps": round(lats.size / elapsed, 1),
+        "p50_ms": round(float(np.percentile(lats, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(lats, 99)) * 1e3, 3),
+    }
+
+
+def run_benchmarks(quick: bool = False) -> dict:
+    """Run every load arm plus the sharding comparison; returns the payload."""
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((16, 256))
+    duration = 0.25 if quick else 1.0
+    levels = (1, 4) if quick else (1, 4, 8)
+    payload: dict = {
+        "config": {
+            "tensor_shape": list(x.shape),
+            "duration_s": duration,
+            "max_delay_s": MAX_DELAY_S,
+            "quick": quick,
+        },
+        "arms": {},
+        "sharded": {},
+    }
+
+    with ServerThread(port=0, max_delay_s=MAX_DELAY_S) as st:
+        for fmt, op, packed in ARMS:
+            key = f"{fmt}:{op}:{'packed' if packed else 'unpacked'}"
+            arm: dict = {}
+            for c in levels:
+                arm[f"c{c}"] = _run_load(st.port, fmt, op, packed,
+                                         concurrency=c,
+                                         duration_s=duration, x=x)
+                print(f"  {key:28s} c={c}: "
+                      f"{arm[f'c{c}']['rps']:8.1f} rps  "
+                      f"p50 {arm[f'c{c}']['p50_ms']:7.3f} ms  "
+                      f"p99 {arm[f'c{c}']['p99_ms']:7.3f} ms")
+            payload["arms"][key] = arm
+
+    fmt, op, packed = SHARDED_ARM
+    shard_conc = 12 if quick else 16
+    shard_duration = 1.0 if quick else 2.5
+    results = {}
+    for label, workers in (("single", 1), ("sharded", 2)):
+        with WorkerPool(workers=workers, port=0,
+                        max_delay_s=SHARD_DELAY_S) as pool:
+            res = _run_load(pool.port, fmt, op, packed,
+                            concurrency=shard_conc,
+                            duration_s=shard_duration, x=x)
+            res["workers"] = workers
+            results[label] = res
+            print(f"  {fmt}:{op} {label} ({workers} worker"
+                  f"{'s' if workers > 1 else ''}): {res['rps']:8.1f} rps")
+    payload["sharded"] = {
+        "format": fmt, "op": op, "packed": packed,
+        "concurrency": shard_conc,
+        "max_delay_s": SHARD_DELAY_S,
+        "single": results["single"],
+        "sharded": results["sharded"],
+        "speedup_sharded_vs_single": round(
+            results["sharded"]["rps"] / results["single"]["rps"], 3),
+    }
+    print(f"  sharded-vs-single speedup: "
+          f"{payload['sharded']['speedup_sharded_vs_single']:.2f}x")
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=DEFAULT_OUT)
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter windows, fewer concurrency levels")
+    ns = parser.parse_args()
+    payload = run_benchmarks(quick=ns.quick)
+    with open(ns.out, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {ns.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,16 +1,18 @@
 """Fail when benchmark speedups regress against the committed baselines.
 
-Covers all three committed benchmark files — ``BENCH_kernels.json``
+Covers all four committed benchmark files — ``BENCH_kernels.json``
 (kernel fast-vs-reference speedups), ``BENCH_codec.json`` (codec /
-service / bitstream) and ``BENCH_eval.json`` (compiled plans + eval
-engine) — and exits non-zero if any recorded *speedup* dropped by more
-than the threshold (default 20%). Speedups are compared rather than raw
-throughput because both sides of a speedup are measured on the same
-machine, making the ratio portable across hardware — the committed
-baseline may come from a different box than CI.
+service / bitstream), ``BENCH_eval.json`` (compiled plans + eval
+engine) and ``BENCH_server.json`` (network server load test, sharded
+vs single worker) — and exits non-zero if any recorded *speedup*
+dropped by more than the threshold (default 20%). Speedups are
+compared rather than raw throughput because both sides of a speedup
+are measured on the same machine, making the ratio portable across
+hardware — the committed baseline may come from a different box than
+CI.
 
 Run:  PYTHONPATH=src python scripts/check_bench_regression.py \
-          [--suite kernels|codec|eval|all] [--baseline PATH] \
+          [--suite kernels|codec|eval|server|all] [--baseline PATH] \
           [--candidate PATH] [--threshold 0.2] [--quick]
 
 With no ``--candidate``, a fresh benchmark run supplies the candidate
@@ -30,6 +32,7 @@ SUITES = {
     "kernels": ("BENCH_kernels.json", "bench_kernels"),
     "codec": ("BENCH_codec.json", "bench_codec"),
     "eval": ("BENCH_eval.json", "bench_eval"),
+    "server": ("BENCH_server.json", "bench_server"),
 }
 
 

@@ -7,9 +7,10 @@ Three guarantees, so the docs cannot silently rot:
 2. every *relative* markdown link in the root documents resolves to a
    real file or directory;
 3. the README's environment-knob table stays in sync with the source:
-   every ``REPRO_*`` name used under ``src/`` appears in the table, and
-   every table entry appears somewhere in ``src/``, ``scripts/``,
-   ``benchmarks/`` or ``tests/``.
+   every ``REPRO_*`` name used under ``src/`` appears in the table
+   (the ``REPRO_SERVER_*`` serving knobs included), and every table
+   entry appears somewhere in ``src/``, ``scripts/``, ``benchmarks/``,
+   ``tests/`` or ``examples/``.
 
 Run:  python scripts/check_docs.py   (exit 1 + a report on any problem)
 """
@@ -32,7 +33,7 @@ _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _KNOB_RE = re.compile(r"\bREPRO_[A-Z0-9_]+\b")
 
 #: Where knob *definitions/uses* may legitimately live.
-KNOB_SOURCE_DIRS = ("src", "scripts", "benchmarks", "tests")
+KNOB_SOURCE_DIRS = ("src", "scripts", "benchmarks", "tests", "examples")
 
 
 def check_required_docs(repo: Path = REPO) -> list[str]:

@@ -1,0 +1,113 @@
+"""Regenerate the golden wire-protocol vectors for the quant server.
+
+Run:  PYTHONPATH=src python scripts/regen_wire_vectors.py --regen
+
+Writes ``tests/golden/wire_vectors.json``: a deterministic input tensor
+(as ``float.hex()`` text) plus the exact serialized **request and
+response frames** — byte for byte, protocol version included — for the
+m2xfp / elem-em / m2-nvfp4 arms, covering the raw-float64 and the
+packed-container payload encodings. ``tests/test_server.py`` rebuilds
+every frame from the committed inputs with the same construction path
+the client and server use and compares hex: any silent change to the
+frame header, meta canonicalization, status numbering or payload
+encoding fails tier-1.
+
+Like the other ``regen_*`` scripts, run this only when the wire format
+changes intentionally — which also means bumping
+``repro.server.protocol.PROTOCOL_VERSION`` — and say so in the commit
+message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.codec import encode
+from repro.runner.formats import make_format
+from repro.server import protocol
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / "golden" / \
+    "wire_vectors.json"
+
+#: The protocol arms whose frames are pinned.
+PINNED = ("m2xfp", "elem-em", "m2-nvfp4")
+
+
+def _fixed_input() -> np.ndarray:
+    """A deterministic (2, 64) tensor hitting zeros, ties and outliers."""
+    rng = np.random.default_rng(20260728)
+    x = rng.standard_normal((2, 64)) * np.exp(rng.standard_normal((2, 64)))
+    x[0, 0:5] = [0.0, -0.0, 1e-30, 640.0, -0.4375]
+    x[1, 7] = -6.0 * 2.0 ** 5
+    return x
+
+
+def build_payload() -> dict:
+    """All pinned frames, keyed ``<format>:<op>:<packed|raw>``.
+
+    Responses are built exactly the way ``QuantServer._respond`` builds
+    them: the format's own quantize output (or the codec's container
+    bytes) behind ``encode_response_array`` / ``encode_response_packed``
+    with the format's fingerprint.
+    """
+    x = _fixed_input()
+    payload = {
+        "protocol_version": protocol.PROTOCOL_VERSION,
+        "input_hex": [float(v).hex() for v in x.ravel()],
+        "shape": list(x.shape),
+        "cases": {},
+    }
+    rid = 0
+    for name in PINNED:
+        fmt = make_format(name)
+        for op, packed in (("activation", False), ("weight", True)):
+            rid += 1
+            request = protocol.encode_request(
+                rid, x, fmt=name, op=op, packed=packed,
+                fingerprint=repr(fmt))
+            if packed:
+                pt = encode(fmt, x, op=op, axis=-1, verify=True)
+                response = protocol.encode_response_packed(
+                    rid, pt.to_bytes(), fingerprint=repr(fmt))
+            else:
+                fn = (fmt.quantize_weight if op == "weight"
+                      else fmt.quantize_activation)
+                response = protocol.encode_response_array(
+                    rid, fn(x, axis=-1), fingerprint=repr(fmt))
+            payload["cases"][f"{name}:{op}:{'packed' if packed else 'raw'}"] \
+                = {
+                    "format": name,
+                    "op": op,
+                    "packed": packed,
+                    "request_id": rid,
+                    "request_hex": request.hex(),
+                    "response_hex": response.hex(),
+                }
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--regen", action="store_true",
+                        help="actually overwrite the golden file")
+    ns = parser.parse_args()
+    payload = build_payload()
+    if not ns.regen:
+        print("dry run (use --regen to write); cases:")
+        for key, case in payload["cases"].items():
+            print(f"  {key:28s} request {len(case['request_hex']) // 2:5d} B, "
+                  f"response {len(case['response_hex']) // 2:5d} B")
+        return
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

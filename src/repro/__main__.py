@@ -2,8 +2,10 @@
 
 Thin shell over :mod:`repro.runner.cli` — ``run`` / ``list`` / ``sweep``
 subcommands with ``--jobs`` sharding and the content-addressed result
-cache. The pre-runner style (``python -m repro tbl3 [--full]``) still
-works as an alias for ``run``.
+cache, plus ``serve`` (the asyncio TCP quantization server in
+:mod:`repro.server`, optionally sharded over ``--workers`` processes).
+The pre-runner style (``python -m repro tbl3 [--full]``) still works as
+an alias for ``run``.
 """
 
 from __future__ import annotations

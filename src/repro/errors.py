@@ -19,3 +19,15 @@ class ConfigError(ReproError):
 
 class CodecError(ReproError):
     """A packed tensor container is malformed or cannot be (de)serialized."""
+
+
+class ProtocolError(ReproError):
+    """A quantization-server wire frame is malformed or mis-versioned."""
+
+
+class ServerBusy(ReproError):
+    """The quantization server hit its in-flight bound (back off and retry)."""
+
+
+class ServerError(ReproError):
+    """The quantization server failed internally processing a request."""

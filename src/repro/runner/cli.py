@@ -6,6 +6,7 @@ Usage::
     python -m repro run tbl3 fig6 --jobs 4 --fast
     python -m repro run all --jobs 4
     python -m repro sweep --formats mxfp4,m2xfp --profiles llama2-7b
+    python -m repro serve --port 7421 --workers 2
 
 The pre-runner invocation style (``python -m repro tbl3 [--full]``) is
 kept as an alias for ``run``: a first argument that is a known
@@ -46,6 +47,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--profiles", default="llama2-7b,llama3-8b",
                        help="comma-separated profile keys")
     _add_run_options(sweep)
+
+    serve = sub.add_parser(
+        "serve", help="asyncio TCP quantization server (repro.server)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default REPRO_SERVER_PORT or 7421; "
+                            "0 binds an ephemeral port)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="spawned worker processes sharing the port via "
+                            "SO_REUSEPORT (default REPRO_SERVER_WORKERS or "
+                            "0 = serve in this process)")
+    serve.add_argument("--max-inflight", type=int, default=None,
+                       help="admitted-but-unanswered request bound per "
+                            "worker; beyond it requests get BUSY (default "
+                            "REPRO_SERVER_MAX_INFLIGHT or 64)")
+    serve.add_argument("--max-batch", type=int, default=64,
+                       help="micro-batch size limit per quantization "
+                            "service (default 64)")
+    serve.add_argument("--max-delay-s", type=float, default=0.002,
+                       help="micro-batch collection window in seconds "
+                            "(default 0.002)")
+    serve.add_argument("--max-requests", type=int, default=None,
+                       help="exit after this many responses (smoke runs; "
+                            "in-process mode only)")
     return parser
 
 
@@ -129,13 +154,43 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from ..server import QuantServer, WorkerPool, run_server
+    from ..server.server import WORKERS_ENV, _env_int
+    workers = args.workers
+    if workers is None:
+        workers = _env_int(WORKERS_ENV, 0)
+    if workers > 0:
+        with WorkerPool(workers=workers, host=args.host,
+                        port=args.port if args.port is not None else 0,
+                        max_inflight=args.max_inflight,
+                        max_batch=args.max_batch,
+                        max_delay_s=args.max_delay_s) as pool:
+            print(f"serving on {args.host}:{pool.port} "
+                  f"({pool.workers} workers, SO_REUSEPORT)", flush=True)
+            try:
+                pool.join()
+            except KeyboardInterrupt:
+                pass
+        return 0
+    server = QuantServer(host=args.host, port=args.port,
+                         max_inflight=args.max_inflight,
+                         max_batch=args.max_batch,
+                         max_delay_s=args.max_delay_s,
+                         max_requests=args.max_requests)
+    run_server(server, ready=lambda port: print(
+        f"serving on {args.host}:{port} (in-process)", flush=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     # Legacy alias: `python -m repro tbl3 [--full]` == `run tbl3 [--full]`.
     # The old CLI accepted flags in any position (`--full tbl3`), so the
     # alias triggers whenever every positional is a known experiment id.
     positional = [a for a in args if not a.startswith("-")]
-    if positional and positional[0] not in ("run", "list", "sweep") and \
+    if positional and positional[0] not in ("run", "list", "sweep",
+                                            "serve") and \
             all(p in EXPERIMENTS for p in positional):
         args = ["run"] + args
     parser = build_parser()
@@ -151,6 +206,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(ns)
         if ns.command == "sweep":
             return _cmd_sweep(ns)
+        if ns.command == "serve":
+            return _cmd_serve(ns)
     except (ReproError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -41,6 +41,7 @@ import queue
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -51,9 +52,46 @@ from ..mx.base import TensorFormat
 from ..mx.max_preserve import MaxPreserving
 from ..mx.nvfp import NVFP4
 
-__all__ = ["QuantService"]
+__all__ = ["QuantService", "DISPATCH_MODES"]
 
 _OPS = ("weight", "activation")
+
+#: Kernel dispatch modes a service can pin (``"inherit"`` = caller's env).
+DISPATCH_MODES = ("inherit", "fast", "reference", "bittwiddle")
+
+#: Serializes pinned-dispatch batch execution: the dispatch override is
+#: process-global, so only one non-inherit scope may be active at a time.
+#: All dispatch modes are bit-identical by the kernel parity contract, so
+#: a scope transiently observed by an inherit-mode thread changes speed,
+#: never values.
+_DISPATCH_LOCK = threading.Lock()
+
+
+@contextmanager
+def _dispatch_scope(mode: str):
+    """Execute a batch under the service's pinned kernel dispatch mode."""
+    if mode == "inherit":
+        yield
+        return
+    from ..kernels.dispatch import BITTWIDDLE_ENV, fast_kernels, \
+        reference_kernels
+    with _DISPATCH_LOCK:
+        if mode == "reference":
+            with reference_kernels():
+                yield
+            return
+        # Both fast flavours must pin the bittwiddle knob too: "fast"
+        # masks an ambient REPRO_BITTWIDDLE=1, "bittwiddle" forces it.
+        old = os.environ.get(BITTWIDDLE_ENV)
+        os.environ[BITTWIDDLE_ENV] = "1" if mode == "bittwiddle" else "0"
+        try:
+            with fast_kernels():
+                yield
+        finally:
+            if old is None:
+                os.environ.pop(BITTWIDDLE_ENV, None)
+            else:
+                os.environ[BITTWIDDLE_ENV] = old
 
 
 def _tensor_scoped(fmt) -> bool:
@@ -97,16 +135,26 @@ class QuantService:
     workers:
         ``> 0`` processes batches on a thread pool of that size;
         ``0`` (default) processes them on the collector thread.
+    dispatch:
+        ``"inherit"`` (default) uses whatever kernel dispatch the
+        environment selects at batch time; ``"fast"`` / ``"reference"``
+        / ``"bittwiddle"`` pin the mode for every batch this service
+        runs (all modes are bit-identical — the pin is a debugging /
+        serving-contract tool, not a semantic switch).
     """
 
     def __init__(self, fmt: TensorFormat | str, *, packed: bool = False,
                  max_batch: int = 64, max_delay_s: float = 0.002,
-                 workers: int = 0) -> None:
+                 workers: int = 0, dispatch: str = "inherit") -> None:
         if isinstance(fmt, str):
             from ..runner.formats import make_format
             fmt = make_format(fmt)
         if max_batch < 1:
             raise ConfigError("max_batch must be >= 1")
+        if dispatch not in DISPATCH_MODES:
+            raise ConfigError(f"dispatch must be one of {DISPATCH_MODES}, "
+                              f"got {dispatch!r}")
+        self.dispatch = dispatch
         self.fmt = fmt
         self.packed = bool(packed)
         self.max_batch = int(max_batch)
@@ -141,7 +189,12 @@ class QuantService:
         # processed) or raises — a future can never be left unresolved.
         with self._lock:
             if self._closed:
-                raise ConfigError("service is closed")
+                raise ConfigError(
+                    "QuantService is closed; submit() is no longer accepted")
+            if cached is None and not self._collector.is_alive():
+                raise ConfigError(
+                    "QuantService collector thread has died; the service "
+                    "cannot process new requests — create a fresh one")
             self._stats["requests"] += 1
             if cached is not None:
                 self._stats["weight_cache_hits"] += 1
@@ -179,7 +232,14 @@ class QuantService:
         return out
 
     def close(self) -> None:
-        """Drain the queue, stop the collector, release the pool."""
+        """Drain the queue, stop the collector, release the pool.
+
+        Every accepted future is resolved before this returns: normally
+        with its result (the collector processes everything ahead of the
+        shutdown sentinel), or — if the collector died — with a
+        :class:`ConfigError`. ``close()`` never hangs and never strands
+        a waiter.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -190,6 +250,9 @@ class QuantService:
         self._collector.join()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
+        # A dead collector leaves its queue (and sentinel) behind; error
+        # the stranded futures instead of letting callers wait forever.
+        self._drain_queue()
 
     def __enter__(self) -> "QuantService":
         return self
@@ -207,9 +270,15 @@ class QuantService:
         fmt_key = self.fmt.weight_cache_key
         if fmt_key is None:
             return None
-        from ..kernels.dispatch import use_bittwiddle, use_reference
-        return (fmt_key, use_reference(), use_bittwiddle(), self.packed,
-                _digest(req.x))
+        reference, bittwiddle = self._dispatch_flags()
+        return (fmt_key, reference, bittwiddle, self.packed, _digest(req.x))
+
+    def _dispatch_flags(self) -> tuple[bool, bool]:
+        """(reference, bittwiddle) under this service's dispatch mode."""
+        if self.dispatch == "inherit":
+            from ..kernels.dispatch import use_bittwiddle, use_reference
+            return use_reference(), use_bittwiddle()
+        return (self.dispatch == "reference", self.dispatch == "bittwiddle")
 
     def _weight_lookup(self, req: _Request):
         """Cached result for a weight request (stats counted by submit)."""
@@ -229,28 +298,59 @@ class QuantService:
     # Collector / execution
     # ------------------------------------------------------------------
     def _collect_loop(self) -> None:
-        while True:
-            req = self._queue.get()
-            if req is None:
-                return
-            batch = [req]
-            # Waiting for companions only pays when requests can actually
-            # be stacked; packed/tensor-scoped services run solo anyway.
-            deadline = (time.monotonic() + self.max_delay_s
-                        if self._batchable else time.monotonic())
-            while len(batch) < self.max_batch:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0 and self._queue.empty():
-                    break
-                try:
-                    nxt = self._queue.get(timeout=max(0.0, remaining))
-                except queue.Empty:
-                    break
-                if nxt is None:
-                    self._run_batch(batch)
+        batch: list[_Request] = []
+        try:
+            while True:
+                req = self._queue.get()
+                if req is None:
                     return
-                batch.append(nxt)
-            self._run_batch(batch)
+                batch = [req]
+                # Waiting for companions only pays when requests can
+                # actually be stacked; packed/tensor-scoped services run
+                # solo anyway.
+                deadline = (time.monotonic() + self.max_delay_s
+                            if self._batchable else time.monotonic())
+                while len(batch) < self.max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 and self._queue.empty():
+                        break
+                    try:
+                        nxt = self._queue.get(timeout=max(0.0, remaining))
+                    except queue.Empty:
+                        break
+                    if nxt is None:
+                        self._run_batch(batch)
+                        batch = []
+                        return
+                    batch.append(nxt)
+                self._run_batch(batch)
+                batch = []
+        finally:
+            # On any exit — clean shutdown or a crash in batch dispatch —
+            # no accepted future may be left pending: error whatever this
+            # thread was holding plus everything still queued.
+            self._drain_requests(batch)
+            self._drain_queue()
+
+    def _drain_requests(self, reqs: list[_Request]) -> None:
+        """Resolve still-pending futures with a shutdown error."""
+        for req in reqs:
+            if not req.future.done():
+                req.future.set_exception(ConfigError(
+                    "QuantService shut down before this request was "
+                    "processed"))
+
+    def _drain_queue(self) -> None:
+        """Error every request still sitting in the intake queue."""
+        leftovers: list[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not None:
+                leftovers.append(item)
+        self._drain_requests(leftovers)
 
     def _run_batch(self, batch: list[_Request]) -> None:
         groups: dict = {}
@@ -266,11 +366,12 @@ class QuantService:
 
     def _process_group(self, key, reqs: list[_Request]) -> None:
         try:
-            if key[0] in _OPS and len(reqs) > 1:
-                self._process_stacked(reqs, op=key[0])
-            else:
-                for req in reqs:
-                    self._finish(req, self._quantize_one(req))
+            with _dispatch_scope(self.dispatch):
+                if key[0] in _OPS and len(reqs) > 1:
+                    self._process_stacked(reqs, op=key[0])
+                else:
+                    for req in reqs:
+                        self._finish(req, self._quantize_one(req))
             with self._lock:
                 self._stats["batches"] += 1
                 self._stats["elements"] += sum(r.x.size for r in reqs)

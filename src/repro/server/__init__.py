@@ -1,0 +1,37 @@
+"""Network quantization serving: wire protocol, asyncio server, clients.
+
+The deployment layer the ROADMAP's "serves heavy traffic" goal asks
+for: :mod:`repro.server.protocol` defines a versioned length-prefixed
+binary frame format (golden-pinned in
+``tests/golden/wire_vectors.json``); :class:`QuantServer` bridges TCP
+connections onto shared, micro-batching
+:class:`~repro.serve.QuantService` pipelines with explicit ``BUSY``
+backpressure; :class:`WorkerPool` shards the port across spawned
+worker processes via ``SO_REUSEPORT``; :class:`QuantClient` /
+:class:`AsyncQuantClient` round-trip numpy arrays (or packed
+containers) bit-exactly. ``python -m repro serve`` runs it from the
+command line; ``scripts/bench_server.py`` load-tests it into
+``BENCH_server.json``.
+
+Example::
+
+    from repro.server import ServerThread, QuantClient
+
+    with ServerThread(port=0) as st, QuantClient(port=st.port) as cli:
+        out = cli.quantize(x, fmt="m2xfp", op="weight", verify=True)
+"""
+
+from . import protocol
+from .client import AsyncQuantClient, QuantClient, local_expected
+from .server import (DEFAULT_MAX_INFLIGHT, DEFAULT_PORT, MAX_INFLIGHT_ENV,
+                     PORT_ENV, WORKERS_ENV, QuantServer, ServerThread,
+                     run_server)
+from .workers import WorkerPool, reuseport_listener
+
+__all__ = [
+    "protocol", "QuantServer", "ServerThread", "run_server",
+    "QuantClient", "AsyncQuantClient", "local_expected",
+    "WorkerPool", "reuseport_listener",
+    "PORT_ENV", "MAX_INFLIGHT_ENV", "WORKERS_ENV",
+    "DEFAULT_PORT", "DEFAULT_MAX_INFLIGHT",
+]

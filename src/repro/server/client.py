@@ -1,0 +1,274 @@
+"""Sync and async clients for the quantization server.
+
+Both clients speak the versioned frame protocol over one TCP
+connection, round-trip numpy arrays as raw float64 payloads, and
+support **pipelining**: ``submit()`` streams request frames without
+waiting, ``result()`` collects responses by request id in any order.
+``quantize(..., verify=True)`` additionally recomputes the expected
+result with the local library — ``quantize_weight`` /
+``quantize_activation`` under the requested dispatch mode, or
+``repro.codec.encode`` for packed requests — and raises unless the
+server's bytes are identical: the wire adds nothing and loses nothing.
+
+Example::
+
+    from repro.server import QuantClient
+
+    with QuantClient(port=7421) as cli:
+        out = cli.quantize(x, fmt="m2xfp", op="weight", verify=True)
+        rids = [cli.submit(t, fmt="elem-em") for t in tensors]  # pipelined
+        outs = [cli.result(r) for r in rids]
+
+    # asyncio flavour
+    async with AsyncQuantClient(port=7421) as cli:
+        out = await cli.quantize(x, fmt="m2xfp")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+
+import numpy as np
+
+from ..errors import ConfigError, ProtocolError
+from . import protocol
+from .server import DEFAULT_PORT, PORT_ENV, _env_int
+
+__all__ = ["QuantClient", "AsyncQuantClient", "local_expected"]
+
+
+def local_expected(x: np.ndarray, *, fmt: str, op: str = "activation",
+                   dispatch: str = "inherit", packed: bool = False):
+    """What the server must return: the local library's own answer.
+
+    Runs ``quantize_weight`` / ``quantize_activation`` (or the codec's
+    ``encode`` for packed requests) under ``dispatch`` — the function the
+    bit-exactness tests and ``verify=True`` compare against.
+    """
+    from ..runner.formats import make_format
+    from ..serve.service import _dispatch_scope
+    fmt_obj = make_format(fmt)
+    with _dispatch_scope(dispatch):
+        if packed:
+            from ..codec import encode
+            return encode(fmt_obj, x, op=op, axis=-1)
+        fn = (fmt_obj.quantize_weight if op == "weight"
+              else fmt_obj.quantize_activation)
+        return fn(np.asarray(x, dtype=np.float64), axis=-1)
+
+
+def _verify(result, x, *, fmt, op, dispatch, packed) -> None:
+    expect = local_expected(x, fmt=fmt, op=op, dispatch=dispatch,
+                            packed=packed)
+    if packed:
+        same = result.to_bytes() == expect.to_bytes()
+    else:
+        same = result.tobytes() == \
+            np.asarray(expect, dtype=np.float64).tobytes()
+    if not same:
+        raise ProtocolError(
+            f"server result for {fmt}:{op} (dispatch={dispatch}, "
+            f"packed={packed}) is not bit-identical to the local "
+            f"quantization — wire or server corruption")
+
+
+class QuantClient:
+    """Blocking client over one pipelined TCP connection."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int | None = None, *,
+                 timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = _env_int(PORT_ENV, DEFAULT_PORT) if port is None \
+            else int(port)
+        self.timeout = timeout
+        self._sock: socket.socket | None = None
+        self._next_id = 1
+        self._responses: dict[int, protocol.Frame] = {}
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "QuantClient":
+        if self._sock is None:
+            self._sock = socket.create_connection((self.host, self.port),
+                                                  timeout=self.timeout)
+            self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "QuantClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def submit(self, x: np.ndarray, *, fmt: str, op: str = "activation",
+               dispatch: str = "inherit", packed: bool = False,
+               fingerprint: str = "") -> int:
+        """Stream one request frame; returns its request id (pipelined)."""
+        if self._sock is None:
+            raise ConfigError("client is not connected; call connect() "
+                              "or use it as a context manager")
+        rid = self._next_id
+        self._next_id += 1
+        self._sock.sendall(protocol.encode_request(
+            rid, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed,
+            fingerprint=fingerprint))
+        return rid
+
+    def result(self, request_id: int):
+        """Wait for the response to ``request_id`` (any arrival order).
+
+        Raises the typed exception an error status maps to
+        (``ServerBusy``, ``FormatError``, ``ConfigError``, ...).
+        """
+        while request_id not in self._responses:
+            frame = protocol.recv_frame(self._sock)
+            if frame is None:
+                raise ProtocolError("server closed the connection before "
+                                    f"answering request {request_id}")
+            self._responses[frame.request_id] = frame
+        return protocol.response_result(self._responses.pop(request_id))
+
+    def quantize(self, x: np.ndarray, *, fmt: str, op: str = "activation",
+                 dispatch: str = "inherit", packed: bool = False,
+                 fingerprint: str = "", verify: bool = False):
+        """One round trip: submit, wait, (optionally) verify bit-exactness."""
+        out = self.result(self.submit(x, fmt=fmt, op=op, dispatch=dispatch,
+                                      packed=packed,
+                                      fingerprint=fingerprint))
+        if verify:
+            _verify(out, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed)
+        return out
+
+    def quantize_batch(self, tensors, *, fmt: str, op: str = "activation",
+                       dispatch: str = "inherit", packed: bool = False,
+                       window: int = 32) -> list:
+        """Pipeline many tensors over this connection, gather in order.
+
+        At most ``window`` requests are in flight at once: with both
+        sides streaming blindly, unbounded pipelining can deadlock once
+        the responses the client is not yet reading fill the socket
+        buffers (and it would trip the server's in-flight bound anyway).
+        """
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        tensors = list(tensors)
+        results: list = []
+        pending: list[int] = []
+        for x in tensors:
+            if len(pending) >= window:
+                results.append(self.result(pending.pop(0)))
+            pending.append(self.submit(x, fmt=fmt, op=op, dispatch=dispatch,
+                                       packed=packed))
+        results.extend(self.result(rid) for rid in pending)
+        return results
+
+
+class AsyncQuantClient:
+    """asyncio client: same protocol, futures per in-flight request."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int | None = None) -> None:
+        self.host = host
+        self.port = _env_int(PORT_ENV, DEFAULT_PORT) if port is None \
+            else int(port)
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: dict[int, asyncio.Future] = {}
+        self._reader_task: asyncio.Task | None = None
+        self._reader_error: BaseException | None = None
+        self._next_id = 1
+
+    async def connect(self) -> "AsyncQuantClient":
+        if self._writer is None:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+            self._reader_task = asyncio.create_task(self._read_loop())
+        return self
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+            self._writer = None
+        for fut in self._pending.values():
+            if not fut.done():
+                fut.set_exception(ProtocolError("client closed with the "
+                                                "request in flight"))
+        self._pending.clear()
+
+    async def __aenter__(self) -> "AsyncQuantClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await protocol.read_frame(self._reader)
+                if frame is None:
+                    raise ProtocolError("server closed the connection")
+                fut = self._pending.pop(frame.request_id, None)
+                if fut is not None and not fut.done():
+                    fut.set_result(frame)
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:
+            self._reader_error = exc
+            for fut in self._pending.values():
+                if not fut.done():
+                    fut.set_exception(exc)
+            self._pending.clear()
+
+    async def submit(self, x: np.ndarray, *, fmt: str,
+                     op: str = "activation", dispatch: str = "inherit",
+                     packed: bool = False,
+                     fingerprint: str = "") -> asyncio.Future:
+        """Send one request; the returned future resolves to its frame."""
+        if self._writer is None:
+            raise ConfigError("client is not connected; use "
+                              "`async with AsyncQuantClient(...)`")
+        if self._reader_task is not None and self._reader_task.done():
+            # The reader died (connection failure): a request parked now
+            # would never resolve. Fail fast with the root cause.
+            exc = self._reader_error
+            raise ProtocolError(
+                f"connection reader has stopped"
+                f"{f': {exc}' if exc else ''}; reconnect the client")
+        rid = self._next_id
+        self._next_id += 1
+        fut = asyncio.get_running_loop().create_future()
+        self._pending[rid] = fut
+        self._writer.write(protocol.encode_request(
+            rid, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed,
+            fingerprint=fingerprint))
+        await self._writer.drain()
+        return fut
+
+    async def quantize(self, x: np.ndarray, *, fmt: str,
+                       op: str = "activation", dispatch: str = "inherit",
+                       packed: bool = False, fingerprint: str = "",
+                       verify: bool = False):
+        """One awaitable round trip (pipelines freely across tasks)."""
+        fut = await self.submit(x, fmt=fmt, op=op, dispatch=dispatch,
+                                packed=packed, fingerprint=fingerprint)
+        out = protocol.response_result(await fut)
+        if verify:
+            _verify(out, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed)
+        return out

@@ -1,0 +1,367 @@
+"""Versioned length-prefixed binary wire protocol for the quant server.
+
+One frame shape for both directions, so a single parser serves client
+and server. Layout (all little-endian)::
+
+    uint32  body length B (bytes after this word)
+    bytes 0..3   magic  b"RQP1"
+    byte  4      protocol version (currently 1)
+    byte  5      kind    (1 = request, 2 = response)
+    byte  6      status  (requests: 0; responses: a Status code)
+    byte  7      flags   (payload encoding: raw float64 | PackedTensor)
+    bytes 8..11  uint32 request id (client-chosen; echoed in the response)
+    bytes 12..15 uint32 meta length M
+    16..16+M     canonical JSON meta (ascii, sorted keys)
+    remainder    payload bytes
+
+Request meta carries the catalog format name, its configuration
+fingerprint (``repr`` of the format — the same string ``PackedTensor``
+headers pin), the operand path (``weight`` / ``activation``), the kernel
+dispatch mode and the ``packed`` response flag; the payload is the raw
+little-endian C-order float64 tensor, shape in meta. Response payloads
+are either the dequantized tensor in the same raw encoding or a
+serialized :class:`~repro.codec.PackedTensor` container; error responses
+carry a :class:`Status` code that maps 1:1 onto the library's exception
+types (``FormatError``, ``ConfigError``, ``CodecError``, ...), plus the
+message in meta.
+
+**Versioning rule:** any change to the byte layout above — header
+fields, meta keys, payload encodings, status numbering — bumps
+``PROTOCOL_VERSION``; a server must reject frames carrying any other
+version with ``Status.PROTOCOL_ERROR`` naming both versions. The golden
+vectors in ``tests/golden/wire_vectors.json`` pin version-1 frames
+byte-exactly, so accidental drift is a tier-1 failure.
+
+Example::
+
+    from repro.server import protocol
+
+    blob = protocol.encode_request(1, x, fmt="m2xfp", op="weight")
+    frame = protocol.frame_from_bytes(blob)      # round-trips exactly
+    req = protocol.decode_request(frame)
+    req.x  # the tensor, bit-identical to the caller's float64 array
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..errors import CodecError, ConfigError, FormatError, ProtocolError, \
+    ServerBusy, ServerError
+
+__all__ = [
+    "MAGIC", "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
+    "KIND_REQUEST", "KIND_RESPONSE", "FLAG_RAW_F64", "FLAG_PACKED",
+    "Status", "Frame", "QuantRequest",
+    "encode_request", "decode_request",
+    "encode_response_array", "encode_response_packed",
+    "encode_response_error", "response_result",
+    "frame_to_bytes", "frame_from_bytes", "read_frame", "recv_frame",
+    "status_for_exception",
+]
+
+MAGIC = b"RQP1"
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one frame body; anything larger is a protocol error
+#: (protects both sides from a corrupted or hostile length word).
+MAX_FRAME_BYTES = 1 << 28
+
+KIND_REQUEST = 1
+KIND_RESPONSE = 2
+
+#: Payload encodings (``flags`` bits).
+FLAG_RAW_F64 = 0x1   # raw little-endian C-order float64, shape in meta
+FLAG_PACKED = 0x2    # a serialized PackedTensor container
+
+
+class Status(enum.IntEnum):
+    """Response status codes; each error code maps to one exception type."""
+
+    OK = 0
+    BUSY = 1
+    FORMAT_ERROR = 2
+    CONFIG_ERROR = 3
+    CODEC_ERROR = 4
+    PROTOCOL_ERROR = 5
+    INTERNAL_ERROR = 6
+
+
+#: status -> exception class raised client-side (and the reverse map the
+#: server uses to classify exceptions into status codes).
+STATUS_TO_ERROR = {
+    Status.BUSY: ServerBusy,
+    Status.FORMAT_ERROR: FormatError,
+    Status.CONFIG_ERROR: ConfigError,
+    Status.CODEC_ERROR: CodecError,
+    Status.PROTOCOL_ERROR: ProtocolError,
+    Status.INTERNAL_ERROR: ServerError,
+}
+
+_OPS = ("weight", "activation")
+_HEADER = struct.Struct("<4sBBBBII")
+_LEN = struct.Struct("<I")
+
+
+def status_for_exception(exc: BaseException) -> Status:
+    """The wire status a server reports for ``exc`` (most specific wins)."""
+    for status in (Status.BUSY, Status.FORMAT_ERROR, Status.CONFIG_ERROR,
+                   Status.CODEC_ERROR, Status.PROTOCOL_ERROR):
+        if isinstance(exc, STATUS_TO_ERROR[status]):
+            return status
+    return Status.INTERNAL_ERROR
+
+
+@dataclass
+class Frame:
+    """One decoded wire frame (either direction)."""
+
+    kind: int
+    status: int
+    flags: int
+    request_id: int
+    meta: dict = field(default_factory=dict)
+    payload: bytes = b""
+
+
+@dataclass
+class QuantRequest:
+    """A validated request: the tensor plus its routing fields."""
+
+    request_id: int
+    x: np.ndarray
+    format_name: str
+    op: str
+    dispatch: str
+    packed: bool
+    fingerprint: str
+
+
+# ----------------------------------------------------------------------
+# Frame (de)serialization
+# ----------------------------------------------------------------------
+def _meta_bytes(meta: dict) -> bytes:
+    return json.dumps(meta, sort_keys=True,
+                      separators=(",", ":")).encode("ascii")
+
+
+def frame_to_bytes(frame: Frame) -> bytes:
+    """Serialize a frame, length prefix included."""
+    meta = _meta_bytes(frame.meta)
+    head = _HEADER.pack(MAGIC, PROTOCOL_VERSION, frame.kind, frame.status,
+                        frame.flags, frame.request_id, len(meta))
+    body_len = len(head) + len(meta) + len(frame.payload)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame body of {body_len} bytes exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    return b"".join((_LEN.pack(body_len), head, meta, frame.payload))
+
+
+def _parse_body(body: bytes) -> Frame:
+    if len(body) < _HEADER.size:
+        raise ProtocolError(f"frame body truncated at {len(body)} bytes "
+                            f"(header needs {_HEADER.size})")
+    magic, version, kind, status, flags, request_id, meta_len = \
+        _HEADER.unpack_from(body, 0)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version} "
+                            f"(this build speaks {PROTOCOL_VERSION})")
+    if kind not in (KIND_REQUEST, KIND_RESPONSE):
+        raise ProtocolError(f"unknown frame kind {kind}")
+    meta_end = _HEADER.size + meta_len
+    if meta_end > len(body):
+        raise ProtocolError("frame meta section truncated")
+    try:
+        meta = json.loads(body[_HEADER.size:meta_end].decode("ascii"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unreadable frame meta: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError("frame meta must be a JSON object")
+    return Frame(kind=kind, status=status, flags=flags,
+                 request_id=request_id, meta=meta, payload=body[meta_end:])
+
+
+def frame_from_bytes(blob: bytes) -> Frame:
+    """Parse one complete frame (length prefix included)."""
+    blob = bytes(blob)
+    if len(blob) < _LEN.size:
+        raise ProtocolError("frame shorter than its length prefix")
+    (body_len,) = _LEN.unpack_from(blob, 0)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {body_len} exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    if len(blob) != _LEN.size + body_len:
+        raise ProtocolError(f"frame length prefix says {body_len} body "
+                            f"bytes, buffer has {len(blob) - _LEN.size}")
+    return _parse_body(blob[_LEN.size:])
+
+
+async def read_frame(reader) -> Frame | None:
+    """Read one frame from an ``asyncio.StreamReader``; None on clean EOF."""
+    import asyncio
+    try:
+        prefix = await reader.readexactly(_LEN.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from exc
+    (body_len,) = _LEN.unpack(prefix)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {body_len} exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    try:
+        body = await reader.readexactly(body_len)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return _parse_body(body)
+
+
+def recv_frame(sock) -> Frame | None:
+    """Read one frame from a blocking socket; None on clean EOF."""
+    prefix = _recv_exact(sock, _LEN.size, eof_ok=True)
+    if prefix is None:
+        return None
+    (body_len,) = _LEN.unpack(prefix)
+    if body_len > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {body_len} exceeds the "
+                            f"{MAX_FRAME_BYTES}-byte protocol limit")
+    body = _recv_exact(sock, body_len, eof_ok=False)
+    return _parse_body(body)
+
+
+def _recv_exact(sock, n: int, eof_ok: bool) -> bytes | None:
+    chunks, got = [], 0
+    while got < n:
+        chunk = sock.recv(min(n - got, 1 << 20))
+        if not chunk:
+            if eof_ok and got == 0:
+                return None
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+# ----------------------------------------------------------------------
+# Requests
+# ----------------------------------------------------------------------
+def encode_request(request_id: int, x: np.ndarray, *, fmt: str,
+                   op: str = "activation", dispatch: str = "inherit",
+                   packed: bool = False, fingerprint: str = "") -> bytes:
+    """Serialize one quantization request frame."""
+    x = np.ascontiguousarray(x, dtype="<f8")
+    meta = {"format": fmt, "op": op, "dispatch": dispatch,
+            "packed": bool(packed), "shape": list(x.shape),
+            "fingerprint": fingerprint}
+    return frame_to_bytes(Frame(kind=KIND_REQUEST, status=0,
+                                flags=FLAG_RAW_F64, request_id=request_id,
+                                meta=meta, payload=x.tobytes()))
+
+
+def decode_request(frame: Frame) -> QuantRequest:
+    """Validate a request frame and materialize its tensor."""
+    if frame.kind != KIND_REQUEST:
+        raise ProtocolError(f"expected a request frame, got kind {frame.kind}")
+    if not frame.flags & FLAG_RAW_F64:
+        raise ProtocolError("request payload must be raw float64 "
+                            "(FLAG_RAW_F64)")
+    meta = frame.meta
+    op = meta.get("op")
+    if op not in _OPS:
+        raise ProtocolError(f"request op must be one of {_OPS}, got {op!r}")
+    from ..serve.service import DISPATCH_MODES
+    dispatch = meta.get("dispatch", "inherit")
+    if dispatch not in DISPATCH_MODES:
+        raise ProtocolError(f"request dispatch must be one of "
+                            f"{DISPATCH_MODES}, got {dispatch!r}")
+    fmt = meta.get("format")
+    if not isinstance(fmt, str) or not fmt:
+        raise ProtocolError("request meta is missing the format name")
+    shape = meta.get("shape")
+    if not isinstance(shape, list) or \
+            not all(isinstance(d, int) and d >= 0 for d in shape):
+        raise ProtocolError(f"bad request shape {shape!r}")
+    n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+    if len(frame.payload) != 8 * n:
+        raise ProtocolError(f"request payload has {len(frame.payload)} "
+                            f"bytes; shape {shape} needs {8 * n}")
+    x = np.frombuffer(frame.payload, dtype="<f8").reshape(shape).copy()
+    return QuantRequest(request_id=frame.request_id, x=x, format_name=fmt,
+                        op=op, dispatch=dispatch,
+                        packed=bool(meta.get("packed", False)),
+                        fingerprint=str(meta.get("fingerprint", "")))
+
+
+# ----------------------------------------------------------------------
+# Responses
+# ----------------------------------------------------------------------
+def encode_response_array(request_id: int, arr: np.ndarray, *,
+                          fingerprint: str = "") -> bytes:
+    """Serialize an OK response carrying a dequantized tensor."""
+    arr = np.ascontiguousarray(arr, dtype="<f8")
+    meta = {"shape": list(arr.shape), "fingerprint": fingerprint}
+    return frame_to_bytes(Frame(kind=KIND_RESPONSE, status=int(Status.OK),
+                                flags=FLAG_RAW_F64, request_id=request_id,
+                                meta=meta, payload=arr.tobytes()))
+
+
+def encode_response_packed(request_id: int, blob: bytes, *,
+                           fingerprint: str = "") -> bytes:
+    """Serialize an OK response carrying ``PackedTensor`` bytes."""
+    meta = {"fingerprint": fingerprint}
+    return frame_to_bytes(Frame(kind=KIND_RESPONSE, status=int(Status.OK),
+                                flags=FLAG_PACKED, request_id=request_id,
+                                meta=meta, payload=bytes(blob)))
+
+
+def encode_response_error(request_id: int, status: Status, message: str,
+                          exc_type: str = "") -> bytes:
+    """Serialize an error response (``status`` must not be OK)."""
+    if status == Status.OK:
+        raise ProtocolError("error responses cannot carry Status.OK")
+    meta = {"error": str(message), "exc_type": exc_type}
+    return frame_to_bytes(Frame(kind=KIND_RESPONSE, status=int(status),
+                                flags=0, request_id=request_id, meta=meta))
+
+
+def response_result(frame: Frame):
+    """The result carried by a response frame.
+
+    OK responses yield the dequantized ``np.ndarray`` or the
+    :class:`~repro.codec.PackedTensor`; error responses raise the
+    exception type their status maps to, with the server's message.
+    """
+    if frame.kind != KIND_RESPONSE:
+        raise ProtocolError(f"expected a response frame, got kind "
+                            f"{frame.kind}")
+    if frame.status != Status.OK:
+        try:
+            status = Status(frame.status)
+        except ValueError:
+            raise ProtocolError(f"response carries unknown status "
+                                f"{frame.status}") from None
+        exc_cls = STATUS_TO_ERROR[status]
+        message = frame.meta.get("error", f"server error ({status.name})")
+        raise exc_cls(message)
+    if frame.flags & FLAG_PACKED:
+        from ..codec import PackedTensor
+        return PackedTensor.from_bytes(frame.payload)
+    if frame.flags & FLAG_RAW_F64:
+        shape = frame.meta.get("shape")
+        if not isinstance(shape, list):
+            raise ProtocolError("raw response is missing its shape")
+        n = int(np.prod(shape, dtype=np.int64)) if shape else 1
+        if len(frame.payload) != 8 * n:
+            raise ProtocolError(f"response payload has "
+                                f"{len(frame.payload)} bytes; shape "
+                                f"{shape} needs {8 * n}")
+        return np.frombuffer(frame.payload, dtype="<f8").reshape(shape).copy()
+    raise ProtocolError(f"response carries no known payload encoding "
+                        f"(flags={frame.flags:#x})")

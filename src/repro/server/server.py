@@ -1,0 +1,332 @@
+"""The asyncio TCP quantization server.
+
+``QuantServer`` bridges socket connections onto the in-process
+:class:`~repro.serve.QuantService` stack: every request is routed to a
+shared service keyed by **(format, dispatch mode, packed)**, so
+concurrent clients asking for the same arm ride one bit-identical
+micro-batching pipeline (and one weight memo) no matter which
+connection they arrived on. The event loop never quantizes — services
+run on their own collector threads and the loop awaits their futures —
+so connections stay responsive while CPU-bound passes run.
+
+Admission control is a bounded in-flight counter: once
+``max_inflight`` requests are admitted and unanswered, further requests
+are answered immediately with ``Status.BUSY`` instead of being
+buffered without bound — backpressure is explicit, never a hang.
+Connections are fully pipelined: a client may stream many request
+frames before reading responses, and responses come back tagged with
+the request id in completion order.
+
+Env knobs (all overridable per instance): ``REPRO_SERVER_PORT`` (default
+7421), ``REPRO_SERVER_MAX_INFLIGHT`` (default 64), and — consumed by the
+CLI / worker pool — ``REPRO_SERVER_WORKERS``.
+
+Example::
+
+    from repro.server import ServerThread, QuantClient
+
+    with ServerThread(port=0) as st:             # ephemeral port
+        with QuantClient(port=st.port) as cli:
+            out = cli.quantize(x, fmt="m2xfp", op="weight")
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+
+from ..errors import ConfigError, ProtocolError
+from . import protocol
+from .protocol import Status
+
+__all__ = ["QuantServer", "ServerThread", "run_server",
+           "PORT_ENV", "MAX_INFLIGHT_ENV", "WORKERS_ENV",
+           "DEFAULT_PORT", "DEFAULT_MAX_INFLIGHT"]
+
+#: Environment knobs (documented in the README's env-knob table).
+PORT_ENV = "REPRO_SERVER_PORT"
+MAX_INFLIGHT_ENV = "REPRO_SERVER_MAX_INFLIGHT"
+WORKERS_ENV = "REPRO_SERVER_WORKERS"
+
+DEFAULT_PORT = 7421
+DEFAULT_MAX_INFLIGHT = 64
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+
+
+class QuantServer:
+    """One asyncio TCP quantization server (single process).
+
+    Parameters
+    ----------
+    host / port:
+        Bind address. ``port=None`` reads ``REPRO_SERVER_PORT`` (default
+        7421); ``port=0`` binds an ephemeral port, reported by
+        :attr:`port` once started.
+    max_inflight:
+        Admission bound: requests admitted but not yet answered. At the
+        bound, new requests get an immediate ``BUSY`` response.
+        ``None`` reads ``REPRO_SERVER_MAX_INFLIGHT`` (default 64).
+    max_batch / max_delay_s / service_workers:
+        Forwarded to every :class:`~repro.serve.QuantService` this
+        server creates (one per (format, dispatch, packed) arm).
+    max_requests:
+        Stop serving after this many responses (smoke tests / CLI
+        ``--max-requests``); ``None`` serves forever.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int | None = None, *,
+                 max_inflight: int | None = None, max_batch: int = 64,
+                 max_delay_s: float = 0.002, service_workers: int = 0,
+                 max_requests: int | None = None) -> None:
+        self.host = host
+        self.port = _env_int(PORT_ENV, DEFAULT_PORT) if port is None \
+            else int(port)
+        self.max_inflight = _env_int(MAX_INFLIGHT_ENV, DEFAULT_MAX_INFLIGHT) \
+            if max_inflight is None else int(max_inflight)
+        if self.max_inflight < 1:
+            raise ConfigError("max_inflight must be >= 1")
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.service_workers = service_workers
+        self.max_requests = max_requests
+        self.stats = {"connections": 0, "requests": 0, "responses": 0,
+                      "busy_rejections": 0, "errors": 0}
+        self._services: dict[tuple, object] = {}
+        self._inflight = 0
+        self._server: asyncio.base_events.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, sock=None) -> None:
+        """Bind and start accepting (``sock`` overrides host/port)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        if sock is not None:
+            self._server = await asyncio.start_server(self._on_connection,
+                                                      sock=sock)
+        else:
+            self._server = await asyncio.start_server(
+                self._on_connection, host=self.host, port=self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def run(self, sock=None) -> None:
+        """Start (if needed), serve until :meth:`request_stop`, clean up."""
+        if self._server is None:
+            await self.start(sock=sock)
+        try:
+            await self._stop.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for svc in self._services.values():
+                svc.close()
+            self._services.clear()
+
+    def request_stop(self) -> None:
+        """Ask the server to exit :meth:`run`; safe from any thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    def _get_service(self, req: protocol.QuantRequest):
+        key = (req.format_name, req.dispatch, req.packed)
+        svc = self._services.get(key)
+        if svc is None:
+            from ..serve import QuantService
+            svc = QuantService(req.format_name, packed=req.packed,
+                               max_batch=self.max_batch,
+                               max_delay_s=self.max_delay_s,
+                               workers=self.service_workers,
+                               dispatch=req.dispatch)
+            self._services[key] = svc
+        return svc
+
+    async def _send(self, writer: asyncio.StreamWriter,
+                    wlock: asyncio.Lock, data: bytes) -> None:
+        async with wlock:
+            writer.write(data)
+            await writer.drain()
+
+    async def _on_connection(self, reader: asyncio.StreamReader,
+                             writer: asyncio.StreamWriter) -> None:
+        self.stats["connections"] += 1
+        wlock = asyncio.Lock()
+        tasks: set[asyncio.Task] = set()
+        try:
+            while True:
+                frame = await protocol.read_frame(reader)
+                if frame is None:
+                    break
+                self.stats["requests"] += 1
+                if frame.kind != protocol.KIND_REQUEST:
+                    await self._answer(writer, wlock,
+                                       protocol.encode_response_error(
+                                           frame.request_id,
+                                           Status.PROTOCOL_ERROR,
+                                           "expected a request frame"))
+                    continue
+                if self._inflight >= self.max_inflight:
+                    # Explicit backpressure: answer BUSY now rather than
+                    # queueing without bound (the client backs off).
+                    self.stats["busy_rejections"] += 1
+                    await self._answer(writer, wlock,
+                                       protocol.encode_response_error(
+                                           frame.request_id, Status.BUSY,
+                                           f"server at max in-flight "
+                                           f"({self.max_inflight}); retry"))
+                    continue
+                self._inflight += 1
+                task = asyncio.create_task(
+                    self._respond(frame, writer, wlock))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+        except ProtocolError as exc:
+            # The stream is unframeable from here on: report and close.
+            try:
+                await self._answer(writer, wlock,
+                                   protocol.encode_response_error(
+                                       0, Status.PROTOCOL_ERROR, str(exc)))
+            except (ConnectionError, OSError):
+                pass
+        except (ConnectionError, OSError):
+            pass
+        except asyncio.CancelledError:
+            # Server shutdown with this connection open: finish quietly
+            # (the task is being torn down with the loop either way).
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                # Loop teardown cancels handlers mid-close; the transport
+                # is going away either way.
+                pass
+
+    async def _respond(self, frame: protocol.Frame,
+                       writer: asyncio.StreamWriter,
+                       wlock: asyncio.Lock) -> None:
+        rid = frame.request_id
+        try:
+            try:
+                req = protocol.decode_request(frame)
+                svc = self._get_service(req)
+                if req.fingerprint and req.fingerprint != repr(svc.fmt):
+                    raise ConfigError(
+                        f"format fingerprint mismatch: request pinned "
+                        f"{req.fingerprint}, server built {svc.fmt!r}")
+                if req.op == "weight":
+                    # Weight submits digest the whole tensor for the
+                    # memo — do that off the loop so big weight uploads
+                    # cannot stall other connections.
+                    fut = await asyncio.to_thread(svc.submit, req.x,
+                                                  req.op)
+                else:
+                    fut = svc.submit(req.x, op=req.op)
+                result = await asyncio.wrap_future(fut)
+                if req.packed:
+                    data = protocol.encode_response_packed(
+                        rid, result.to_bytes(), fingerprint=repr(svc.fmt))
+                else:
+                    data = protocol.encode_response_array(
+                        rid, result, fingerprint=repr(svc.fmt))
+            except asyncio.CancelledError:
+                # Server-initiated teardown, not a request failure: let
+                # cancellation propagate (the transport is closing).
+                raise
+            except Exception as exc:
+                self.stats["errors"] += 1
+                data = protocol.encode_response_error(
+                    rid, protocol.status_for_exception(exc), str(exc),
+                    type(exc).__name__)
+            try:
+                await self._answer(writer, wlock, data)
+            except (ConnectionError, OSError):
+                pass  # client went away; nothing left to tell it
+        finally:
+            self._inflight -= 1
+            self.stats["responses"] += 1
+            if self.max_requests is not None and \
+                    self.stats["responses"] >= self.max_requests:
+                self.request_stop()
+
+    async def _answer(self, writer, wlock, data: bytes) -> None:
+        await self._send(writer, wlock, data)
+
+
+def run_server(server: QuantServer, sock=None,
+               ready=None) -> None:
+    """Blocking entry point: run ``server`` until stopped.
+
+    ``ready(port)`` — when given — is called from inside the loop once
+    the server is accepting (the CLI prints the bound port through it).
+    """
+    async def _main():
+        await server.start(sock=sock)
+        if ready is not None:
+            ready(server.port)
+        await server.run()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+
+
+class ServerThread:
+    """Run a :class:`QuantServer` on a background thread.
+
+    The in-process flavour of deployment — tests, benchmarks and
+    notebook use — with the same code path as the CLI server. Entering
+    the context starts the loop and waits until the socket is bound;
+    :attr:`port` then holds the real (possibly ephemeral) port.
+    """
+
+    def __init__(self, **kwargs) -> None:
+        self.server = QuantServer(**kwargs)
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.server.port
+
+    def __enter__(self) -> "ServerThread":
+        self._thread = threading.Thread(target=self._main,
+                                        name="quant-server", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30.0):
+            raise ConfigError("quantization server failed to start in 30s")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.server.request_stop()
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)
+
+    def _main(self) -> None:
+        try:
+            run_server(self.server, ready=lambda port: self._ready.set())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()

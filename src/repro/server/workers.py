@@ -1,0 +1,145 @@
+"""Multi-process worker sharding for the quantization server.
+
+``WorkerPool`` spawns N fresh interpreter processes (``spawn`` context,
+like the experiment runner's pool — no inherited module caches), each
+binding its own ``SO_REUSEPORT`` listening socket on the **same** port
+and running a full :class:`~repro.server.QuantServer`. The kernel
+load-balances incoming connections across the workers' accept queues,
+so clients need no front-end dispatcher: they connect to one
+host:port and land on some worker.
+
+Why this beats one process even before counting cores: each worker's
+micro-batching service idles its CPU for up to ``max_delay_s`` per
+batch window, and with several workers one worker's CPU-bound quantize
+pass runs inside another's window. On multi-core hosts the quantize
+passes additionally run truly in parallel (each worker has its own
+GIL). ``scripts/bench_server.py`` measures both effects into
+``BENCH_server.json``.
+
+The first worker binds the requested port (``port=0`` picks an
+ephemeral one) and reports the real port back over a pipe; the
+remaining workers then bind that same port. A worker that fails to
+start fails :meth:`start` loudly — never a half-sized pool by accident.
+
+Example::
+
+    from repro.server import WorkerPool, QuantClient
+
+    with WorkerPool(workers=2, port=0) as pool:
+        with QuantClient(port=pool.port) as cli:
+            out = cli.quantize(x, fmt="m2xfp")
+"""
+
+from __future__ import annotations
+
+import socket
+
+from ..errors import ConfigError
+from .server import QuantServer, WORKERS_ENV, _env_int, run_server
+
+__all__ = ["WorkerPool", "reuseport_listener"]
+
+
+def reuseport_listener(host: str, port: int) -> socket.socket:
+    """A bound+listening TCP socket with ``SO_REUSEPORT`` sharding on."""
+    if not hasattr(socket, "SO_REUSEPORT"):
+        raise ConfigError("multi-process worker sharding needs "
+                          "SO_REUSEPORT, which this platform lacks; "
+                          "run a single worker instead")
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+        sock.setblocking(False)
+    except BaseException:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(conn, host: str, port: int, server_kwargs: dict) -> None:
+    """Entry point of one spawned worker process."""
+    sock = reuseport_listener(host, port)
+    # Binding succeeded: report the real port — that is the readiness
+    # signal (the socket is already listening, so connections queue in
+    # its backlog until the loop starts accepting).
+    conn.send(sock.getsockname()[1])
+    conn.close()
+    server = QuantServer(host=host, port=0, **server_kwargs)
+    run_server(server, sock=sock)
+
+
+class WorkerPool:
+    """N spawned ``QuantServer`` processes sharing one host:port."""
+
+    def __init__(self, workers: int | None = None, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 start_timeout: float = 60.0, **server_kwargs) -> None:
+        if workers is None:
+            workers = _env_int(WORKERS_ENV, 2)
+        if workers < 1:
+            raise ConfigError("WorkerPool needs at least 1 worker")
+        self.workers = int(workers)
+        self.host = host
+        self.port = int(port)
+        self.start_timeout = float(start_timeout)
+        self._server_kwargs = dict(server_kwargs)
+        self._procs: list = []
+
+    # ------------------------------------------------------------------
+    def start(self) -> "WorkerPool":
+        """Spawn every worker and wait until all listen on one port."""
+        if self._procs:
+            return self
+        import multiprocessing as mp
+        ctx = mp.get_context("spawn")
+        try:
+            port = self.port
+            for _ in range(self.workers):
+                parent, child = ctx.Pipe(duplex=False)
+                proc = ctx.Process(target=_worker_main,
+                                   args=(child, self.host, port,
+                                         self._server_kwargs),
+                                   daemon=True)
+                proc.start()
+                child.close()
+                # The first worker resolves port 0 to a real port; the
+                # rest must bind exactly that one.
+                if not parent.poll(self.start_timeout):
+                    raise ConfigError(
+                        f"server worker (pid {proc.pid}) did not report "
+                        f"its port within {self.start_timeout:.0f}s")
+                port = parent.recv()
+                parent.close()
+                self._procs.append(proc)
+            self.port = port
+        except BaseException:
+            self.close()
+            raise
+        return self
+
+    def close(self) -> None:
+        """Terminate and reap every worker."""
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            proc.join(timeout=30.0)
+        self._procs = []
+
+    def alive(self) -> int:
+        """How many workers are currently running."""
+        return sum(1 for proc in self._procs if proc.is_alive())
+
+    def join(self) -> None:
+        """Block until every worker exits (the CLI's foreground wait)."""
+        for proc in self._procs:
+            proc.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -106,9 +106,106 @@ def test_submit_validation(rng):
     with pytest.raises(ConfigError):
         svc.submit(rng.standard_normal(8), op="nope")
     svc.close()
-    with pytest.raises(ConfigError):
+    with pytest.raises(ConfigError, match="closed"):
         svc.submit(rng.standard_normal(8))
     svc.close()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Lifecycle hardening: close() drains, dead collectors never hang callers
+# ----------------------------------------------------------------------
+def test_close_resolves_every_accepted_future(rng):
+    # A burst of submissions followed by an immediate close: every future
+    # must resolve with its real result (close drains, never drops).
+    fmt = make_format("mxfp4")
+    svc = QuantService(fmt, max_batch=4, max_delay_s=0.05)
+    xs = [rng.standard_normal((2, 64)) for _ in range(16)]
+    futs = [svc.submit(x) for x in xs]
+    svc.close()
+    for x, fut in zip(xs, futs):
+        assert fut.done(), "close() returned with a future still pending"
+        assert fut.result(timeout=0).tobytes() == \
+            fmt.quantize(x, axis=-1).tobytes()
+
+
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+def test_collector_crash_errors_futures_and_close_never_hangs(rng,
+                                                              monkeypatch):
+    svc = QuantService("mxfp4", max_delay_s=0.001)
+    monkeypatch.setattr(svc, "_run_batch",
+                        lambda batch: (_ for _ in ()).throw(
+                            RuntimeError("collector crash")))
+    fut = svc.submit(rng.standard_normal((2, 32)))
+    svc._collector.join(timeout=30)
+    assert not svc._collector.is_alive()
+    # The crashed collector drained its batch on the way out...
+    with pytest.raises(ConfigError, match="shut down"):
+        fut.result(timeout=30)
+    # ...submit() into the dead collector refuses instead of enqueueing
+    # into a queue nothing reads...
+    with pytest.raises(ConfigError, match="died"):
+        svc.submit(rng.standard_normal((2, 32)))
+    # ...and close() returns promptly instead of waiting forever.
+    svc.close()
+
+
+@pytest.mark.filterwarnings(
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning")
+def test_close_drains_queue_left_by_dead_collector(rng, monkeypatch):
+    # A request that reaches the queue after the collector died (the
+    # submit/death race) must be errored by close(), not stranded.
+    svc = QuantService("mxfp4", max_delay_s=0.001)
+    monkeypatch.setattr(svc, "_run_batch",
+                        lambda batch: (_ for _ in ()).throw(
+                            RuntimeError("collector crash")))
+    svc.submit(rng.standard_normal((2, 32)))  # kills the collector
+    svc._collector.join(timeout=30)
+    from repro.serve.service import _Request
+    from concurrent.futures import Future as _F
+    stranded = _F()
+    svc._queue.put(_Request(rng.standard_normal((2, 32)), "activation",
+                            stranded))
+    svc.close()
+    assert stranded.done()
+    with pytest.raises(ConfigError, match="shut down"):
+        stranded.result(timeout=0)
+    assert svc._queue.empty()  # fully drained, sentinel included
+
+
+def test_pinned_dispatch_modes_are_bit_identical_and_namespaced(rng):
+    # A service pinned to any dispatch mode returns the same bits (the
+    # kernel parity contract) while keying its weight memo on the mode.
+    w = rng.standard_normal((8, 64))
+    outs = {}
+    for mode in ("inherit", "fast", "reference", "bittwiddle"):
+        with QuantService("sg-em", dispatch=mode) as svc:
+            outs[mode] = svc.quantize(w, op="weight").tobytes()
+            key = svc._weight_key(
+                __import__("repro.serve.service", fromlist=["_Request"])
+                ._Request(w, "weight", None))
+            if mode != "inherit":
+                assert key[1] == (mode == "reference")
+                assert key[2] == (mode == "bittwiddle")
+    assert len(set(outs.values())) == 1
+    with pytest.raises(ConfigError, match="dispatch"):
+        QuantService("mxfp4", dispatch="warp-speed")
+
+
+def test_dispatch_scope_pins_both_fast_flavours(monkeypatch):
+    # A "fast" pin must mask an ambient REPRO_BITTWIDDLE=1 (and
+    # "bittwiddle" must force it): the pin means the mode, not a hint.
+    from repro.kernels.dispatch import use_bittwiddle, use_reference
+    from repro.serve.service import _dispatch_scope
+    monkeypatch.setenv("REPRO_BITTWIDDLE", "1")
+    with _dispatch_scope("fast"):
+        assert not use_bittwiddle() and not use_reference()
+    monkeypatch.delenv("REPRO_BITTWIDDLE")
+    with _dispatch_scope("bittwiddle"):
+        assert use_bittwiddle() and not use_reference()
+    with _dispatch_scope("reference"):
+        assert use_reference()
+    assert not use_bittwiddle()  # scopes restore the environment
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,427 @@
+"""Network quantization server: protocol, bit-exactness, backpressure.
+
+The contract under test, in order of importance:
+
+1. **End-to-end bit-exactness** — for every catalog format and both
+   operand paths, the bytes a client gets over the socket are identical
+   to the local ``quantize_weight`` / ``quantize_activation`` output
+   (and packed responses are byte-identical to the local codec's
+   ``encode``), including under concurrent multi-client load.
+2. **Wire stability** — frames are pinned byte-exactly by
+   ``tests/golden/wire_vectors.json``; malformed or mis-versioned
+   frames are typed protocol errors, never crashes or hangs.
+3. **Backpressure** — at the in-flight bound the server answers
+   ``BUSY`` immediately instead of buffering without bound.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import threading
+import time
+from concurrent.futures import Future
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codec import PackedTensor, encode
+from repro.errors import (CodecError, ConfigError, FormatError,
+                          ProtocolError, ServerBusy, ServerError)
+from repro.runner.formats import list_formats, make_format
+from repro.server import (AsyncQuantClient, QuantClient, QuantServer,
+                          ServerThread, local_expected, protocol)
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "wire_vectors.json"
+
+
+# ----------------------------------------------------------------------
+# Protocol frames
+# ----------------------------------------------------------------------
+def test_request_frame_roundtrip(rng):
+    x = rng.standard_normal((3, 32))
+    blob = protocol.encode_request(7, x, fmt="m2xfp", op="weight",
+                                   dispatch="reference", packed=True,
+                                   fingerprint="fp")
+    frame = protocol.frame_from_bytes(blob)
+    assert frame.kind == protocol.KIND_REQUEST
+    assert frame.request_id == 7
+    req = protocol.decode_request(frame)
+    assert (req.format_name, req.op, req.dispatch, req.packed,
+            req.fingerprint) == ("m2xfp", "weight", "reference", True, "fp")
+    assert req.x.tobytes() == np.asarray(x, dtype=np.float64).tobytes()
+
+
+def test_response_frame_roundtrips(rng):
+    arr = rng.standard_normal((2, 16))
+    frame = protocol.frame_from_bytes(
+        protocol.encode_response_array(3, arr, fingerprint="f"))
+    out = protocol.response_result(frame)
+    assert out.tobytes() == arr.tobytes() and out.shape == arr.shape
+
+    pt = encode(make_format("mxfp4"), rng.standard_normal((2, 32)))
+    frame = protocol.frame_from_bytes(
+        protocol.encode_response_packed(4, pt.to_bytes()))
+    assert protocol.response_result(frame).to_bytes() == pt.to_bytes()
+
+
+@pytest.mark.parametrize("status,exc_cls", [
+    (protocol.Status.BUSY, ServerBusy),
+    (protocol.Status.FORMAT_ERROR, FormatError),
+    (protocol.Status.CONFIG_ERROR, ConfigError),
+    (protocol.Status.CODEC_ERROR, CodecError),
+    (protocol.Status.PROTOCOL_ERROR, ProtocolError),
+    (protocol.Status.INTERNAL_ERROR, ServerError),
+])
+def test_error_status_maps_to_typed_exception(status, exc_cls):
+    frame = protocol.frame_from_bytes(
+        protocol.encode_response_error(9, status, "boom"))
+    with pytest.raises(exc_cls, match="boom"):
+        protocol.response_result(frame)
+
+
+def test_malformed_frames_raise_protocol_error(rng):
+    good = protocol.encode_request(1, rng.standard_normal(8), fmt="m2xfp")
+    with pytest.raises(ProtocolError, match="magic"):
+        protocol.frame_from_bytes(good[:4] + b"XXXX" + good[8:])
+    bad_version = bytearray(good)
+    bad_version[8] = 99  # version byte (after 4B length + 4B magic)
+    with pytest.raises(ProtocolError, match="version"):
+        protocol.frame_from_bytes(bytes(bad_version))
+    with pytest.raises(ProtocolError, match="length prefix"):
+        protocol.frame_from_bytes(good[:-1])
+    with pytest.raises(ProtocolError, match="limit"):
+        protocol.frame_from_bytes(b"\xff\xff\xff\xff" + good[4:])
+
+
+def test_request_validation(rng):
+    x = rng.standard_normal(8)
+    for kwargs, msg in [
+        (dict(op="nope"), "op"),
+        (dict(dispatch="warp"), "dispatch"),
+    ]:
+        blob = protocol.encode_request(1, x, fmt="m2xfp", **kwargs)
+        with pytest.raises(ProtocolError, match=msg):
+            protocol.decode_request(protocol.frame_from_bytes(blob))
+    # Payload length must agree with the declared shape.
+    frame = protocol.frame_from_bytes(
+        protocol.encode_request(1, x, fmt="m2xfp"))
+    frame.meta["shape"] = [99]
+    with pytest.raises(ProtocolError, match="payload"):
+        protocol.decode_request(frame)
+
+
+# ----------------------------------------------------------------------
+# Golden wire vectors
+# ----------------------------------------------------------------------
+def test_wire_vectors_pinned():
+    """Frames rebuilt from committed inputs must match the pinned bytes."""
+    assert GOLDEN_PATH.exists(), \
+        "wire vectors missing; run scripts/regen_wire_vectors.py --regen"
+    with open(GOLDEN_PATH) as f:
+        golden = json.load(f)
+    assert golden["protocol_version"] == protocol.PROTOCOL_VERSION, \
+        "protocol version changed without regenerating the wire vectors"
+    scripts = Path(__file__).parent.parent / "scripts"
+    sys.path.insert(0, str(scripts))
+    try:
+        from regen_wire_vectors import build_payload
+        rebuilt = build_payload()
+    finally:
+        sys.path.pop(0)
+    assert set(rebuilt["cases"]) == set(golden["cases"])
+    for key, case in sorted(golden["cases"].items()):
+        fresh = rebuilt["cases"][key]
+        assert fresh["request_hex"] == case["request_hex"], \
+            f"{key}: request frame drifted from the golden bytes"
+        assert fresh["response_hex"] == case["response_hex"], \
+            f"{key}: response frame drifted from the golden bytes"
+        # The pinned frames must also still parse and round-trip.
+        req = protocol.decode_request(
+            protocol.frame_from_bytes(bytes.fromhex(case["request_hex"])))
+        assert req.format_name == case["format"] and req.op == case["op"]
+        result = protocol.response_result(
+            protocol.frame_from_bytes(bytes.fromhex(case["response_hex"])))
+        expected = local_expected(req.x, fmt=case["format"], op=case["op"],
+                                  packed=case["packed"])
+        if case["packed"]:
+            assert result.to_bytes() == expected.to_bytes()
+        else:
+            assert result.tobytes() == expected.tobytes()
+
+
+# ----------------------------------------------------------------------
+# End-to-end over a real socket
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def server():
+    with ServerThread(port=0, max_delay_s=0.0005) as st:
+        yield st
+
+
+def test_every_catalog_format_bit_exact_over_socket(server, rng):
+    """Acceptance: socket results == local quantize for all 21 formats."""
+    x = rng.standard_normal((4, 64))
+    with QuantClient(port=server.port) as cli:
+        for name in list_formats():
+            for op in ("weight", "activation"):
+                out = cli.quantize(x, fmt=name, op=op)
+                expect = local_expected(x, fmt=name, op=op)
+                assert out.tobytes() == expect.tobytes(), \
+                    f"{name}:{op} drifted over the wire"
+
+
+def test_packed_responses_byte_identical_to_local_encode(server, rng):
+    x = rng.standard_normal((4, 64))
+    with QuantClient(port=server.port) as cli:
+        for name in ("m2xfp", "elem-em", "m2-nvfp4", "mxfp4"):
+            pt = cli.quantize(x, fmt=name, op="weight", packed=True)
+            assert isinstance(pt, PackedTensor)
+            local = encode(make_format(name), x, op="weight", axis=-1)
+            assert pt.to_bytes() == local.to_bytes(), \
+                f"{name}: packed bytes differ from local codec output"
+
+
+def test_concurrent_multi_client_load_bit_identical(server, rng):
+    """N threads x M requests each: every response equals serial local."""
+    arms = [("m2xfp", "activation"), ("elem-em", "activation"),
+            ("sg-em", "weight"), ("nvfp4", "activation")]
+    inputs = [rng.standard_normal((2 + i % 3, 64)) for i in range(8)]
+    expected = {(a, i): local_expected(x, fmt=a[0], op=a[1]).tobytes()
+                for a in arms for i, x in enumerate(inputs)}
+    failures: list[str] = []
+
+    def hammer(worker_id: int) -> None:
+        try:
+            with QuantClient(port=server.port) as cli:
+                for rep in range(2):
+                    for ai, arm in enumerate(arms):
+                        for i, x in enumerate(inputs):
+                            if (worker_id + ai + i) % 2:
+                                continue  # vary interleaving per thread
+                            out = cli.quantize(x, fmt=arm[0], op=arm[1])
+                            if out.tobytes() != expected[(arm, i)]:
+                                failures.append(
+                                    f"worker {worker_id}: {arm} input {i}")
+        except BaseException as exc:  # pragma: no cover - surfaced below
+            failures.append(f"worker {worker_id}: {exc!r}")
+
+    threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not failures, failures
+
+
+def test_pipelined_requests_resolve_in_any_order(server, rng):
+    xs = [rng.standard_normal((2, 64)) * (i + 1) for i in range(6)]
+    with QuantClient(port=server.port) as cli:
+        rids = [cli.submit(x, fmt="m2xfp") for x in xs]
+        for rid, x in reversed(list(zip(rids, xs))):  # gather backwards
+            out = cli.result(rid)
+            assert out.tobytes() == \
+                local_expected(x, fmt="m2xfp").tobytes()
+
+
+def test_dispatch_modes_over_socket(server, rng):
+    x = rng.standard_normal((4, 64))
+    with QuantClient(port=server.port) as cli:
+        for dispatch in ("fast", "reference", "bittwiddle"):
+            cli.quantize(x, fmt="m2xfp", op="weight", dispatch=dispatch,
+                         verify=True)
+    keys = set(server.server._services)
+    assert {("m2xfp", d, False) for d in ("fast", "reference", "bittwiddle")} \
+        <= keys, "dispatch modes must map to distinct service arms"
+
+
+def test_fingerprint_pins_the_format_config(server, rng):
+    x = rng.standard_normal((2, 64))
+    with QuantClient(port=server.port) as cli:
+        cli.quantize(x, fmt="m2xfp",
+                     fingerprint=repr(make_format("m2xfp")))  # match: fine
+        with pytest.raises(ConfigError, match="fingerprint"):
+            cli.quantize(x, fmt="m2xfp", fingerprint="bogus-config")
+
+
+def test_server_errors_are_typed_client_side(server, rng):
+    with QuantClient(port=server.port) as cli:
+        with pytest.raises(FormatError, match="non-finite"):
+            cli.quantize(np.array([[np.nan] * 32]), fmt="mxfp4")
+        with pytest.raises(ConfigError, match="unknown format"):
+            cli.quantize(rng.standard_normal((2, 32)), fmt="not-a-format")
+        # The connection survives typed errors.
+        cli.quantize(rng.standard_normal((2, 32)), fmt="mxfp4", verify=True)
+
+
+def test_mis_versioned_frame_gets_protocol_error(server, rng):
+    import socket
+    good = bytearray(protocol.encode_request(
+        1, rng.standard_normal(8), fmt="m2xfp"))
+    good[8] = protocol.PROTOCOL_VERSION + 1  # version byte
+    with socket.create_connection(("127.0.0.1", server.port), 10) as sock:
+        sock.sendall(bytes(good))
+        frame = protocol.recv_frame(sock)
+        assert frame.status == protocol.Status.PROTOCOL_ERROR
+        with pytest.raises(ProtocolError, match="version"):
+            protocol.response_result(frame)
+
+
+def test_async_client_pipelines(server, rng):
+    import asyncio
+
+    xs = [rng.standard_normal((2, 64)) * (i + 1) for i in range(4)]
+
+    async def go():
+        async with AsyncQuantClient(port=server.port) as cli:
+            outs = await asyncio.gather(*[
+                cli.quantize(x, fmt="elem-em", verify=True) for x in xs])
+        return outs
+
+    outs = asyncio.run(go())
+    for x, out in zip(xs, outs):
+        assert out.tobytes() == local_expected(x, fmt="elem-em").tobytes()
+
+
+# ----------------------------------------------------------------------
+# Backpressure
+# ----------------------------------------------------------------------
+class _StalledService:
+    """A service stub whose futures resolve only when the test says so."""
+
+    def __init__(self):
+        self.fmt = make_format("m2xfp")
+        self.futures: list[Future] = []
+        self.released = threading.Event()
+
+    def submit(self, x, op="activation"):
+        fut: Future = Future()
+        self.futures.append((fut, np.zeros_like(x)))
+        if self.released.is_set():
+            fut.set_result(np.zeros_like(x))
+        return fut
+
+    def release(self):
+        self.released.set()
+        for fut, result in self.futures:
+            if not fut.done():
+                fut.set_result(result)
+
+    def close(self):
+        self.release()
+
+
+def test_busy_backpressure_not_a_hang(rng, monkeypatch):
+    """At the in-flight bound the server answers BUSY immediately."""
+    stub = _StalledService()
+    monkeypatch.setattr(QuantServer, "_get_service", lambda self, req: stub)
+    with ServerThread(port=0, max_inflight=2) as st:
+        with QuantClient(port=st.port, timeout=30.0) as cli:
+            x = rng.standard_normal((2, 32))
+            rids = [cli.submit(x, fmt="m2xfp") for _ in range(4)]
+            # Requests 3 and 4 exceed max_inflight=2 while 1 and 2 are
+            # stalled: both must come back BUSY without waiting.
+            for rid in rids[2:]:
+                with pytest.raises(ServerBusy, match="in-flight"):
+                    cli.result(rid)
+            assert st.server.stats["busy_rejections"] == 2
+            stub.release()
+            for rid in rids[:2]:  # the admitted pair still completes
+                assert cli.result(rid).shape == x.shape
+        # The decrement runs just after the response hits the wire; give
+        # the loop a moment before asserting the counter drained.
+        deadline = time.monotonic() + 5.0
+        while st.server._inflight and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert st.server._inflight == 0
+
+
+# ----------------------------------------------------------------------
+# CLI wiring
+# ----------------------------------------------------------------------
+def test_cli_serve_parses_and_wires_config(monkeypatch):
+    from repro.runner import cli as cli_mod
+
+    captured = {}
+
+    class _FakeServer:
+        def __init__(self, **kwargs):
+            captured.update(kwargs)
+
+    def _fake_run(server, sock=None, ready=None):
+        captured["ran"] = True
+
+    import repro.server as server_pkg
+    monkeypatch.setattr(server_pkg, "QuantServer", _FakeServer)
+    monkeypatch.setattr(server_pkg, "run_server", _fake_run)
+    rc = cli_mod.main(["serve", "--port", "0", "--max-inflight", "7",
+                       "--max-batch", "16", "--max-requests", "3"])
+    assert rc == 0 and captured["ran"]
+    assert captured["port"] == 0
+    assert captured["max_inflight"] == 7
+    assert captured["max_batch"] == 16
+    assert captured["max_requests"] == 3
+
+
+@pytest.mark.slow
+def test_cli_serve_subprocess_end_to_end(rng):
+    import subprocess
+
+    repo = Path(__file__).resolve().parent.parent
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--max-requests", "2"],
+        stdout=subprocess.PIPE, text=True, cwd=repo,
+        env={**__import__("os").environ, "PYTHONPATH": str(repo / "src")})
+    try:
+        line = proc.stdout.readline()
+        assert "serving on" in line
+        port = int(line.split("serving on ")[1].split()[0].rsplit(":", 1)[1])
+        x = rng.standard_normal((4, 64))
+        with QuantClient(port=port) as cli:
+            cli.quantize(x, fmt="m2xfp", verify=True)
+            cli.quantize(x, fmt="mxfp4", verify=True)
+        assert proc.wait(timeout=60) == 0  # --max-requests 2 exits cleanly
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+# ----------------------------------------------------------------------
+# Multi-process worker sharding
+# ----------------------------------------------------------------------
+@pytest.mark.slow
+def test_worker_pool_shards_connections_bit_exactly(rng):
+    from repro.server import WorkerPool
+
+    x = rng.standard_normal((4, 64))
+    expect = local_expected(x, fmt="m2xfp").tobytes()
+    with WorkerPool(workers=2, port=0, max_delay_s=0.0005) as pool:
+        assert pool.alive() == 2
+        for _ in range(6):  # fresh connections land on either worker
+            with QuantClient(port=pool.port) as cli:
+                assert cli.quantize(x, fmt="m2xfp").tobytes() == expect
+    assert pool.alive() == 0
+
+
+@pytest.mark.slow
+def test_load_generator_smoke():
+    """bench_server's quick mode produces the committed-schema payload."""
+    scripts = Path(__file__).parent.parent / "scripts"
+    sys.path.insert(0, str(scripts))
+    try:
+        from bench_server import run_benchmarks
+        payload = run_benchmarks(quick=True)
+    finally:
+        sys.path.pop(0)
+    assert payload["arms"], "no load-test arms recorded"
+    for arm in payload["arms"].values():
+        for point in arm.values():
+            assert point["requests"] > 0
+            assert point["rps"] > 0
+            assert point["p50_ms"] <= point["p99_ms"]
+    sharded = payload["sharded"]
+    assert sharded["single"]["rps"] > 0 and sharded["sharded"]["rps"] > 0
+    assert sharded["speedup_sharded_vs_single"] > 0
