@@ -20,10 +20,19 @@ window. That overlap pays even on a single core (measured here); on
 multi-core hosts the passes additionally run truly in parallel.
 ``speedup_sharded_vs_single`` records the measured requests/s ratio.
 
-Run:  PYTHONPATH=src python scripts/bench_server.py [--out PATH] [--quick]
+Plus the **chaos** section: the same closed loop pushed through a
+:class:`~repro.server.FaultProxy` that kills 1% of connections
+mid-frame, with clients running their reconnect-retry budget. It
+records the fault-tolerance tax on rps/p99 — every completed request
+is still bit-exact (that part is asserted by ``tests/test_faults.py``;
+the bench records the throughput cost).
 
-Writes ``BENCH_server.json``. Absolute requests/s are machine-dependent;
-the speedup ratio is the stable, regression-gated part
+Run:  PYTHONPATH=src python scripts/bench_server.py [--out PATH]
+      [--quick] [--chaos]
+
+``--chaos`` runs only the fault-injection section. Writes
+``BENCH_server.json``. Absolute requests/s are machine-dependent; the
+speedup ratio is the stable, regression-gated part
 (``scripts/check_bench_regression.py --suite server``).
 """
 
@@ -37,7 +46,8 @@ import time
 import numpy as np
 
 from repro.errors import ServerBusy
-from repro.server import QuantClient, ServerThread, WorkerPool
+from repro.server import (FaultPlan, FaultProxy, QuantClient, ServerThread,
+                          WorkerPool)
 
 DEFAULT_OUT = "BENCH_server.json"
 
@@ -63,10 +73,17 @@ MAX_DELAY_S = 0.002
 #: quantize pass) dominates a worker's cycle.
 SHARD_DELAY_S = 0.008
 
+#: Per-frame connection-kill probability for the chaos section (~1% of
+#: connections die mid-conversation; clients retry through it).
+CHAOS_KILL_PROB = 0.01
+
+#: Retry budget the chaos clients run with.
+CHAOS_RETRIES = 20
+
 
 def _run_load(port: int, fmt: str, op: str, packed: bool,
               concurrency: int, duration_s: float,
-              x: np.ndarray) -> dict:
+              x: np.ndarray, retries: int = 0) -> dict:
     """Closed-loop hammer: ``concurrency`` threads, one connection each."""
     barrier = threading.Barrier(concurrency + 1)
     latencies: list[list[float]] = [[] for _ in range(concurrency)]
@@ -76,7 +93,9 @@ def _run_load(port: int, fmt: str, op: str, packed: bool,
 
     def worker(slot: int) -> None:
         try:
-            with QuantClient(port=port, timeout=120.0) as cli:
+            with QuantClient(port=port, timeout=120.0, retries=retries,
+                             backoff_base_s=0.005, backoff_max_s=0.1,
+                             retry_seed=slot) as cli:
                 for _ in range(3):  # warm the service/plan caches
                     cli.quantize(x, fmt=fmt, op=op, packed=packed)
                 barrier.wait()
@@ -123,6 +142,29 @@ def _run_load(port: int, fmt: str, op: str, packed: bool,
     }
 
 
+def run_chaos(quick: bool, x: np.ndarray) -> dict:
+    """The fault-injection load arm: 1% connection kills, retrying clients."""
+    fmt, op, packed = SHARDED_ARM
+    duration = 1.0 if quick else 2.5
+    concurrency = 4 if quick else 8
+    plan = FaultPlan(seed=0, kill_prob=CHAOS_KILL_PROB)
+    with ServerThread(port=0, max_delay_s=MAX_DELAY_S) as st, \
+            FaultProxy(target_port=st.port, plan=plan) as px:
+        res = _run_load(px.port, fmt, op, packed, concurrency=concurrency,
+                        duration_s=duration, x=x, retries=CHAOS_RETRIES)
+    section = {
+        "format": fmt, "op": op, "packed": packed,
+        "kill_prob": CHAOS_KILL_PROB, "retries": CHAOS_RETRIES,
+        "load": res,
+        "proxy": dict(px.stats),
+    }
+    print(f"  chaos {fmt}:{op} (kill_prob={CHAOS_KILL_PROB}): "
+          f"{res['rps']:8.1f} rps  p99 {res['p99_ms']:7.3f} ms  "
+          f"({px.stats['killed']} kills over "
+          f"{px.stats['connections']} connections)")
+    return section
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run every load arm plus the sharding comparison; returns the payload."""
     rng = np.random.default_rng(0)
@@ -138,6 +180,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         },
         "arms": {},
         "sharded": {},
+        "chaos": {},
     }
 
     with ServerThread(port=0, max_delay_s=MAX_DELAY_S) as st:
@@ -179,6 +222,7 @@ def run_benchmarks(quick: bool = False) -> dict:
     }
     print(f"  sharded-vs-single speedup: "
           f"{payload['sharded']['speedup_sharded_vs_single']:.2f}x")
+    payload["chaos"] = run_chaos(quick, x)
     return payload
 
 
@@ -187,8 +231,17 @@ def main() -> None:
     parser.add_argument("--out", default=DEFAULT_OUT)
     parser.add_argument("--quick", action="store_true",
                         help="shorter windows, fewer concurrency levels")
+    parser.add_argument("--chaos", action="store_true",
+                        help="run only the fault-injection section")
     ns = parser.parse_args()
-    payload = run_benchmarks(quick=ns.quick)
+    if ns.chaos:
+        rng = np.random.default_rng(0)
+        payload = {
+            "config": {"quick": ns.quick, "chaos_only": True},
+            "chaos": run_chaos(ns.quick, rng.standard_normal((16, 256))),
+        }
+    else:
+        payload = run_benchmarks(quick=ns.quick)
     with open(ns.out, "w") as f:
         json.dump(payload, f, indent=1, sort_keys=True)
         f.write("\n")

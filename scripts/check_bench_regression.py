@@ -35,6 +35,29 @@ SUITES = {
     "server": ("BENCH_server.json", "bench_server"),
 }
 
+#: suite -> payload sections a candidate run must populate. The server
+#: suite's chaos section is validated structurally (its absolute rps is
+#: machine-dependent, but a fresh run must have *completed* requests
+#: through the fault proxy — the quick-mode chaos smoke).
+REQUIRED_SECTIONS = {
+    "server": ("arms", "sharded", "chaos"),
+}
+
+
+def check_sections(suite: str, candidate: dict) -> list[str]:
+    """Structural validation failures for a candidate payload."""
+    failures = []
+    for section in REQUIRED_SECTIONS.get(suite, ()):
+        if not candidate.get(section):
+            failures.append(f"{suite}: candidate is missing the "
+                            f"'{section}' section")
+    if suite == "server" and candidate.get("chaos"):
+        load = candidate["chaos"].get("load", {})
+        if not load.get("requests"):
+            failures.append("server: chaos section completed no requests "
+                            "through the fault proxy")
+    return failures
+
 
 def _speedups(payload, path=()) -> dict[str, float]:
     """All ``speedup*`` numbers in a payload, keyed by their JSON path.
@@ -80,7 +103,8 @@ def compare(baseline: dict, candidate: dict, threshold: float = 0.2) -> list[str
 
 def run_check(baseline_path: str, candidate_path: str | None,
               threshold: float, quick: bool,
-              bench_module: str = "bench_kernels") -> int:
+              bench_module: str = "bench_kernels",
+              suite: str | None = None) -> int:
     with open(baseline_path) as f:
         baseline = json.load(f)
     if candidate_path is not None:
@@ -90,6 +114,8 @@ def run_check(baseline_path: str, candidate_path: str | None,
         module = __import__(bench_module)
         candidate = module.run_benchmarks(quick=quick)
     failures = compare(baseline, candidate, threshold)
+    if suite is not None:
+        failures += check_sections(suite, candidate)
     base = _speedups(baseline)
     cand = _speedups(candidate)
     for name in sorted(base):
@@ -125,7 +151,8 @@ def main() -> None:
     for suite in suites:
         baseline, module = SUITES[suite]
         rc |= run_check(args.baseline or baseline, args.candidate,
-                        args.threshold, args.quick, bench_module=module)
+                        args.threshold, args.quick, bench_module=module,
+                        suite=suite)
     sys.exit(rc)
 
 

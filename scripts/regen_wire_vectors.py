@@ -6,7 +6,8 @@ Writes ``tests/golden/wire_vectors.json``: a deterministic input tensor
 (as ``float.hex()`` text) plus the exact serialized **request and
 response frames** — byte for byte, protocol version included — for the
 m2xfp / elem-em / m2-nvfp4 arms, covering the raw-float64 and the
-packed-container payload encodings. ``tests/test_server.py`` rebuilds
+packed-container payload encodings — plus the v2 control frames
+(PING / HEALTH / DRAIN) with a fixed health-info dict. ``tests/test_server.py`` rebuilds
 every frame from the committed inputs with the same construction path
 the client and server use and compares hex: any silent change to the
 frame header, meta canonicalization, status numbering or payload
@@ -87,7 +88,31 @@ def build_payload() -> dict:
                     "request_hex": request.hex(),
                     "response_hex": response.hex(),
                 }
+    payload["control"] = _control_frames()
     return payload
+
+
+#: A fixed health-info dict so the HEALTH frame bytes are stable. The
+#: live server reports the same keys (tests/test_server.py checks that).
+HEALTH_INFO = {
+    "status": "ok",
+    "draining": False,
+    "inflight": 0,
+    "max_inflight": 64,
+    "protocol_version": protocol.PROTOCOL_VERSION,
+}
+
+
+def _control_frames() -> dict:
+    """Pinned v2 control frames: PING request, HEALTH reply, DRAIN."""
+    rid = 1001
+    return {
+        "ping_hex": protocol.encode_ping(rid).hex(),
+        "health_hex": protocol.encode_health(rid, HEALTH_INFO).hex(),
+        "drain_hex": protocol.encode_drain(rid).hex(),
+        "request_id": rid,
+        "health_info": HEALTH_INFO,
+    }
 
 
 def main() -> None:

@@ -25,9 +25,39 @@ class ProtocolError(ReproError):
     """A quantization-server wire frame is malformed or mis-versioned."""
 
 
+class ConnectionLost(ProtocolError):
+    """The server connection died mid-conversation (retryable).
+
+    Subclasses :class:`ProtocolError` so pre-existing ``except
+    ProtocolError`` handlers keep working, but carries the retry
+    semantics: quantization requests are idempotent, so a client may
+    reconnect and resubmit without risk of double effects.
+    """
+
+
+class RequestTimeout(ReproError, TimeoutError):
+    """A client-side per-request deadline expired (retryable).
+
+    Also a :class:`TimeoutError`, so generic timeout handling sees it.
+    """
+
+
+class RetryBudgetExceeded(ReproError):
+    """A resilient client exhausted its retry budget (``__cause__`` holds
+    the last underlying failure)."""
+
+
 class ServerBusy(ReproError):
     """The quantization server hit its in-flight bound (back off and retry)."""
 
 
+class ServerDraining(ServerBusy):
+    """The server is draining for shutdown; reconnect and retry elsewhere."""
+
+
 class ServerError(ReproError):
     """The quantization server failed internally processing a request."""
+
+
+class WorkerCrashLoop(ServerError):
+    """A supervised server worker exceeded its restart budget."""

@@ -71,6 +71,21 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-requests", type=int, default=None,
                        help="exit after this many responses (smoke runs; "
                             "in-process mode only)")
+    serve.add_argument("--read-timeout-s", type=float, default=None,
+                       help="slow-loris guard: a started frame must "
+                            "complete within this many seconds (default "
+                            "REPRO_SERVER_READ_TIMEOUT_S or 60; 0 disables)")
+    serve.add_argument("--drain-timeout-s", type=float, default=None,
+                       help="bound on finishing in-flight work during a "
+                            "SIGTERM/DRAIN graceful shutdown (default "
+                            "REPRO_SERVER_DRAIN_TIMEOUT_S or 30)")
+    serve.add_argument("--max-restarts", type=int, default=None,
+                       help="per-slot crash-loop budget for supervised "
+                            "worker restarts (default "
+                            "REPRO_SERVER_MAX_RESTARTS or 5; pool mode)")
+    serve.add_argument("--no-restart", action="store_true",
+                       help="disable worker supervision/restart "
+                            "(pool mode)")
     return parser
 
 
@@ -155,29 +170,42 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from ..server import QuantServer, WorkerPool, run_server
     from ..server.server import WORKERS_ENV, _env_int
     workers = args.workers
     if workers is None:
         workers = _env_int(WORKERS_ENV, 0)
+    server_kwargs = dict(max_inflight=args.max_inflight,
+                         max_batch=args.max_batch,
+                         max_delay_s=args.max_delay_s,
+                         read_timeout_s=args.read_timeout_s,
+                         drain_timeout_s=args.drain_timeout_s)
     if workers > 0:
         with WorkerPool(workers=workers, host=args.host,
                         port=args.port if args.port is not None else 0,
-                        max_inflight=args.max_inflight,
-                        max_batch=args.max_batch,
-                        max_delay_s=args.max_delay_s) as pool:
+                        restart=not args.no_restart,
+                        max_restarts=args.max_restarts,
+                        **server_kwargs) as pool:
             print(f"serving on {args.host}:{pool.port} "
-                  f"({pool.workers} workers, SO_REUSEPORT)", flush=True)
+                  f"({pool.workers} workers, SO_REUSEPORT, "
+                  f"{'supervised' if pool.restart else 'unsupervised'})",
+                  flush=True)
+            # SIGTERM drains the pool: join() returns, then close()
+            # SIGTERMs each worker (graceful in-worker drain) and reaps.
+            import threading
+            stop = threading.Event()
+            old = signal.signal(signal.SIGTERM, lambda s, f: stop.set())
             try:
-                pool.join()
+                pool.join(stop=stop)
             except KeyboardInterrupt:
                 pass
+            finally:
+                signal.signal(signal.SIGTERM, old)
         return 0
     server = QuantServer(host=args.host, port=args.port,
-                         max_inflight=args.max_inflight,
-                         max_batch=args.max_batch,
-                         max_delay_s=args.max_delay_s,
-                         max_requests=args.max_requests)
+                         max_requests=args.max_requests, **server_kwargs)
     run_server(server, ready=lambda port: print(
         f"serving on {args.host}:{port} (in-process)", flush=True))
     return 0

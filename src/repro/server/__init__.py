@@ -9,9 +9,13 @@ connections onto shared, micro-batching
 backpressure; :class:`WorkerPool` shards the port across spawned
 worker processes via ``SO_REUSEPORT``; :class:`QuantClient` /
 :class:`AsyncQuantClient` round-trip numpy arrays (or packed
-containers) bit-exactly. ``python -m repro serve`` runs it from the
-command line; ``scripts/bench_server.py`` load-tests it into
-``BENCH_server.json``.
+containers) bit-exactly, with per-request deadlines and bounded
+reconnect-retry. The stack is fault-tolerant end to end: the pool
+supervises and restarts crashed workers, SIGTERM triggers a graceful
+drain, and :class:`FaultProxy` (``repro.server.faults``) injects
+seeded network chaos for the ``tests/test_faults.py`` suite.
+``python -m repro serve`` runs it from the command line;
+``scripts/bench_server.py`` load-tests it into ``BENCH_server.json``.
 
 Example::
 
@@ -22,16 +26,21 @@ Example::
 """
 
 from . import protocol
-from .client import AsyncQuantClient, QuantClient, local_expected
-from .server import (DEFAULT_MAX_INFLIGHT, DEFAULT_PORT, MAX_INFLIGHT_ENV,
-                     PORT_ENV, WORKERS_ENV, QuantServer, ServerThread,
-                     run_server)
-from .workers import WorkerPool, reuseport_listener
+from .client import (CLIENT_RETRIES_ENV, CLIENT_TIMEOUT_ENV, AsyncQuantClient,
+                     QuantClient, local_expected)
+from .faults import FaultPlan, FaultProxy
+from .server import (DEFAULT_MAX_INFLIGHT, DEFAULT_PORT, DRAIN_TIMEOUT_ENV,
+                     MAX_INFLIGHT_ENV, PORT_ENV, READ_TIMEOUT_ENV,
+                     WORKERS_ENV, QuantServer, ServerThread, run_server)
+from .workers import MAX_RESTARTS_ENV, WorkerPool, reuseport_listener
 
 __all__ = [
     "protocol", "QuantServer", "ServerThread", "run_server",
     "QuantClient", "AsyncQuantClient", "local_expected",
     "WorkerPool", "reuseport_listener",
+    "FaultPlan", "FaultProxy",
     "PORT_ENV", "MAX_INFLIGHT_ENV", "WORKERS_ENV",
+    "READ_TIMEOUT_ENV", "DRAIN_TIMEOUT_ENV", "MAX_RESTARTS_ENV",
+    "CLIENT_TIMEOUT_ENV", "CLIENT_RETRIES_ENV",
     "DEFAULT_PORT", "DEFAULT_MAX_INFLIGHT",
 ]

@@ -10,14 +10,35 @@ result with the local library — ``quantize_weight`` /
 ``repro.codec.encode`` for packed requests — and raises unless the
 server's bytes are identical: the wire adds nothing and loses nothing.
 
+Fault tolerance:
+
+* **Deadlines everywhere.** ``timeout`` bounds *every* frame read and
+  write, not just the connect; a stalled server raises the typed
+  :class:`~repro.errors.RequestTimeout` (a ``TimeoutError``), never an
+  indefinite hang. Per-request ``deadline_s`` overrides it per call.
+* **Reconnect + bounded retry.** ``quantize()`` retries up to
+  ``retries`` times with exponential backoff and (optionally seeded)
+  jitter on connection loss, ``BUSY`` and ``DRAINING`` — safe because
+  quantization requests are idempotent and request-id-tagged. An
+  exhausted budget raises :class:`~repro.errors.RetryBudgetExceeded`
+  with the last failure chained; ``retries=0`` (the default) keeps the
+  raw typed errors.
+* **Fail fast, never hang.** When the connection dies, every pending
+  pipelined request is rejected with the typed
+  :class:`~repro.errors.ConnectionLost` instead of waiting forever.
+
+Env knobs: ``REPRO_CLIENT_TIMEOUT_S`` (default 60),
+``REPRO_CLIENT_RETRIES`` (default 0).
+
 Example::
 
     from repro.server import QuantClient
 
-    with QuantClient(port=7421) as cli:
+    with QuantClient(port=7421, retries=4) as cli:
         out = cli.quantize(x, fmt="m2xfp", op="weight", verify=True)
         rids = [cli.submit(t, fmt="elem-em") for t in tensors]  # pipelined
         outs = [cli.result(r) for r in rids]
+        cli.ping()   # {"status": "ok", "inflight": 0, ...}
 
     # asyncio flavour
     async with AsyncQuantClient(port=7421) as cli:
@@ -27,15 +48,34 @@ Example::
 from __future__ import annotations
 
 import asyncio
+import random
 import socket
+import time
 
 import numpy as np
 
-from ..errors import ConfigError, ProtocolError
+from ..errors import ConfigError, ConnectionLost, ProtocolError, \
+    RequestTimeout, RetryBudgetExceeded, ServerBusy
 from . import protocol
-from .server import DEFAULT_PORT, PORT_ENV, _env_int
+from .server import DEFAULT_PORT, PORT_ENV, _env_float, _env_int
 
-__all__ = ["QuantClient", "AsyncQuantClient", "local_expected"]
+__all__ = ["QuantClient", "AsyncQuantClient", "local_expected",
+           "CLIENT_TIMEOUT_ENV", "CLIENT_RETRIES_ENV",
+           "DEFAULT_CLIENT_TIMEOUT_S", "DEFAULT_CLIENT_RETRIES"]
+
+#: Environment knobs (documented in the README's env-knob table).
+CLIENT_TIMEOUT_ENV = "REPRO_CLIENT_TIMEOUT_S"
+CLIENT_RETRIES_ENV = "REPRO_CLIENT_RETRIES"
+
+DEFAULT_CLIENT_TIMEOUT_S = 60.0
+DEFAULT_CLIENT_RETRIES = 0
+
+#: Failures a reconnecting retry may fix: explicit backpressure, a
+#: draining or crashed server, a dead/garbled connection, a deadline.
+#: Typed server errors (FormatError, ConfigError, ...) are
+#: deterministic and never retried.
+_RETRYABLE = (ServerBusy, ConnectionLost, RequestTimeout,
+              ConnectionError, OSError)
 
 
 def local_expected(x: np.ndarray, *, fmt: str, op: str = "activation",
@@ -73,31 +113,111 @@ def _verify(result, x, *, fmt, op, dispatch, packed) -> None:
             f"quantization — wire or server corruption")
 
 
+def _resolve_timeout(timeout) -> float | None:
+    if timeout is not None:
+        return float(timeout) if timeout else None
+    value = _env_float(CLIENT_TIMEOUT_ENV, DEFAULT_CLIENT_TIMEOUT_S)
+    return value or None
+
+
+def _resolve_retries(retries) -> int:
+    value = _env_int(CLIENT_RETRIES_ENV, DEFAULT_CLIENT_RETRIES) \
+        if retries is None else int(retries)
+    if value < 0:
+        raise ConfigError("retries must be >= 0")
+    return value
+
+
+class _RetryPolicy:
+    """Shared backoff/jitter schedule (deterministic when seeded)."""
+
+    def __init__(self, retries, backoff_base_s: float,
+                 backoff_max_s: float, seed) -> None:
+        self.retries = _resolve_retries(retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self._rng = random.Random(seed)
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), jittered."""
+        base = min(self.backoff_base_s * (2.0 ** attempt),
+                   self.backoff_max_s)
+        return base * (0.5 + self._rng.random())
+
+    def budget_error(self, budget: int, label: str,
+                     last: BaseException) -> RetryBudgetExceeded:
+        return RetryBudgetExceeded(
+            f"{label} failed after {budget + 1} attempts "
+            f"(last: {type(last).__name__}: {last})")
+
+
 class QuantClient:
-    """Blocking client over one pipelined TCP connection."""
+    """Blocking client over one pipelined TCP connection.
+
+    Parameters
+    ----------
+    timeout:
+        Bound on the connect and on every frame read/write
+        (``None`` reads ``REPRO_CLIENT_TIMEOUT_S``, default 60;
+        ``0`` disables deadlines).
+    retries:
+        Retry budget for :meth:`quantize` / :meth:`ping` round trips
+        (``None`` reads ``REPRO_CLIENT_RETRIES``, default 0 = fail on
+        the first error, exactly the pre-retry behaviour).
+    backoff_base_s / backoff_max_s / retry_seed:
+        Exponential-backoff schedule between retries; jitter comes
+        from ``random.Random(retry_seed)`` so tests can pin it.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int | None = None, *,
-                 timeout: float = 60.0) -> None:
+                 timeout: float | None = None, retries: int | None = None,
+                 backoff_base_s: float = 0.05, backoff_max_s: float = 2.0,
+                 retry_seed=None) -> None:
         self.host = host
         self.port = _env_int(PORT_ENV, DEFAULT_PORT) if port is None \
             else int(port)
-        self.timeout = timeout
+        self.timeout = _resolve_timeout(timeout)
+        self.retry = _RetryPolicy(retries, backoff_base_s, backoff_max_s,
+                                  retry_seed)
         self._sock: socket.socket | None = None
+        self._broken = False
+        self._conn_gen = 0
         self._next_id = 1
+        self._sent_gen: dict[int, int] = {}
         self._responses: dict[int, protocol.Frame] = {}
 
+    # ------------------------------------------------------------------
+    # Connection lifecycle
     # ------------------------------------------------------------------
     def connect(self) -> "QuantClient":
         if self._sock is None:
             self._sock = socket.create_connection((self.host, self.port),
                                                   timeout=self.timeout)
             self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock.settimeout(self.timeout)
+            self._broken = False
+            self._conn_gen += 1
         return self
 
     def close(self) -> None:
         if self._sock is not None:
             self._sock.close()
             self._sock = None
+        self._broken = False
+
+    def _mark_broken(self) -> None:
+        """The stream position is unknown; force a fresh connection."""
+        self._broken = True
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def _ensure_connection(self) -> None:
+        if self._broken:
+            self._sock = None
+            self._broken = False
+        if self._sock is None:
+            self.connect()
 
     def __enter__(self) -> "QuantClient":
         return self.connect()
@@ -106,44 +226,166 @@ class QuantClient:
         self.close()
 
     # ------------------------------------------------------------------
+    # Pipelined primitives (fail fast, never auto-retry)
+    # ------------------------------------------------------------------
     def submit(self, x: np.ndarray, *, fmt: str, op: str = "activation",
                dispatch: str = "inherit", packed: bool = False,
                fingerprint: str = "") -> int:
         """Stream one request frame; returns its request id (pipelined)."""
-        if self._sock is None:
+        return self._send(protocol.encode_request, x, fmt=fmt, op=op,
+                          dispatch=dispatch, packed=packed,
+                          fingerprint=fingerprint)
+
+    def _send(self, encoder, *args, **kwargs) -> int:
+        if self._sock is None and not self._broken:
             raise ConfigError("client is not connected; call connect() "
                               "or use it as a context manager")
+        self._ensure_connection()
         rid = self._next_id
         self._next_id += 1
-        self._sock.sendall(protocol.encode_request(
-            rid, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed,
-            fingerprint=fingerprint))
+        try:
+            self._sock.sendall(encoder(rid, *args, **kwargs))
+        except socket.timeout as exc:
+            self._mark_broken()
+            raise RequestTimeout(
+                f"sending request {rid} timed out after "
+                f"{self.timeout:g}s") from exc
+        except (ConnectionError, OSError) as exc:
+            self._mark_broken()
+            raise ConnectionLost(
+                f"connection died sending request {rid}: {exc}") from exc
+        self._sent_gen[rid] = self._conn_gen
         return rid
 
-    def result(self, request_id: int):
+    def _wait_frame(self, request_id: int,
+                    deadline_s: float | None = None) -> protocol.Frame:
+        """Collect frames until ``request_id`` answers (bounded)."""
+        budget = self.timeout if deadline_s is None else \
+            (float(deadline_s) or None)
+        deadline = None if budget is None else time.monotonic() + budget
+        while request_id not in self._responses:
+            if self._sent_gen.get(request_id, self._conn_gen) \
+                    != self._conn_gen or self._broken:
+                # The connection the request went out on is gone: its
+                # response can never arrive. Fail fast, never hang.
+                self._sent_gen.pop(request_id, None)
+                raise ConnectionLost(
+                    f"connection died with request {request_id} in "
+                    f"flight; resubmit on the new connection")
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RequestTimeout(
+                        f"no response to request {request_id} within "
+                        f"{budget:g}s")
+            try:
+                self._sock.settimeout(remaining if remaining is not None
+                                      else self.timeout)
+                frame = protocol.recv_frame(self._sock)
+            except socket.timeout as exc:
+                # recv may have consumed part of a frame: the stream
+                # position is unknown, so the connection is done for.
+                self._mark_broken()
+                raise RequestTimeout(
+                    f"no response to request {request_id} within "
+                    f"{budget:g}s") from exc
+            except ConnectionLost:
+                self._mark_broken()
+                raise
+            except ProtocolError as exc:
+                # Locally unframeable bytes (corruption): transport-
+                # level failure, distinct from a server-reported
+                # PROTOCOL_ERROR status (which stays non-retryable).
+                self._mark_broken()
+                raise ConnectionLost(
+                    f"response stream unframeable: {exc}") from exc
+            except (ConnectionError, OSError) as exc:
+                self._mark_broken()
+                raise ConnectionLost(
+                    f"connection died awaiting request "
+                    f"{request_id}: {exc}") from exc
+            if frame is None:
+                self._mark_broken()
+                raise ConnectionLost(
+                    f"server closed the connection before answering "
+                    f"request {request_id}")
+            self._responses[frame.request_id] = frame
+            self._sent_gen.pop(frame.request_id, None)
+        self._sent_gen.pop(request_id, None)
+        return self._responses.pop(request_id)
+
+    def result(self, request_id: int, *, deadline_s: float | None = None):
         """Wait for the response to ``request_id`` (any arrival order).
 
         Raises the typed exception an error status maps to
-        (``ServerBusy``, ``FormatError``, ``ConfigError``, ...).
+        (``ServerBusy``, ``FormatError``, ``ConfigError``, ...);
+        ``ConnectionLost`` if the connection died with the request in
+        flight; ``RequestTimeout`` past the deadline.
         """
-        while request_id not in self._responses:
-            frame = protocol.recv_frame(self._sock)
-            if frame is None:
-                raise ProtocolError("server closed the connection before "
-                                    f"answering request {request_id}")
-            self._responses[frame.request_id] = frame
-        return protocol.response_result(self._responses.pop(request_id))
+        return protocol.response_result(
+            self._wait_frame(request_id, deadline_s))
+
+    # ------------------------------------------------------------------
+    # Resilient round trips
+    # ------------------------------------------------------------------
+    def _with_retries(self, label: str, once, *, retries=None):
+        budget = self.retry.retries if retries is None else \
+            _resolve_retries(retries)
+        for attempt in range(budget + 1):
+            try:
+                return once()
+            except _RETRYABLE as exc:
+                # BUSY/DRAINING answers arrive on a healthy connection
+                # (a draining server still owes answers for admitted
+                # in-flight work), so only transport failures force a
+                # reconnect. A finished drain closes the connection,
+                # which surfaces as ConnectionLost and reconnects here.
+                if not isinstance(exc, ServerBusy):
+                    self._mark_broken()
+                if attempt >= budget:
+                    if budget == 0:
+                        raise
+                    raise self.retry.budget_error(budget, label, exc) \
+                        from exc
+                time.sleep(self.retry.delay_s(attempt))
 
     def quantize(self, x: np.ndarray, *, fmt: str, op: str = "activation",
                  dispatch: str = "inherit", packed: bool = False,
-                 fingerprint: str = "", verify: bool = False):
-        """One round trip: submit, wait, (optionally) verify bit-exactness."""
-        out = self.result(self.submit(x, fmt=fmt, op=op, dispatch=dispatch,
-                                      packed=packed,
-                                      fingerprint=fingerprint))
+                 fingerprint: str = "", verify: bool = False,
+                 deadline_s: float | None = None,
+                 retries: int | None = None):
+        """One round trip: submit, wait, (optionally) verify bit-exactness.
+
+        Retries (reconnecting as needed) on connection loss, timeouts,
+        ``BUSY`` and ``DRAINING`` up to the retry budget — idempotent
+        by the protocol contract, so a retried request returns the
+        same bits the first attempt would have.
+        """
+        def once():
+            rid = self.submit(x, fmt=fmt, op=op, dispatch=dispatch,
+                              packed=packed, fingerprint=fingerprint)
+            return self.result(rid, deadline_s=deadline_s)
+
+        out = self._with_retries(f"{fmt}:{op} quantize", once,
+                                 retries=retries)
         if verify:
             _verify(out, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed)
         return out
+
+    def ping(self, *, deadline_s: float | None = None,
+             retries: int | None = None) -> dict:
+        """Liveness/health round trip: the server's health report dict."""
+        def once():
+            rid = self._send(protocol.encode_ping)
+            return protocol.decode_health(
+                self._wait_frame(rid, deadline_s))
+        return self._with_retries("ping", once, retries=retries)
+
+    def drain(self, *, deadline_s: float | None = None) -> dict:
+        """Ask the server to drain gracefully; returns its health ack."""
+        rid = self._send(protocol.encode_drain)
+        return protocol.decode_health(self._wait_frame(rid, deadline_s))
 
     def quantize_batch(self, tensors, *, fmt: str, op: str = "activation",
                        dispatch: str = "inherit", packed: bool = False,
@@ -170,28 +412,59 @@ class QuantClient:
 
 
 class AsyncQuantClient:
-    """asyncio client: same protocol, futures per in-flight request."""
+    """asyncio client: same protocol, futures per in-flight request.
 
-    def __init__(self, host: str = "127.0.0.1",
-                 port: int | None = None) -> None:
+    Shares the sync client's fault-tolerance contract: ``timeout``
+    bounds the connect and every round trip, ``quantize()`` retries
+    with backoff + jitter (reconnecting as needed) up to ``retries``,
+    and a dead connection rejects **all** pending futures with the
+    typed :class:`~repro.errors.ConnectionLost` instead of hanging.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int | None = None, *,
+                 timeout: float | None = None, retries: int | None = None,
+                 backoff_base_s: float = 0.05, backoff_max_s: float = 2.0,
+                 retry_seed=None) -> None:
         self.host = host
         self.port = _env_int(PORT_ENV, DEFAULT_PORT) if port is None \
             else int(port)
+        self.timeout = _resolve_timeout(timeout)
+        self.retry = _RetryPolicy(retries, backoff_base_s, backoff_max_s,
+                                  retry_seed)
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
         self._pending: dict[int, asyncio.Future] = {}
         self._reader_task: asyncio.Task | None = None
         self._reader_error: BaseException | None = None
+        self._conn_gen = 0
+        self._conn_lock: asyncio.Lock | None = None
         self._next_id = 1
 
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
     async def connect(self) -> "AsyncQuantClient":
+        if self._conn_lock is None:
+            self._conn_lock = asyncio.Lock()
         if self._writer is None:
-            self._reader, self._writer = await asyncio.open_connection(
-                self.host, self.port)
-            self._reader_task = asyncio.create_task(self._read_loop())
+            await self._open()
         return self
 
-    async def close(self) -> None:
+    async def _open(self) -> None:
+        try:
+            self._reader, self._writer = await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port),
+                self.timeout)
+        except asyncio.TimeoutError:
+            raise RequestTimeout(
+                f"connect to {self.host}:{self.port} timed out after "
+                f"{self.timeout:g}s") from None
+        self._reader_error = None
+        self._reader_task = asyncio.create_task(self._read_loop())
+        self._conn_gen += 1
+
+    async def _teardown(self, error: BaseException | None = None) -> None:
+        """Drop the connection and fail every pending future, typed."""
         if self._reader_task is not None:
             self._reader_task.cancel()
             try:
@@ -206,11 +479,29 @@ class AsyncQuantClient:
             except (ConnectionError, OSError):
                 pass
             self._writer = None
+            self._reader = None
+        exc = error or ConnectionLost("client closed with the request "
+                                      "in flight")
         for fut in self._pending.values():
             if not fut.done():
-                fut.set_exception(ProtocolError("client closed with the "
-                                                "request in flight"))
+                fut.set_exception(exc)
         self._pending.clear()
+
+    async def _reset_connection(self, failed_gen: int) -> None:
+        """Reconnect once even when many tasks fail concurrently."""
+        if self._conn_lock is None:
+            self._conn_lock = asyncio.Lock()
+        async with self._conn_lock:
+            if self._conn_gen != failed_gen or self._writer is None:
+                pass  # some other task already reconnected (or closed)
+            else:
+                await self._teardown(
+                    ConnectionLost("connection reset after failure"))
+            if self._writer is None:
+                await self._open()
+
+    async def close(self) -> None:
+        await self._teardown()
 
     async def __aenter__(self) -> "AsyncQuantClient":
         return await self.connect()
@@ -223,24 +514,34 @@ class AsyncQuantClient:
             while True:
                 frame = await protocol.read_frame(self._reader)
                 if frame is None:
-                    raise ProtocolError("server closed the connection")
+                    raise ConnectionLost("server closed the connection")
                 fut = self._pending.pop(frame.request_id, None)
                 if fut is not None and not fut.done():
                     fut.set_result(frame)
         except asyncio.CancelledError:
             raise
         except BaseException as exc:
+            if not isinstance(exc, ProtocolError):
+                exc = ConnectionLost(f"connection reader failed: {exc}")
             self._reader_error = exc
             for fut in self._pending.values():
                 if not fut.done():
                     fut.set_exception(exc)
             self._pending.clear()
 
+    # ------------------------------------------------------------------
+    # Pipelined primitives (fail fast, never auto-retry)
+    # ------------------------------------------------------------------
     async def submit(self, x: np.ndarray, *, fmt: str,
                      op: str = "activation", dispatch: str = "inherit",
                      packed: bool = False,
                      fingerprint: str = "") -> asyncio.Future:
         """Send one request; the returned future resolves to its frame."""
+        return await self._send(protocol.encode_request, x, fmt=fmt, op=op,
+                                dispatch=dispatch, packed=packed,
+                                fingerprint=fingerprint)
+
+    async def _send(self, encoder, *args, **kwargs) -> asyncio.Future:
         if self._writer is None:
             raise ConfigError("client is not connected; use "
                               "`async with AsyncQuantClient(...)`")
@@ -248,27 +549,103 @@ class AsyncQuantClient:
             # The reader died (connection failure): a request parked now
             # would never resolve. Fail fast with the root cause.
             exc = self._reader_error
-            raise ProtocolError(
+            raise ConnectionLost(
                 f"connection reader has stopped"
-                f"{f': {exc}' if exc else ''}; reconnect the client")
+                f"{f': {exc}' if exc else ''}; reconnect the client") \
+                from exc
         rid = self._next_id
         self._next_id += 1
         fut = asyncio.get_running_loop().create_future()
+        fut._repro_request_id = rid
         self._pending[rid] = fut
-        self._writer.write(protocol.encode_request(
-            rid, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed,
-            fingerprint=fingerprint))
-        await self._writer.drain()
+        try:
+            self._writer.write(encoder(rid, *args, **kwargs))
+            await asyncio.wait_for(self._writer.drain(), self.timeout)
+        except asyncio.TimeoutError:
+            self._pending.pop(rid, None)
+            raise RequestTimeout(
+                f"sending request {rid} timed out after "
+                f"{self.timeout:g}s") from None
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(rid, None)
+            raise ConnectionLost(
+                f"connection died sending request {rid}: {exc}") from exc
         return fut
+
+    async def _await_frame(self, fut: asyncio.Future,
+                           deadline_s: float | None) -> protocol.Frame:
+        budget = self.timeout if deadline_s is None else \
+            (float(deadline_s) or None)
+        try:
+            return await asyncio.wait_for(fut, budget)
+        except asyncio.TimeoutError:
+            rid = getattr(fut, "_repro_request_id", None)
+            if rid is not None:
+                self._pending.pop(rid, None)
+            raise RequestTimeout(
+                f"no response to request {rid} within {budget:g}s") \
+                from None
+
+    # ------------------------------------------------------------------
+    # Resilient round trips
+    # ------------------------------------------------------------------
+    async def _with_retries(self, label: str, once, *, retries=None):
+        budget = self.retry.retries if retries is None else \
+            _resolve_retries(retries)
+        for attempt in range(budget + 1):
+            gen = self._conn_gen
+            try:
+                if attempt and self._writer is None:
+                    # An earlier reconnect failed; this attempt retries
+                    # the connect itself (counted against the budget).
+                    await self._reset_connection(gen)
+                return await once()
+            except _RETRYABLE as exc:
+                if attempt >= budget:
+                    if budget == 0:
+                        raise
+                    raise self.retry.budget_error(budget, label, exc) \
+                        from exc
+                await asyncio.sleep(self.retry.delay_s(attempt))
+                # As in the sync client: BUSY/DRAINING keep the healthy
+                # connection (it still owes pipelined answers); only
+                # transport failures force a reconnect.
+                if not isinstance(exc, ServerBusy):
+                    try:
+                        await self._reset_connection(gen)
+                    except _RETRYABLE:
+                        pass  # the next attempt retries the connect
 
     async def quantize(self, x: np.ndarray, *, fmt: str,
                        op: str = "activation", dispatch: str = "inherit",
                        packed: bool = False, fingerprint: str = "",
-                       verify: bool = False):
+                       verify: bool = False,
+                       deadline_s: float | None = None,
+                       retries: int | None = None):
         """One awaitable round trip (pipelines freely across tasks)."""
-        fut = await self.submit(x, fmt=fmt, op=op, dispatch=dispatch,
-                                packed=packed, fingerprint=fingerprint)
-        out = protocol.response_result(await fut)
+        async def once():
+            fut = await self.submit(x, fmt=fmt, op=op, dispatch=dispatch,
+                                    packed=packed, fingerprint=fingerprint)
+            return protocol.response_result(
+                await self._await_frame(fut, deadline_s))
+
+        out = await self._with_retries(f"{fmt}:{op} quantize", once,
+                                       retries=retries)
         if verify:
             _verify(out, x, fmt=fmt, op=op, dispatch=dispatch, packed=packed)
         return out
+
+    async def ping(self, *, deadline_s: float | None = None,
+                   retries: int | None = None) -> dict:
+        """Liveness/health round trip: the server's health report dict."""
+        async def once():
+            fut = await self._send(protocol.encode_ping)
+            return protocol.decode_health(
+                await self._await_frame(fut, deadline_s))
+        return await self._with_retries("ping", once, retries=retries)
+
+    async def drain(self, *, deadline_s: float | None = None) -> dict:
+        """Ask the server to drain gracefully; returns its health ack."""
+        fut = await self._send(protocol.encode_drain)
+        return protocol.decode_health(await self._await_frame(fut,
+                                                              deadline_s))

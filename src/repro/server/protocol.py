@@ -5,8 +5,9 @@ and server. Layout (all little-endian)::
 
     uint32  body length B (bytes after this word)
     bytes 0..3   magic  b"RQP1"
-    byte  4      protocol version (currently 1)
-    byte  5      kind    (1 = request, 2 = response)
+    byte  4      protocol version (currently 2)
+    byte  5      kind    (1 = request, 2 = response, 3 = ping,
+                          4 = health, 5 = drain)
     byte  6      status  (requests: 0; responses: a Status code)
     byte  7      flags   (payload encoding: raw float64 | PackedTensor)
     bytes 8..11  uint32 request id (client-chosen; echoed in the response)
@@ -24,6 +25,14 @@ serialized :class:`~repro.codec.PackedTensor` container; error responses
 carry a :class:`Status` code that maps 1:1 onto the library's exception
 types (``FormatError``, ``ConfigError``, ``CodecError``, ...), plus the
 message in meta.
+
+Version 2 added the **control frames**: ``PING`` (client asks for
+liveness/health), ``HEALTH`` (the server's answer — the meta block
+carries draining state, in-flight count and counters; also acknowledges
+``DRAIN``) and ``DRAIN`` (ask the server to stop accepting, finish
+bounded in-flight work and exit), plus the ``DRAINING`` status answered
+to requests that arrive during a drain (clients treat it like ``BUSY``
+but reconnect first).
 
 **Versioning rule:** any change to the byte layout above — header
 fields, meta keys, payload encodings, status numbering — bumps
@@ -51,22 +60,24 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..errors import CodecError, ConfigError, FormatError, ProtocolError, \
-    ServerBusy, ServerError
+from ..errors import CodecError, ConfigError, ConnectionLost, FormatError, \
+    ProtocolError, ServerBusy, ServerDraining, ServerError
 
 __all__ = [
     "MAGIC", "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
-    "KIND_REQUEST", "KIND_RESPONSE", "FLAG_RAW_F64", "FLAG_PACKED",
+    "KIND_REQUEST", "KIND_RESPONSE", "KIND_PING", "KIND_HEALTH",
+    "KIND_DRAIN", "FLAG_RAW_F64", "FLAG_PACKED",
     "Status", "Frame", "QuantRequest",
     "encode_request", "decode_request",
     "encode_response_array", "encode_response_packed",
     "encode_response_error", "response_result",
+    "encode_ping", "encode_drain", "encode_health", "decode_health",
     "frame_to_bytes", "frame_from_bytes", "read_frame", "recv_frame",
     "status_for_exception",
 ]
 
 MAGIC = b"RQP1"
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
 
 #: Upper bound on one frame body; anything larger is a protocol error
 #: (protects both sides from a corrupted or hostile length word).
@@ -74,6 +85,12 @@ MAX_FRAME_BYTES = 1 << 28
 
 KIND_REQUEST = 1
 KIND_RESPONSE = 2
+KIND_PING = 3      # client -> server: are you alive, and how loaded?
+KIND_HEALTH = 4    # server -> client: liveness/health report (answers
+                   # PING, and acknowledges DRAIN)
+KIND_DRAIN = 5     # client -> server: stop accepting, finish, exit
+
+_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_PING, KIND_HEALTH, KIND_DRAIN)
 
 #: Payload encodings (``flags`` bits).
 FLAG_RAW_F64 = 0x1   # raw little-endian C-order float64, shape in meta
@@ -90,6 +107,7 @@ class Status(enum.IntEnum):
     CODEC_ERROR = 4
     PROTOCOL_ERROR = 5
     INTERNAL_ERROR = 6
+    DRAINING = 7
 
 
 #: status -> exception class raised client-side (and the reverse map the
@@ -101,6 +119,7 @@ STATUS_TO_ERROR = {
     Status.CODEC_ERROR: CodecError,
     Status.PROTOCOL_ERROR: ProtocolError,
     Status.INTERNAL_ERROR: ServerError,
+    Status.DRAINING: ServerDraining,
 }
 
 _OPS = ("weight", "activation")
@@ -110,8 +129,9 @@ _LEN = struct.Struct("<I")
 
 def status_for_exception(exc: BaseException) -> Status:
     """The wire status a server reports for ``exc`` (most specific wins)."""
-    for status in (Status.BUSY, Status.FORMAT_ERROR, Status.CONFIG_ERROR,
-                   Status.CODEC_ERROR, Status.PROTOCOL_ERROR):
+    for status in (Status.DRAINING, Status.BUSY, Status.FORMAT_ERROR,
+                   Status.CONFIG_ERROR, Status.CODEC_ERROR,
+                   Status.PROTOCOL_ERROR):
         if isinstance(exc, STATUS_TO_ERROR[status]):
             return status
     return Status.INTERNAL_ERROR
@@ -173,7 +193,7 @@ def _parse_body(body: bytes) -> Frame:
     if version != PROTOCOL_VERSION:
         raise ProtocolError(f"unsupported protocol version {version} "
                             f"(this build speaks {PROTOCOL_VERSION})")
-    if kind not in (KIND_REQUEST, KIND_RESPONSE):
+    if kind not in _KINDS:
         raise ProtocolError(f"unknown frame kind {kind}")
     meta_end = _HEADER.size + meta_len
     if meta_end > len(body):
@@ -203,23 +223,43 @@ def frame_from_bytes(blob: bytes) -> Frame:
     return _parse_body(blob[_LEN.size:])
 
 
-async def read_frame(reader) -> Frame | None:
-    """Read one frame from an ``asyncio.StreamReader``; None on clean EOF."""
+async def read_frame(reader, frame_timeout_s: float | None = None) \
+        -> Frame | None:
+    """Read one frame from an ``asyncio.StreamReader``; None on clean EOF.
+
+    ``frame_timeout_s`` is the slow-loris guard: waiting for a frame to
+    *start* is unbounded (idle pipelined connections are fine), but once
+    its first byte has arrived the remaining prefix + body must complete
+    within the deadline or the read fails with :class:`ProtocolError` —
+    a peer trickling bytes can never pin the reader forever.
+    """
     import asyncio
     try:
-        prefix = await reader.readexactly(_LEN.size)
+        first = await reader.readexactly(1)
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None
-        raise ProtocolError("connection closed mid-frame") from exc
-    (body_len,) = _LEN.unpack(prefix)
-    if body_len > MAX_FRAME_BYTES:
-        raise ProtocolError(f"frame length {body_len} exceeds the "
-                            f"{MAX_FRAME_BYTES}-byte protocol limit")
+        raise ConnectionLost("connection closed mid-frame") from exc
+
+    async def _rest() -> bytes:
+        prefix = first + await reader.readexactly(_LEN.size - 1)
+        (body_len,) = _LEN.unpack(prefix)
+        if body_len > MAX_FRAME_BYTES:
+            raise ProtocolError(f"frame length {body_len} exceeds the "
+                                f"{MAX_FRAME_BYTES}-byte protocol limit")
+        return await reader.readexactly(body_len)
+
     try:
-        body = await reader.readexactly(body_len)
+        if frame_timeout_s is None:
+            body = await _rest()
+        else:
+            body = await asyncio.wait_for(_rest(), frame_timeout_s)
     except asyncio.IncompleteReadError as exc:
-        raise ProtocolError("connection closed mid-frame") from exc
+        raise ConnectionLost("connection closed mid-frame") from exc
+    except asyncio.TimeoutError:
+        raise ProtocolError(
+            f"frame not completed within {frame_timeout_s:g}s of its "
+            f"first byte (slow-loris guard)") from None
     return _parse_body(body)
 
 
@@ -243,7 +283,7 @@ def _recv_exact(sock, n: int, eof_ok: bool) -> bytes | None:
         if not chunk:
             if eof_ok and got == 0:
                 return None
-            raise ProtocolError("connection closed mid-frame")
+            raise ConnectionLost("connection closed mid-frame")
         chunks.append(chunk)
         got += len(chunk)
     return b"".join(chunks)
@@ -365,3 +405,43 @@ def response_result(frame: Frame):
         return np.frombuffer(frame.payload, dtype="<f8").reshape(shape).copy()
     raise ProtocolError(f"response carries no known payload encoding "
                         f"(flags={frame.flags:#x})")
+
+
+# ----------------------------------------------------------------------
+# Control frames (version 2): PING / HEALTH / DRAIN
+# ----------------------------------------------------------------------
+def encode_ping(request_id: int) -> bytes:
+    """Serialize a PING frame; the server answers with a HEALTH frame."""
+    return frame_to_bytes(Frame(kind=KIND_PING, status=0, flags=0,
+                                request_id=request_id))
+
+
+def encode_drain(request_id: int) -> bytes:
+    """Serialize a DRAIN frame: stop accepting, finish in-flight, exit.
+
+    The server acknowledges with a HEALTH frame (``draining: true``)
+    before it begins refusing new requests with ``Status.DRAINING``.
+    """
+    return frame_to_bytes(Frame(kind=KIND_DRAIN, status=0, flags=0,
+                                request_id=request_id))
+
+
+def encode_health(request_id: int, info: dict) -> bytes:
+    """Serialize a HEALTH frame carrying the server's ``info`` report."""
+    return frame_to_bytes(Frame(kind=KIND_HEALTH, status=int(Status.OK),
+                                flags=0, request_id=request_id,
+                                meta=dict(info)))
+
+
+def decode_health(frame: Frame) -> dict:
+    """The health report carried by a HEALTH frame (or raise typed).
+
+    Error responses (e.g. a version-1 server rejecting the unknown
+    kind) raise exactly like :func:`response_result`.
+    """
+    if frame.kind == KIND_RESPONSE and frame.status != Status.OK:
+        response_result(frame)  # raises the typed error
+    if frame.kind != KIND_HEALTH:
+        raise ProtocolError(f"expected a health frame, got kind "
+                            f"{frame.kind}")
+    return dict(frame.meta)

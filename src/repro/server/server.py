@@ -17,9 +17,26 @@ Connections are fully pipelined: a client may stream many request
 frames before reading responses, and responses come back tagged with
 the request id in completion order.
 
+Fault tolerance (protocol version 2):
+
+* **Graceful drain** — ``SIGTERM`` (or a ``DRAIN`` control frame)
+  stops accepting new connections, answers new requests with
+  ``Status.DRAINING``, finishes the admitted in-flight work bounded by
+  ``drain_timeout_s``, then exits. In-flight results are never dropped
+  on the floor by a shutdown.
+* **Health** — a ``PING`` frame is answered with a ``HEALTH`` frame
+  carrying draining state, in-flight count and the stats counters.
+* **Slow-loris guard** — once a frame's first byte arrives, the rest
+  must complete within ``read_timeout_s`` or the connection is dropped
+  with a protocol error; a trickling or garbage peer cannot pin a
+  connection task forever (the max-frame-size guard bounds allocation).
+
 Env knobs (all overridable per instance): ``REPRO_SERVER_PORT`` (default
-7421), ``REPRO_SERVER_MAX_INFLIGHT`` (default 64), and — consumed by the
-CLI / worker pool — ``REPRO_SERVER_WORKERS``.
+7421), ``REPRO_SERVER_MAX_INFLIGHT`` (default 64),
+``REPRO_SERVER_READ_TIMEOUT_S`` (default 60),
+``REPRO_SERVER_DRAIN_TIMEOUT_S`` (default 30), and — consumed by the
+CLI / worker pool — ``REPRO_SERVER_WORKERS`` /
+``REPRO_SERVER_MAX_RESTARTS``.
 
 Example::
 
@@ -34,6 +51,7 @@ from __future__ import annotations
 
 import asyncio
 import os
+import signal
 import threading
 
 from ..errors import ConfigError, ProtocolError
@@ -42,15 +60,21 @@ from .protocol import Status
 
 __all__ = ["QuantServer", "ServerThread", "run_server",
            "PORT_ENV", "MAX_INFLIGHT_ENV", "WORKERS_ENV",
-           "DEFAULT_PORT", "DEFAULT_MAX_INFLIGHT"]
+           "READ_TIMEOUT_ENV", "DRAIN_TIMEOUT_ENV",
+           "DEFAULT_PORT", "DEFAULT_MAX_INFLIGHT",
+           "DEFAULT_READ_TIMEOUT_S", "DEFAULT_DRAIN_TIMEOUT_S"]
 
 #: Environment knobs (documented in the README's env-knob table).
 PORT_ENV = "REPRO_SERVER_PORT"
 MAX_INFLIGHT_ENV = "REPRO_SERVER_MAX_INFLIGHT"
 WORKERS_ENV = "REPRO_SERVER_WORKERS"
+READ_TIMEOUT_ENV = "REPRO_SERVER_READ_TIMEOUT_S"
+DRAIN_TIMEOUT_ENV = "REPRO_SERVER_DRAIN_TIMEOUT_S"
 
 DEFAULT_PORT = 7421
 DEFAULT_MAX_INFLIGHT = 64
+DEFAULT_READ_TIMEOUT_S = 60.0
+DEFAULT_DRAIN_TIMEOUT_S = 30.0
 
 
 def _env_int(name: str, default: int) -> int:
@@ -61,6 +85,16 @@ def _env_int(name: str, default: int) -> int:
         return int(raw)
     except ValueError:
         raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        return float(raw)
+    except ValueError:
+        raise ConfigError(f"{name} must be a number, got {raw!r}") from None
 
 
 class QuantServer:
@@ -82,12 +116,22 @@ class QuantServer:
     max_requests:
         Stop serving after this many responses (smoke tests / CLI
         ``--max-requests``); ``None`` serves forever.
+    read_timeout_s:
+        Slow-loris guard: a started frame must finish within this many
+        seconds (``None`` reads ``REPRO_SERVER_READ_TIMEOUT_S``, default
+        60; ``0`` disables the guard).
+    drain_timeout_s:
+        Upper bound on how long a drain waits for admitted in-flight
+        work before exiting anyway (``None`` reads
+        ``REPRO_SERVER_DRAIN_TIMEOUT_S``, default 30).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int | None = None, *,
                  max_inflight: int | None = None, max_batch: int = 64,
                  max_delay_s: float = 0.002, service_workers: int = 0,
-                 max_requests: int | None = None) -> None:
+                 max_requests: int | None = None,
+                 read_timeout_s: float | None = None,
+                 drain_timeout_s: float | None = None) -> None:
         self.host = host
         self.port = _env_int(PORT_ENV, DEFAULT_PORT) if port is None \
             else int(port)
@@ -95,17 +139,28 @@ class QuantServer:
             if max_inflight is None else int(max_inflight)
         if self.max_inflight < 1:
             raise ConfigError("max_inflight must be >= 1")
+        self.read_timeout_s = _env_float(READ_TIMEOUT_ENV,
+                                         DEFAULT_READ_TIMEOUT_S) \
+            if read_timeout_s is None else float(read_timeout_s)
+        self.drain_timeout_s = _env_float(DRAIN_TIMEOUT_ENV,
+                                          DEFAULT_DRAIN_TIMEOUT_S) \
+            if drain_timeout_s is None else float(drain_timeout_s)
+        if self.drain_timeout_s < 0 or self.read_timeout_s < 0:
+            raise ConfigError("timeouts must be >= 0")
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.service_workers = service_workers
         self.max_requests = max_requests
         self.stats = {"connections": 0, "requests": 0, "responses": 0,
-                      "busy_rejections": 0, "errors": 0}
+                      "busy_rejections": 0, "errors": 0, "pings": 0,
+                      "drain_requests": 0, "draining_rejections": 0}
         self._services: dict[tuple, object] = {}
         self._inflight = 0
+        self._draining = False
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop: asyncio.Event | None = None
+        self._drained: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -114,6 +169,7 @@ class QuantServer:
         """Bind and start accepting (``sock`` overrides host/port)."""
         self._loop = asyncio.get_running_loop()
         self._stop = asyncio.Event()
+        self._drained = asyncio.Event()
         if sock is not None:
             self._server = await asyncio.start_server(self._on_connection,
                                                       sock=sock)
@@ -138,7 +194,56 @@ class QuantServer:
     def request_stop(self) -> None:
         """Ask the server to exit :meth:`run`; safe from any thread."""
         if self._loop is not None and self._stop is not None:
-            self._loop.call_soon_threadsafe(self._stop.set)
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass  # loop already closed: the server has already exited
+
+    def request_drain(self) -> None:
+        """Begin a graceful drain; safe from any thread / signal handler.
+
+        Stops accepting connections, answers new requests with
+        ``Status.DRAINING``, waits (bounded by ``drain_timeout_s``) for
+        admitted in-flight work, then stops the server.
+        """
+        if self._loop is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._start_drain)
+            except RuntimeError:
+                pass  # loop already closed: nothing left to drain
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def health_info(self) -> dict:
+        """The report a ``PING`` is answered with."""
+        return {"status": "draining" if self._draining else "ok",
+                "draining": self._draining,
+                "inflight": self._inflight,
+                "max_inflight": self.max_inflight,
+                "protocol_version": protocol.PROTOCOL_VERSION,
+                "stats": dict(self.stats)}
+
+    def _start_drain(self) -> None:
+        """Loop-side drain entry (idempotent)."""
+        if self._draining or self._loop is None:
+            return
+        self._draining = True
+        self.stats["drain_requests"] += 1
+        self._loop.create_task(self._drain())
+
+    async def _drain(self) -> None:
+        if self._server is not None:
+            self._server.close()  # stop accepting new connections
+        if self._inflight == 0:
+            self._drained.set()
+        try:
+            await asyncio.wait_for(self._drained.wait(),
+                                   self.drain_timeout_s)
+        except asyncio.TimeoutError:
+            pass  # bounded drain: stragglers lose, the process exits
+        self._stop.set()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -169,9 +274,22 @@ class QuantServer:
         tasks: set[asyncio.Task] = set()
         try:
             while True:
-                frame = await protocol.read_frame(reader)
+                frame = await protocol.read_frame(
+                    reader, self.read_timeout_s or None)
                 if frame is None:
                     break
+                if frame.kind == protocol.KIND_PING:
+                    self.stats["pings"] += 1
+                    await self._answer(writer, wlock, protocol.encode_health(
+                        frame.request_id, self.health_info()))
+                    continue
+                if frame.kind == protocol.KIND_DRAIN:
+                    # Flip the draining flag synchronously so the ack
+                    # already reports draining: true.
+                    self._start_drain()
+                    await self._answer(writer, wlock, protocol.encode_health(
+                        frame.request_id, self.health_info()))
+                    continue
                 self.stats["requests"] += 1
                 if frame.kind != protocol.KIND_REQUEST:
                     await self._answer(writer, wlock,
@@ -179,6 +297,16 @@ class QuantServer:
                                            frame.request_id,
                                            Status.PROTOCOL_ERROR,
                                            "expected a request frame"))
+                    continue
+                if self._draining:
+                    # The drain contract: admitted work finishes, new
+                    # work is refused with a retryable typed status.
+                    self.stats["draining_rejections"] += 1
+                    await self._answer(writer, wlock,
+                                       protocol.encode_response_error(
+                                           frame.request_id, Status.DRAINING,
+                                           "server is draining for "
+                                           "shutdown; reconnect and retry"))
                     continue
                 if self._inflight >= self.max_inflight:
                     # Explicit backpressure: answer BUSY now rather than
@@ -263,6 +391,9 @@ class QuantServer:
         finally:
             self._inflight -= 1
             self.stats["responses"] += 1
+            if self._draining and self._inflight == 0 and \
+                    self._drained is not None:
+                self._drained.set()
             if self.max_requests is not None and \
                     self.stats["responses"] >= self.max_requests:
                 self.request_stop()
@@ -271,15 +402,34 @@ class QuantServer:
         await self._send(writer, wlock, data)
 
 
+def _install_sigterm_drain(server: QuantServer) -> None:
+    """SIGTERM -> graceful drain, where the platform allows it.
+
+    Signal handlers only work on the main thread (so in-process
+    ``ServerThread`` runs skip this; worker processes and the CLI get
+    it) and only on loops that support ``add_signal_handler``.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+    try:
+        asyncio.get_running_loop().add_signal_handler(
+            signal.SIGTERM, server.request_drain)
+    except (NotImplementedError, RuntimeError, ValueError):
+        pass
+
+
 def run_server(server: QuantServer, sock=None,
                ready=None) -> None:
     """Blocking entry point: run ``server`` until stopped.
 
     ``ready(port)`` — when given — is called from inside the loop once
     the server is accepting (the CLI prints the bound port through it).
+    On the main thread, ``SIGTERM`` triggers a graceful drain instead
+    of killing in-flight work.
     """
     async def _main():
         await server.start(sock=sock)
+        _install_sigterm_drain(server)
         if ready is not None:
             ready(server.port)
         await server.run()
@@ -319,10 +469,20 @@ class ServerThread:
             raise self._startup_error
         return self
 
+    def drain(self, timeout: float = 30.0) -> None:
+        """Gracefully drain the server and join its thread (bounded)."""
+        self.server.request_drain()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
     def __exit__(self, *exc) -> None:
         self.server.request_stop()
         if self._thread is not None:
+            # Bounded reap: a wedged loop must not hang the exiting
+            # test/context forever (the thread is daemonic, so it can
+            # never outlive the process either way).
             self._thread.join(timeout=30.0)
+            self._thread = None
 
     def _main(self) -> None:
         try:

@@ -1,4 +1,4 @@
-"""Multi-process worker sharding for the quantization server.
+"""Multi-process worker sharding + supervision for the quantization server.
 
 ``WorkerPool`` spawns N fresh interpreter processes (``spawn`` context,
 like the experiment runner's pool — no inherited module caches), each
@@ -8,12 +8,26 @@ load-balances incoming connections across the workers' accept queues,
 so clients need no front-end dispatcher: they connect to one
 host:port and land on some worker.
 
-Why this beats one process even before counting cores: each worker's
-micro-batching service idles its CPU for up to ``max_delay_s`` per
-batch window, and with several workers one worker's CPU-bound quantize
-pass runs inside another's window. On multi-core hosts the quantize
-passes additionally run truly in parallel (each worker has its own
-GIL). ``scripts/bench_server.py`` measures both effects into
+The pool is **supervised**: a monitor thread detects dead workers and
+restarts them on the shared port with exponential backoff, so a
+SIGKILLed or crashed worker shrinks capacity only for the restart
+window — never forever. Restarts and exit codes are accounted in
+:attr:`stats`; a worker that keeps dying trips the **crash-loop
+budget** (``max_restarts`` per slot, ``REPRO_SERVER_MAX_RESTARTS``)
+and surfaces a hard :class:`~repro.errors.WorkerCrashLoop` through
+:meth:`check` / :meth:`join` instead of flapping silently. Workers
+that exit cleanly (a drain, ``--max-requests``) are *not* restarted.
+
+``close()`` reaps every child with a bounded join, escalating
+``terminate()`` (SIGTERM — a graceful in-worker drain) to ``kill()``:
+no zombie processes survive a failed test run.
+
+Why sharding beats one process even before counting cores: each
+worker's micro-batching service idles its CPU for up to ``max_delay_s``
+per batch window, and with several workers one worker's CPU-bound
+quantize pass runs inside another's window. On multi-core hosts the
+quantize passes additionally run truly in parallel (each worker has
+its own GIL). ``scripts/bench_server.py`` measures both effects into
 ``BENCH_server.json``.
 
 The first worker binds the requested port (``port=0`` picks an
@@ -26,18 +40,26 @@ Example::
     from repro.server import WorkerPool, QuantClient
 
     with WorkerPool(workers=2, port=0) as pool:
-        with QuantClient(port=pool.port) as cli:
+        with QuantClient(port=pool.port, retries=4) as cli:
             out = cli.quantize(x, fmt="m2xfp")
 """
 
 from __future__ import annotations
 
 import socket
+import threading
+import time
 
-from ..errors import ConfigError
+from ..errors import ConfigError, WorkerCrashLoop
 from .server import QuantServer, WORKERS_ENV, _env_int, run_server
 
-__all__ = ["WorkerPool", "reuseport_listener"]
+__all__ = ["WorkerPool", "reuseport_listener",
+           "MAX_RESTARTS_ENV", "DEFAULT_MAX_RESTARTS"]
+
+#: Environment knob (documented in the README's env-knob table).
+MAX_RESTARTS_ENV = "REPRO_SERVER_MAX_RESTARTS"
+
+DEFAULT_MAX_RESTARTS = 5
 
 
 def reuseport_listener(host: str, port: int) -> socket.socket:
@@ -68,15 +90,37 @@ def _worker_main(conn, host: str, port: int, server_kwargs: dict) -> None:
     conn.send(sock.getsockname()[1])
     conn.close()
     server = QuantServer(host=host, port=0, **server_kwargs)
+    # run_server installs the SIGTERM -> graceful-drain handler (this
+    # is the child's main thread), so pool.close() drains workers.
     run_server(server, sock=sock)
 
 
 class WorkerPool:
-    """N spawned ``QuantServer`` processes sharing one host:port."""
+    """N supervised ``QuantServer`` processes sharing one host:port.
+
+    Parameters
+    ----------
+    restart:
+        Supervise and restart crashed workers (default on). Clean
+        exits (code 0: a drain or ``max_requests``) never restart.
+    max_restarts:
+        Crash-loop budget per worker slot; exceeding it records a
+        :class:`WorkerCrashLoop` surfaced by :meth:`check`/:meth:`join`
+        (``None`` reads ``REPRO_SERVER_MAX_RESTARTS``, default 5). A
+        slot that stays up for ``healthy_reset_s`` earns its budget
+        back.
+    backoff_base_s / backoff_max_s:
+        Exponential backoff between a slot's consecutive restarts.
+    """
 
     def __init__(self, workers: int | None = None, *,
                  host: str = "127.0.0.1", port: int = 0,
-                 start_timeout: float = 60.0, **server_kwargs) -> None:
+                 start_timeout: float = 60.0, restart: bool = True,
+                 max_restarts: int | None = None,
+                 backoff_base_s: float = 0.05, backoff_max_s: float = 2.0,
+                 healthy_reset_s: float = 30.0,
+                 poll_interval_s: float = 0.05,
+                 reap_timeout_s: float = 10.0, **server_kwargs) -> None:
         if workers is None:
             workers = _env_int(WORKERS_ENV, 2)
         if workers < 1:
@@ -85,58 +129,196 @@ class WorkerPool:
         self.host = host
         self.port = int(port)
         self.start_timeout = float(start_timeout)
+        self.restart = bool(restart)
+        self.max_restarts = _env_int(MAX_RESTARTS_ENV, DEFAULT_MAX_RESTARTS) \
+            if max_restarts is None else int(max_restarts)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self.healthy_reset_s = float(healthy_reset_s)
+        self.poll_interval_s = float(poll_interval_s)
+        self.reap_timeout_s = float(reap_timeout_s)
         self._server_kwargs = dict(server_kwargs)
+        self.stats = {"restarts": 0, "exits": []}
         self._procs: list = []
+        self._slot_restarts: list[int] = []
+        self._slot_spawned_at: list[float] = []
+        self._done_slots: set[int] = set()
+        self._ctx = None
+        self._lock = threading.Lock()
+        self._closing = False
+        self._failure: WorkerCrashLoop | None = None
+        self._supervisor: threading.Thread | None = None
 
     # ------------------------------------------------------------------
     def start(self) -> "WorkerPool":
-        """Spawn every worker and wait until all listen on one port."""
+        """Spawn every worker, wait until all listen, start supervision."""
         if self._procs:
             return self
         import multiprocessing as mp
-        ctx = mp.get_context("spawn")
+        self._ctx = mp.get_context("spawn")
         try:
             port = self.port
             for _ in range(self.workers):
-                parent, child = ctx.Pipe(duplex=False)
-                proc = ctx.Process(target=_worker_main,
-                                   args=(child, self.host, port,
-                                         self._server_kwargs),
-                                   daemon=True)
-                proc.start()
-                child.close()
-                # The first worker resolves port 0 to a real port; the
-                # rest must bind exactly that one.
-                if not parent.poll(self.start_timeout):
-                    raise ConfigError(
-                        f"server worker (pid {proc.pid}) did not report "
-                        f"its port within {self.start_timeout:.0f}s")
-                port = parent.recv()
-                parent.close()
+                proc, port = self._spawn(port)
                 self._procs.append(proc)
+                self._slot_restarts.append(0)
+                self._slot_spawned_at.append(time.monotonic())
             self.port = port
         except BaseException:
             self.close()
             raise
+        if self.restart:
+            self._supervisor = threading.Thread(
+                target=self._supervise, name="quant-pool-supervisor",
+                daemon=True)
+            self._supervisor.start()
         return self
 
+    def _spawn(self, port: int):
+        """Spawn one worker; returns (process, resolved port)."""
+        parent, child = self._ctx.Pipe(duplex=False)
+        proc = self._ctx.Process(target=_worker_main,
+                                 args=(child, self.host, port,
+                                       self._server_kwargs),
+                                 daemon=True)
+        proc.start()
+        child.close()
+        # The first worker resolves port 0 to a real port; the rest
+        # (and every restart) must bind exactly that one.
+        if not parent.poll(self.start_timeout):
+            proc.terminate()
+            proc.join(timeout=5.0)
+            raise ConfigError(
+                f"server worker (pid {proc.pid}) did not report "
+                f"its port within {self.start_timeout:.0f}s")
+        port = parent.recv()
+        parent.close()
+        return proc, port
+
+    # ------------------------------------------------------------------
+    # Supervision
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        backoff = [self.backoff_base_s] * self.workers
+        while not self._closing and self._failure is None:
+            time.sleep(self.poll_interval_s)
+            for slot in range(len(self._procs)):
+                with self._lock:
+                    if self._closing or self._failure is not None:
+                        return
+                    proc = self._procs[slot]
+                    if proc is None or proc.is_alive() or \
+                            slot in self._done_slots:
+                        continue
+                    exitcode = proc.exitcode
+                    proc.join()  # reap promptly: no zombie between polls
+                    self.stats["exits"].append(
+                        {"slot": slot, "pid": proc.pid,
+                         "exitcode": exitcode})
+                    if exitcode == 0:
+                        # Deliberate exit (drain / max_requests): this
+                        # slot is done, not crashed.
+                        self._done_slots.add(slot)
+                        continue
+                    uptime = time.monotonic() - self._slot_spawned_at[slot]
+                    if uptime >= self.healthy_reset_s:
+                        self._slot_restarts[slot] = 0
+                        backoff[slot] = self.backoff_base_s
+                    if self._slot_restarts[slot] >= self.max_restarts:
+                        self._failure = WorkerCrashLoop(
+                            f"worker slot {slot} crashed "
+                            f"{self._slot_restarts[slot] + 1} times "
+                            f"(last exit code {exitcode}); restart "
+                            f"budget {self.max_restarts} exhausted")
+                        return
+                    self._slot_restarts[slot] += 1
+                    delay = backoff[slot]
+                    backoff[slot] = min(backoff[slot] * 2.0,
+                                        self.backoff_max_s)
+                # Back off outside the lock so close() stays responsive.
+                time.sleep(delay)
+                with self._lock:
+                    if self._closing or self._failure is not None:
+                        return
+                    try:
+                        proc, _ = self._spawn(self.port)
+                    except ConfigError as exc:
+                        # A failed respawn is itself a crash: it eats
+                        # budget and the loop tries again (or trips).
+                        self.stats["exits"].append(
+                            {"slot": slot, "pid": None,
+                             "exitcode": f"respawn failed: {exc}"})
+                        if self._slot_restarts[slot] >= self.max_restarts:
+                            self._failure = WorkerCrashLoop(
+                                f"worker slot {slot}: respawn failed "
+                                f"with the restart budget exhausted: "
+                                f"{exc}")
+                            return
+                        self._slot_restarts[slot] += 1
+                        continue
+                    self._procs[slot] = proc
+                    self._slot_spawned_at[slot] = time.monotonic()
+                    self.stats["restarts"] += 1
+
+    def check(self) -> None:
+        """Raise :class:`WorkerCrashLoop` if the restart budget tripped."""
+        if self._failure is not None:
+            raise self._failure
+
+    # ------------------------------------------------------------------
     def close(self) -> None:
-        """Terminate and reap every worker."""
-        for proc in self._procs:
+        """Reap every worker: bounded join, escalating SIGTERM -> SIGKILL."""
+        with self._lock:
+            self._closing = True
+        if self._supervisor is not None:
+            self._supervisor.join(timeout=self.reap_timeout_s)
+            self._supervisor = None
+        procs = [p for p in self._procs if p is not None]
+        for proc in procs:
             if proc.is_alive():
-                proc.terminate()
-        for proc in self._procs:
-            proc.join(timeout=30.0)
+                proc.terminate()  # SIGTERM: in-worker graceful drain
+        deadline = time.monotonic() + self.reap_timeout_s
+        for proc in procs:
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+        for proc in procs:
+            if proc.is_alive():  # drain wedged or TERM ignored: escalate
+                proc.kill()
+        for proc in procs:
+            if proc.is_alive():
+                proc.join(timeout=5.0)
         self._procs = []
+        self._slot_restarts = []
+        self._slot_spawned_at = []
+        self._done_slots = set()
 
     def alive(self) -> int:
         """How many workers are currently running."""
-        return sum(1 for proc in self._procs if proc.is_alive())
+        return sum(1 for proc in self._procs
+                   if proc is not None and proc.is_alive())
 
-    def join(self) -> None:
-        """Block until every worker exits (the CLI's foreground wait)."""
-        for proc in self._procs:
-            proc.join()
+    def join(self, poll_s: float = 0.1, stop=None) -> None:
+        """Block until the pool finishes (the CLI's foreground wait).
+
+        Returns when every worker has exited cleanly, the pool was
+        closed, or the optional ``stop`` event (a ``threading.Event``,
+        e.g. set from a SIGTERM handler) fires; raises
+        :class:`WorkerCrashLoop` if supervision tripped the crash-loop
+        budget.
+        """
+        while True:
+            self.check()
+            if self._closing or not self._procs:
+                return
+            if stop is not None and stop.is_set():
+                return
+            if len(self._done_slots) == len(self._procs):
+                return
+            if not self.restart and self.alive() == 0:
+                return
+            if stop is not None:
+                stop.wait(poll_s)
+            else:
+                time.sleep(poll_s)
 
     def __enter__(self) -> "WorkerPool":
         return self.start()

@@ -28,7 +28,8 @@ import pytest
 
 from repro.codec import PackedTensor, encode
 from repro.errors import (CodecError, ConfigError, FormatError,
-                          ProtocolError, ServerBusy, ServerError)
+                          ProtocolError, ServerBusy, ServerDraining,
+                          ServerError)
 from repro.runner.formats import list_formats, make_format
 from repro.server import (AsyncQuantClient, QuantClient, QuantServer,
                           ServerThread, local_expected, protocol)
@@ -73,6 +74,7 @@ def test_response_frame_roundtrips(rng):
     (protocol.Status.CODEC_ERROR, CodecError),
     (protocol.Status.PROTOCOL_ERROR, ProtocolError),
     (protocol.Status.INTERNAL_ERROR, ServerError),
+    (protocol.Status.DRAINING, ServerDraining),
 ])
 def test_error_status_maps_to_typed_exception(status, exc_cls):
     frame = protocol.frame_from_bytes(
@@ -149,6 +151,17 @@ def test_wire_vectors_pinned():
             assert result.to_bytes() == expected.to_bytes()
         else:
             assert result.tobytes() == expected.tobytes()
+    # The v2 control frames (PING / HEALTH / DRAIN) are pinned too.
+    control = golden["control"]
+    assert rebuilt["control"] == control
+    ping = protocol.frame_from_bytes(bytes.fromhex(control["ping_hex"]))
+    assert ping.kind == protocol.KIND_PING
+    assert ping.request_id == control["request_id"]
+    health = protocol.decode_health(
+        protocol.frame_from_bytes(bytes.fromhex(control["health_hex"])))
+    assert health == control["health_info"]
+    drain = protocol.frame_from_bytes(bytes.fromhex(control["drain_hex"]))
+    assert drain.kind == protocol.KIND_DRAIN
 
 
 # ----------------------------------------------------------------------
@@ -338,6 +351,62 @@ def test_busy_backpressure_not_a_hang(rng, monkeypatch):
 
 
 # ----------------------------------------------------------------------
+# Graceful lifecycle: ping / health / drain
+# ----------------------------------------------------------------------
+def test_ping_reports_health(rng):
+    x = rng.standard_normal((2, 32))
+    with ServerThread(port=0) as st, QuantClient(port=st.port) as cli:
+        info = cli.ping()
+        assert info["status"] == "ok" and info["draining"] is False
+        assert info["protocol_version"] == protocol.PROTOCOL_VERSION
+        assert info["max_inflight"] == st.server.max_inflight
+        cli.quantize(x, fmt="m2xfp")
+        assert cli.ping()["stats"]["responses"] >= 1
+        assert st.server.stats["pings"] == 2
+
+
+def test_drain_finishes_inflight_then_exits(rng, monkeypatch):
+    """DRAIN answers in-flight work, rejects new work with a retryable
+    DRAINING error, and shuts the server down cleanly."""
+    x = rng.standard_normal((2, 32))
+    stub = _StalledService()
+    monkeypatch.setattr(QuantServer, "_get_service", lambda self, req: stub)
+    st = ServerThread(port=0).__enter__()
+    try:
+        with QuantClient(port=st.port, timeout=30.0) as cli:
+            rid = cli.submit(x, fmt="m2xfp")  # admitted, then stalled
+            ack = cli.drain()
+            assert ack["draining"] is True
+            with pytest.raises(ServerDraining, match="draining"):
+                cli.quantize(x, fmt="m2xfp")
+            # The admitted request is not dropped: the drain waits for
+            # it, and the answer still reaches this client.
+            stub.release()
+            assert cli.result(rid).shape == x.shape
+        # DRAINING is retryable backpressure (a ServerBusy subclass):
+        # clients with a retry budget move to another worker or wait.
+        assert issubclass(ServerDraining, ServerBusy)
+        deadline = time.monotonic() + 30.0
+        while st._thread is not None and st._thread.is_alive() \
+                and time.monotonic() < deadline:
+            time.sleep(0.02)
+        assert st._thread is None or not st._thread.is_alive()
+        assert st.server.stats["drain_requests"] == 1
+        assert st.server.stats["draining_rejections"] == 1
+    finally:
+        st.__exit__(None, None, None)
+
+
+def test_server_thread_drain_method(rng):
+    x = rng.standard_normal((2, 32))
+    with ServerThread(port=0) as st:
+        with QuantClient(port=st.port) as cli:
+            cli.quantize(x, fmt="m2xfp")
+        st.drain(timeout=30.0)
+        assert st.server.draining
+
+
+# ----------------------------------------------------------------------
 # CLI wiring
 # ----------------------------------------------------------------------
 def test_cli_serve_parses_and_wires_config(monkeypatch):
@@ -356,12 +425,15 @@ def test_cli_serve_parses_and_wires_config(monkeypatch):
     monkeypatch.setattr(server_pkg, "QuantServer", _FakeServer)
     monkeypatch.setattr(server_pkg, "run_server", _fake_run)
     rc = cli_mod.main(["serve", "--port", "0", "--max-inflight", "7",
-                       "--max-batch", "16", "--max-requests", "3"])
+                       "--max-batch", "16", "--max-requests", "3",
+                       "--read-timeout-s", "5", "--drain-timeout-s", "9"])
     assert rc == 0 and captured["ran"]
     assert captured["port"] == 0
     assert captured["max_inflight"] == 7
     assert captured["max_batch"] == 16
     assert captured["max_requests"] == 3
+    assert captured["read_timeout_s"] == 5.0
+    assert captured["drain_timeout_s"] == 9.0
 
 
 @pytest.mark.slow
@@ -425,3 +497,7 @@ def test_load_generator_smoke():
     sharded = payload["sharded"]
     assert sharded["single"]["rps"] > 0 and sharded["sharded"]["rps"] > 0
     assert sharded["speedup_sharded_vs_single"] > 0
+    chaos = payload["chaos"]
+    assert chaos["load"]["requests"] > 0 and chaos["load"]["rps"] > 0
+    assert chaos["kill_prob"] > 0
+    assert chaos["proxy"]["connections"] > 0
