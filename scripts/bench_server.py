@@ -27,6 +27,17 @@ records the fault-tolerance tax on rps/p99 — every completed request
 is still bit-exact (that part is asserted by ``tests/test_faults.py``;
 the bench records the throughput cost).
 
+Plus the **gateway** section: the same closed loop spoken over HTTP
+through :class:`~repro.gateway.QuantGateway` fronting a
+:class:`~repro.gateway.ReplicaCluster` of 1, 2 and 4 replicas, with
+clients cycling several formats so the consistent-hash router spreads
+arms across replicas. Each point records rps/p50/p99 plus an **exact**
+crosscheck of the gateway's ``/metrics`` ``requests_total`` counters
+against the harness's own completed-request tally (the counters must
+not drift by even one request). ``scaling_*`` ratios record the
+replica-scaling curve; on a single-core host they hover near 1.0
+(replicas time-slice one CPU), so they are reported, not gated.
+
 Run:  PYTHONPATH=src python scripts/bench_server.py [--out PATH]
       [--quick] [--chaos]
 
@@ -39,6 +50,8 @@ speedup ratio is the stable, regression-gated part
 from __future__ import annotations
 
 import argparse
+import base64
+import http.client
 import json
 import threading
 import time
@@ -46,6 +59,7 @@ import time
 import numpy as np
 
 from repro.errors import ServerBusy
+from repro.gateway import GatewayThread, ReplicaCluster
 from repro.server import (FaultPlan, FaultProxy, QuantClient, ServerThread,
                           WorkerPool)
 
@@ -79,6 +93,13 @@ CHAOS_KILL_PROB = 0.01
 
 #: Retry budget the chaos clients run with.
 CHAOS_RETRIES = 20
+
+#: Formats the gateway load cycles through — spread over the hash ring
+#: so a multi-replica cluster actually shares the traffic.
+GATEWAY_FORMATS = ("m2xfp", "elem-em", "m2-nvfp4", "nvfp4")
+
+#: Cluster sizes for the gateway scaling curve.
+GATEWAY_REPLICAS = (1, 2, 4)
 
 
 def _run_load(port: int, fmt: str, op: str, packed: bool,
@@ -165,6 +186,158 @@ def run_chaos(quick: bool, x: np.ndarray) -> dict:
     return section
 
 
+def _run_http_load(port: int, concurrency: int, duration_s: float,
+                   x: np.ndarray) -> dict:
+    """Closed-loop HTTP hammer against a gateway: ``concurrency``
+    keep-alive connections, each cycling :data:`GATEWAY_FORMATS`.
+
+    Returns per-point rps/p50/p99 plus ``completed_total`` — every
+    successful quantize this function ever sent (warm-up included),
+    the number the gateway's ``requests_total`` must match exactly.
+    """
+    bodies = [json.dumps({
+        "format": fmt, "op": "activation", "packed": False,
+        "shape": list(x.shape),
+        "data_b64": base64.b64encode(x.tobytes()).decode()})
+        for fmt in GATEWAY_FORMATS]
+    headers = {"Content-Type": "application/json"}
+    barrier = threading.Barrier(concurrency + 1)
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    completed = [0] * concurrency
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def worker(slot: int) -> None:
+        try:
+            conn = http.client.HTTPConnection("127.0.0.1", port,
+                                              timeout=120.0)
+            try:
+                for body in bodies:  # warm every arm's plan/service
+                    conn.request("POST", "/v1/quantize", body, headers)
+                    resp = conn.getresponse()
+                    payload = resp.read()
+                    if resp.status != 200:
+                        raise RuntimeError(f"warm-up got {resp.status}: "
+                                           f"{payload!r}")
+                    completed[slot] += 1
+                barrier.wait()
+                i = slot  # offset start so threads desynchronize arms
+                while not stop.is_set():
+                    body = bodies[i % len(bodies)]
+                    i += 1
+                    t0 = time.perf_counter()
+                    conn.request("POST", "/v1/quantize", body, headers)
+                    resp = conn.getresponse()
+                    payload = resp.read()
+                    if resp.status != 200:
+                        raise RuntimeError(f"gateway got {resp.status}: "
+                                           f"{payload!r}")
+                    completed[slot] += 1
+                    latencies[slot].append(time.perf_counter() - t0)
+            finally:
+                conn.close()
+        except BaseException as exc:  # surfaced after the join
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    threads = [threading.Thread(target=worker, args=(s,))
+               for s in range(concurrency)]
+    for t in threads:
+        t.start()
+    try:
+        barrier.wait()
+    except threading.BrokenBarrierError:
+        pass
+    t_start = time.perf_counter()
+    if not errors:
+        time.sleep(duration_s)
+    stop.set()
+    for t in threads:
+        t.join(timeout=120)
+    elapsed = time.perf_counter() - t_start
+    if errors:
+        raise errors[0]
+    lats = np.array([v for slot in latencies for v in slot])
+    return {
+        "concurrency": concurrency,
+        "requests": int(lats.size),
+        "completed_total": int(sum(completed)),
+        "rps": round(lats.size / elapsed, 1),
+        "p50_ms": round(float(np.percentile(lats, 50)) * 1e3, 3),
+        "p99_ms": round(float(np.percentile(lats, 99)) * 1e3, 3),
+    }
+
+
+def _scrape_requests_total(port: int) -> int:
+    """Sum the ``repro_gateway_requests_total`` samples off /metrics."""
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30.0)
+    try:
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        text = resp.read().decode()
+        if resp.status != 200:
+            raise RuntimeError(f"/metrics got {resp.status}")
+    finally:
+        conn.close()
+    total = 0
+    for line in text.splitlines():
+        if line.startswith("repro_gateway_requests_total{"):
+            total += int(float(line.rsplit(" ", 1)[1]))
+    return total
+
+
+def run_gateway(quick: bool, x: np.ndarray) -> dict:
+    """The HTTP gateway scaling curve: 1/2/4-replica closed loop."""
+    duration = 1.0 if quick else 2.5
+    concurrency = 4 if quick else 8
+    section: dict = {
+        "formats": list(GATEWAY_FORMATS),
+        "concurrency": concurrency,
+        "duration_s": duration,
+        "points": {},
+        "metrics_crosscheck": {},
+    }
+    for replicas in GATEWAY_REPLICAS:
+        with ReplicaCluster(replicas=replicas,
+                            max_delay_s=MAX_DELAY_S) as cluster, \
+                GatewayThread(upstreams=cluster.endpoints, port=0,
+                              probe_interval_s=0.5) as gw:
+            res = _run_http_load(gw.port, concurrency=concurrency,
+                                 duration_s=duration, x=x)
+            scraped = _scrape_requests_total(gw.port)
+            snap = gw.gateway.snapshot()
+        point = dict(res)
+        point["replicas"] = replicas
+        point["metrics_requests_total"] = scraped
+        point["replica_spread"] = snap["replica_requests"]
+        matched = (scraped == res["completed_total"]
+                   == snap["requests_total"])
+        section["metrics_crosscheck"][f"r{replicas}"] = {
+            "harness_completed": res["completed_total"],
+            "metrics_requests_total": scraped,
+            "matched": matched,
+        }
+        section["points"][f"r{replicas}"] = point
+        print(f"  gateway r={replicas}: {res['rps']:8.1f} rps  "
+              f"p50 {res['p50_ms']:7.3f} ms  "
+              f"p99 {res['p99_ms']:7.3f} ms  "
+              f"metrics {'==' if matched else '!='} harness "
+              f"({scraped} vs {res['completed_total']})")
+        if not matched:
+            raise RuntimeError(
+                f"gateway metrics drifted at r={replicas}: "
+                f"/metrics says {scraped}, harness counted "
+                f"{res['completed_total']}")
+    r1 = section["points"]["r1"]["rps"]
+    for replicas in GATEWAY_REPLICAS[1:]:
+        section[f"scaling_r{replicas}_vs_r1"] = round(
+            section["points"][f"r{replicas}"]["rps"] / r1, 3)
+    return section
+
+
 def run_benchmarks(quick: bool = False) -> dict:
     """Run every load arm plus the sharding comparison; returns the payload."""
     rng = np.random.default_rng(0)
@@ -181,6 +354,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         "arms": {},
         "sharded": {},
         "chaos": {},
+        "gateway": {},
     }
 
     with ServerThread(port=0, max_delay_s=MAX_DELAY_S) as st:
@@ -223,6 +397,7 @@ def run_benchmarks(quick: bool = False) -> dict:
     print(f"  sharded-vs-single speedup: "
           f"{payload['sharded']['speedup_sharded_vs_single']:.2f}x")
     payload["chaos"] = run_chaos(quick, x)
+    payload["gateway"] = run_gateway(quick, x)
     return payload
 
 

@@ -36,11 +36,12 @@ SUITES = {
 }
 
 #: suite -> payload sections a candidate run must populate. The server
-#: suite's chaos section is validated structurally (its absolute rps is
-#: machine-dependent, but a fresh run must have *completed* requests
-#: through the fault proxy — the quick-mode chaos smoke).
+#: suite's chaos and gateway sections are validated structurally (their
+#: absolute rps is machine-dependent, but a fresh run must have
+#: *completed* requests — through the fault proxy for chaos, and with
+#: exactly matching /metrics counters for the gateway).
 REQUIRED_SECTIONS = {
-    "server": ("arms", "sharded", "chaos"),
+    "server": ("arms", "sharded", "chaos", "gateway"),
 }
 
 
@@ -56,6 +57,38 @@ def check_sections(suite: str, candidate: dict) -> list[str]:
         if not load.get("requests"):
             failures.append("server: chaos section completed no requests "
                             "through the fault proxy")
+    if suite == "server" and candidate.get("gateway"):
+        failures += _check_gateway_section(candidate["gateway"])
+    return failures
+
+
+def _check_gateway_section(gateway: dict) -> list[str]:
+    """The gateway scaling curve must be complete and self-consistent:
+    every replica point present and loaded, every ``scaling_*`` ratio
+    recorded, and the /metrics counters an *exact* match against the
+    harness's own completed-request tally."""
+    failures = []
+    points = gateway.get("points", {})
+    for key in ("r1", "r2", "r4"):
+        point = points.get(key)
+        if not point:
+            failures.append(f"server: gateway section is missing the "
+                            f"'{key}' replica point")
+            continue
+        if not point.get("requests"):
+            failures.append(f"server: gateway point '{key}' completed "
+                            f"no requests")
+        cross = gateway.get("metrics_crosscheck", {}).get(key, {})
+        if not cross.get("matched"):
+            failures.append(
+                f"server: gateway point '{key}' /metrics counters do "
+                f"not match the harness tally "
+                f"({cross.get('metrics_requests_total')} vs "
+                f"{cross.get('harness_completed')})")
+    for ratio in ("scaling_r2_vs_r1", "scaling_r4_vs_r1"):
+        if not isinstance(gateway.get(ratio), (int, float)):
+            failures.append(f"server: gateway section is missing the "
+                            f"'{ratio}' ratio")
     return failures
 
 

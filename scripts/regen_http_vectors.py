@@ -1,0 +1,259 @@
+"""Regenerate the golden HTTP vectors for the gateway.
+
+Run:  PYTHONPATH=src python scripts/regen_http_vectors.py --regen
+
+Writes ``tests/golden/http_vectors.json``: for the m2xfp / elem-em /
+m2-nvfp4 arms it pins the canonical quantize **request body** (the JSON
+encoding; the octet-stream variant's query string is pinned alongside)
+and the complete **HTTP response bytes** — status line, the fixed
+header set, and the canonical-JSON or packed-container body. Response
+bodies are built under *all three* dispatch modes and asserted
+byte-identical before one is pinned: dispatch changes the compute
+path, never the bits or the body.
+
+Also pinned: the full error-status contract (one response per typed
+exception — ``FormatError``/``ConfigError``/``CodecError`` → 4xx,
+``BUSY``/``DRAINING`` → 503 + ``Retry-After``, transport failures →
+502/504, plus the 404/405/413 HTTP-shape answers), the ``/healthz``
+bodies for every cluster condition, and the ``/metrics`` rendering of
+a fixed synthetic stats snapshot (schema + exact text).
+
+``tests/test_gateway.py`` rebuilds everything through the same pure
+builders (``repro.gateway.http``, ``render_metrics``,
+``healthz_summary``) and compares bytes — and checks a **live**
+gateway serves exactly the pinned bytes for the quantize and error
+cases. Run with ``--regen`` only when the HTTP contract changes
+intentionally, and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro import errors
+from repro.codec import encode
+from repro.gateway import healthz_summary, render_metrics
+from repro.gateway import http as ghttp
+from repro.runner.formats import make_format
+from repro.serve.service import DISPATCH_MODES
+
+GOLDEN_PATH = Path(__file__).resolve().parent.parent / "tests" / \
+    "golden" / "http_vectors.json"
+
+#: The arms whose request/response bodies are pinned.
+PINNED = ("m2xfp", "elem-em", "m2-nvfp4")
+
+
+def _fixed_input() -> np.ndarray:
+    """A deterministic (2, 64) tensor hitting zeros, ties and outliers."""
+    rng = np.random.default_rng(20260807)
+    x = rng.standard_normal((2, 64)) * np.exp(rng.standard_normal((2, 64)))
+    x[0, 0:5] = [0.0, -0.0, 1e-30, 640.0, -0.4375]
+    x[1, 7] = -6.0 * 2.0 ** 5
+    return x
+
+
+def _quantize_case(x: np.ndarray, name: str, op: str,
+                   packed: bool) -> dict:
+    """One pinned arm: request encodings + the exact response bytes."""
+    fmt = make_format(name)
+    request_fields = {
+        "data_b64": base64.b64encode(x.tobytes()).decode("ascii"),
+        "dispatch": "inherit",
+        "format": name,
+        "op": op,
+        "packed": packed,
+        "shape": list(x.shape),
+    }
+    query = (f"format={name}&op={op}&shape="
+             f"{','.join(str(d) for d in x.shape)}"
+             f"&packed={'1' if packed else '0'}")
+    responses = set()
+    for dispatch in DISPATCH_MODES:
+        from repro.server.client import local_expected
+        result = local_expected(x, fmt=name, op=op, dispatch=dispatch,
+                                packed=packed)
+        responses.add(ghttp.quantize_response(
+            result, fmt=name, op=op, packed=packed,
+            fingerprint=repr(fmt)).to_bytes())
+    assert len(responses) == 1, \
+        f"{name}:{op} response bytes differ across dispatch modes"
+    if packed:
+        pt = encode(fmt, x, op=op, axis=-1, verify=True)
+        assert pt.to_bytes() in next(iter(responses))
+    return {
+        "format": name,
+        "op": op,
+        "packed": packed,
+        "request_json": ghttp.canonical_json(request_fields).decode(),
+        "request_query": query,
+        "response_hex": next(iter(responses)).hex(),
+    }
+
+
+#: Every status the error contract maps: (case key, exception factory).
+#: Messages are fixed strings so the pinned bytes are stable.
+ERROR_CASES = (
+    ("config_error_400",
+     errors.ConfigError("unknown format 'nope'")),
+    ("protocol_error_400",
+     errors.ProtocolError("bad frame magic")),
+    ("format_error_422",
+     errors.FormatError("value overflows the target format")),
+    ("codec_error_422",
+     errors.CodecError("packed container magic mismatch")),
+    ("busy_503",
+     errors.ServerBusy("server at max in-flight (64); retry")),
+    ("draining_503",
+     errors.ServerDraining("server is draining for shutdown; "
+                           "reconnect and retry")),
+    ("timeout_504",
+     errors.RequestTimeout("no response to request 1 within 30s")),
+    ("connection_lost_502",
+     errors.ConnectionLost("server closed the connection before "
+                           "answering request 1")),
+    ("retry_budget_502",
+     errors.RetryBudgetExceeded("m2xfp:weight quantize failed after "
+                                "3 attempts")),
+    ("server_error_502",
+     errors.ServerError("worker failed internally")),
+    ("crash_loop_502",
+     errors.WorkerCrashLoop("worker slot 0 crashed 6 times; restart "
+                            "budget 5 exhausted")),
+    ("internal_500",
+     RuntimeError("unexpected failure")),
+    ("not_found_404",
+     ghttp._HttpError(404, "no route for /nope; try /v1/quantize, "
+                           "/healthz, /metrics")),
+    ("method_not_allowed_405",
+     ghttp._HttpError(405, "GET not allowed on /v1/quantize; use POST")),
+    ("payload_too_large_413",
+     ghttp._HttpError(413, "request body of 999 bytes exceeds the "
+                           "8-byte limit")),
+)
+
+
+#: Fixed synthetic cluster snapshots for /healthz and /metrics pinning.
+def _replica(state: str, failures: int = 0, ejected: bool = False,
+             hits: int = 0) -> dict:
+    return {"state": state, "ejected": ejected,
+            "consecutive_failures": failures,
+            "health": {"draining": state == "draining",
+                       "services": {"arms": 2, "requests": 10,
+                                    "batches": 5,
+                                    "weight_cache_hits": hits}}}
+
+
+HEALTH_SNAPSHOTS = {
+    "ok": {"requests_total": 42,
+           "replicas": {"127.0.0.1:7431": _replica("up", hits=3),
+                        "127.0.0.1:7432": _replica("up")}},
+    "degraded": {"requests_total": 42,
+                 "replicas": {"127.0.0.1:7431": _replica("up"),
+                              "127.0.0.1:7432": _replica("down", 2)}},
+    "ejected_degraded": {
+        "requests_total": 42,
+        "replicas": {"127.0.0.1:7431": _replica("up"),
+                     "127.0.0.1:7432": _replica("down", 5,
+                                                ejected=True)}},
+    "down": {"requests_total": 42,
+             "replicas": {"127.0.0.1:7431": _replica("down", 4,
+                                                     ejected=True),
+                          "127.0.0.1:7432": _replica("down", 3,
+                                                     ejected=True)}},
+}
+
+METRICS_SNAPSHOT = {
+    "uptime_s": 12.5,
+    "requests_total": 42,
+    "http_status": {"200": 40, "400": 1, "503": 1},
+    "arms": {
+        "m2xfp:weight:packed": {"requests": 30, "rps": 2.4,
+                                "p50_ms": 1.25, "p99_ms": 4.5},
+        "elem-em:activation:unpacked": {"requests": 12, "rps": 0.96,
+                                        "p50_ms": 0.75, "p99_ms": 2.0},
+    },
+    "upstream": {"busy": 1, "draining": 2, "failovers": 3,
+                 "no_replica": 0, "probe_failures": 4},
+    "replica_requests": {"127.0.0.1:7431": 30, "127.0.0.1:7432": 12},
+    "replicas": {"127.0.0.1:7431": _replica("up", hits=7),
+                 "127.0.0.1:7432": _replica("down", 1)},
+}
+
+
+def build_payload() -> dict:
+    x = _fixed_input()
+    payload = {
+        "input_hex": [float(v).hex() for v in x.ravel()],
+        "shape": list(x.shape),
+        "quantize": {},
+        "errors": {},
+        "healthz": {},
+        "metrics": {},
+    }
+    for name in PINNED:
+        for op, packed in (("activation", False), ("weight", True)):
+            key = f"{name}:{op}:{'packed' if packed else 'raw'}"
+            payload["quantize"][key] = _quantize_case(x, name, op, packed)
+    for key, exc in ERROR_CASES:
+        response = ghttp.error_response(exc)
+        payload["errors"][key] = {
+            "exc_type": ("ConfigError" if isinstance(exc, ghttp._HttpError)
+                         else type(exc).__name__),
+            "message": str(exc),
+            "status": response.status,
+            "retry_after": dict(response.extra_headers).get("retry-after"),
+            "response_hex": response.to_bytes().hex(),
+        }
+    for key, snapshot in HEALTH_SNAPSHOTS.items():
+        for draining in ((False, True) if key == "ok" else (False,)):
+            code, body = healthz_summary(snapshot, draining)
+            label = "draining" if draining else key
+            payload["healthz"][label] = {
+                "snapshot": snapshot,
+                "status": code,
+                "body": json.loads(ghttp.canonical_json(body)),
+                "response_hex":
+                    ghttp.json_response(body,
+                                        status=code).to_bytes().hex(),
+            }
+    text = render_metrics(METRICS_SNAPSHOT)
+    payload["metrics"] = {
+        "snapshot": METRICS_SNAPSHOT,
+        "text": text,
+        "metric_names": sorted({
+            line.split()[2] for line in text.splitlines()
+            if line.startswith("# TYPE ")}),
+    }
+    return payload
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--regen", action="store_true",
+                        help="actually overwrite the golden file")
+    ns = parser.parse_args()
+    payload = build_payload()
+    if not ns.regen:
+        print("dry run (use --regen to write); cases:")
+        for key, case in payload["quantize"].items():
+            print(f"  {key:28s} response "
+                  f"{len(case['response_hex']) // 2:5d} B")
+        print(f"  + {len(payload['errors'])} error mappings, "
+              f"{len(payload['healthz'])} healthz states, "
+              f"{len(payload['metrics']['metric_names'])} metrics")
+        return
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    with open(GOLDEN_PATH, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,7 +3,9 @@
 Thin shell over :mod:`repro.runner.cli` — ``run`` / ``list`` / ``sweep``
 subcommands with ``--jobs`` sharding and the content-addressed result
 cache, plus ``serve`` (the asyncio TCP quantization server in
-:mod:`repro.server`, optionally sharded over ``--workers`` processes).
+:mod:`repro.server`, optionally sharded over ``--workers`` processes)
+and ``gateway`` (the HTTP front-end in :mod:`repro.gateway`, routing
+across ``--replicas`` consistent-hashed ``QuantServer`` replicas).
 The pre-runner style (``python -m repro tbl3 [--full]``) still works as
 an alias for ``run``.
 """

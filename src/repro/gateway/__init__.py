@@ -1,0 +1,29 @@
+"""HTTP gateway + multi-replica cluster routing.
+
+The serving tier above ``repro.server``: an asyncio HTTP/1.1 JSON
+front-end (``POST /v1/quantize``, ``GET /healthz``, ``GET /metrics``)
+that proxies onto the binary wire protocol and spreads requests across
+N ``QuantServer`` replicas by consistent hashing on the format
+fingerprint, with probe-fed health tracking and DRAIN-aware failover
+riding the retry-idempotency contract (DESIGN.md §9).
+
+Entry points: ``python -m repro gateway`` (CLI),
+:class:`GatewayThread` (in-process, for tests/benchmarks),
+:class:`ReplicaCluster` (local replica topology).
+"""
+
+from .cluster import DEFAULT_REPLICAS, REPLICAS_ENV, ReplicaCluster
+from .gateway import (DEFAULT_GATEWAY_PORT, DEFAULT_PROBE_INTERVAL_S,
+                      GATEWAY_PORT_ENV, PROBE_INTERVAL_ENV, GatewayStats,
+                      GatewayThread, QuantGateway, healthz_summary,
+                      parse_endpoint, render_metrics, run_gateway)
+from .router import DEFAULT_VNODES, HASH_SEED_ENV, HashRing
+
+__all__ = [
+    "HashRing", "HASH_SEED_ENV", "DEFAULT_VNODES",
+    "QuantGateway", "GatewayThread", "GatewayStats", "run_gateway",
+    "render_metrics", "healthz_summary", "parse_endpoint",
+    "GATEWAY_PORT_ENV", "PROBE_INTERVAL_ENV",
+    "DEFAULT_GATEWAY_PORT", "DEFAULT_PROBE_INTERVAL_S",
+    "ReplicaCluster", "REPLICAS_ENV", "DEFAULT_REPLICAS",
+]

@@ -1,0 +1,149 @@
+"""Consistent-hash routing for the multi-replica gateway.
+
+The cluster router's job is **cache affinity**: every upstream
+``QuantServer`` replica owns a compiled-plan cache and a weight memo
+keyed by the format's configuration fingerprint, so spreading one
+format's traffic across replicas would rebuild the same plans N times
+and memo-miss every repeated weight. :class:`HashRing` places each
+format fingerprint on one replica (with a deterministic failover order
+behind it), and keeps placements **stable under membership changes**:
+when a replica joins or leaves, only the keys whose arc it owns move —
+the classic consistent-hashing guarantee, property-tested in
+``tests/test_gateway_router.py``.
+
+Determinism is a hard requirement: the same catalog must land on the
+same replicas in every process (the gateway restarts, the bench
+harness re-derives placements, tests pin them), so ring points come
+from ``hashlib.blake2b`` over the seed and the label — never from
+``hash()``, whose randomization (``PYTHONHASHSEED``) would scramble
+placement per process.
+
+Example::
+
+    from repro.gateway import HashRing
+
+    ring = HashRing(["127.0.0.1:7431", "127.0.0.1:7432"], seed=0)
+    ring.route("M2XFP(...)")        # -> the owning replica
+    ring.preference("M2XFP(...)")   # -> [owner, first failover, ...]
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from ..errors import ConfigError
+from ..server.server import _env_int
+
+__all__ = ["HashRing", "HASH_SEED_ENV", "DEFAULT_VNODES"]
+
+#: Environment knob (documented in the README's env-knob table).
+HASH_SEED_ENV = "REPRO_GATEWAY_HASH_SEED"
+
+#: Virtual nodes per replica: enough for a balanced catalog split
+#: without making membership changes expensive.
+DEFAULT_VNODES = 64
+
+
+def _u64(seed: int, label: str) -> int:
+    """A stable 64-bit ring point for ``label`` under ``seed``."""
+    digest = hashlib.blake2b(f"{seed}|{label}".encode("utf-8"),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "big")
+
+
+class HashRing:
+    """Deterministic consistent-hash ring over named replicas.
+
+    Parameters
+    ----------
+    replicas:
+        Initial replica names (any non-empty strings; the gateway uses
+        ``host:port``).
+    seed:
+        Ring salt — all placements change together under a new seed
+        (``None`` reads ``REPRO_GATEWAY_HASH_SEED``, default 0).
+    vnodes:
+        Virtual nodes per replica; more points balance better and
+        remap less, at ring-build cost.
+    """
+
+    def __init__(self, replicas=(), *, seed: int | None = None,
+                 vnodes: int = DEFAULT_VNODES) -> None:
+        self.seed = _env_int(HASH_SEED_ENV, 0) if seed is None else int(seed)
+        if vnodes < 1:
+            raise ConfigError("vnodes must be >= 1")
+        self.vnodes = int(vnodes)
+        self._members: set[str] = set()
+        #: Sorted (point, replica) pairs; the replica in the tuple also
+        #: tie-breaks equal points deterministically.
+        self._points: list[tuple[int, str]] = []
+        for name in replicas:
+            self.add(name)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> list[str]:
+        """Current replica names, sorted."""
+        return sorted(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def add(self, name: str) -> None:
+        """Join a replica: only keys on its new arcs remap onto it."""
+        if not name or not isinstance(name, str):
+            raise ConfigError(f"replica name must be a non-empty string, "
+                              f"got {name!r}")
+        if name in self._members:
+            raise ConfigError(f"replica {name!r} is already on the ring")
+        self._members.add(name)
+        for v in range(self.vnodes):
+            bisect.insort(self._points, (_u64(self.seed, f"{name}#{v}"),
+                                         name))
+
+    def remove(self, name: str) -> None:
+        """Leave: only keys the replica owned remap (to their successors)."""
+        if name not in self._members:
+            raise ConfigError(f"replica {name!r} is not on the ring")
+        self._members.discard(name)
+        self._points = [p for p in self._points if p[1] != name]
+
+    # ------------------------------------------------------------------
+    # Placement
+    # ------------------------------------------------------------------
+    def route(self, key: str) -> str:
+        """The replica owning ``key`` (first point clockwise of its hash)."""
+        if not self._points:
+            raise ConfigError("cannot route on an empty ring")
+        idx = bisect.bisect_right(self._points,
+                                  (_u64(self.seed, key), "￿"))
+        return self._points[idx % len(self._points)][1]
+
+    def preference(self, key: str, limit: int | None = None) -> list[str]:
+        """Distinct replicas in ring order from ``key`` — failover order.
+
+        ``preference(key)[0] == route(key)``; the rest is the stable
+        order a request falls over in when the owner is unreachable.
+        """
+        if not self._points:
+            raise ConfigError("cannot route on an empty ring")
+        bound = len(self._members) if limit is None else min(
+            int(limit), len(self._members))
+        start = bisect.bisect_right(self._points,
+                                    (_u64(self.seed, key), "￿"))
+        out: list[str] = []
+        seen: set[str] = set()
+        for i in range(len(self._points)):
+            name = self._points[(start + i) % len(self._points)][1]
+            if name not in seen:
+                seen.add(name)
+                out.append(name)
+                if len(out) >= bound:
+                    break
+        return out

@@ -7,6 +7,7 @@ Usage::
     python -m repro run all --jobs 4
     python -m repro sweep --formats mxfp4,m2xfp --profiles llama2-7b
     python -m repro serve --port 7421 --workers 2
+    python -m repro gateway --port 7420 --replicas 2
 
 The pre-runner invocation style (``python -m repro tbl3 [--full]``) is
 kept as an alias for ``run``: a first argument that is a known
@@ -86,6 +87,44 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-restart", action="store_true",
                        help="disable worker supervision/restart "
                             "(pool mode)")
+
+    gateway = sub.add_parser(
+        "gateway", help="HTTP front-end over N server replicas "
+                        "(repro.gateway)")
+    gateway.add_argument("--host", default="127.0.0.1")
+    gateway.add_argument("--port", type=int, default=None,
+                         help="HTTP port (default REPRO_GATEWAY_PORT or "
+                              "7420; 0 binds an ephemeral port)")
+    gateway.add_argument("--replicas", type=int, default=None,
+                         help="QuantServer replicas to launch locally "
+                              "(default REPRO_GATEWAY_REPLICAS or 2; "
+                              "ignored with --upstream)")
+    gateway.add_argument("--upstream", default=None,
+                         help="comma-separated host:port of already-"
+                              "running replicas (skips launching any)")
+    gateway.add_argument("--hash-seed", type=int, default=None,
+                         help="consistent-hash ring salt (default "
+                              "REPRO_GATEWAY_HASH_SEED or 0)")
+    gateway.add_argument("--probe-interval-s", type=float, default=None,
+                         help="replica PING/HEALTH probe period (default "
+                              "REPRO_GATEWAY_PROBE_INTERVAL_S or 1.0)")
+    gateway.add_argument("--upstream-timeout-s", type=float, default=30.0,
+                         help="deadline per upstream attempt "
+                              "(default 30)")
+    gateway.add_argument("--max-inflight", type=int, default=None,
+                         help="per-replica admission bound (default "
+                              "REPRO_SERVER_MAX_INFLIGHT or 64; launched "
+                              "replicas only)")
+    gateway.add_argument("--max-batch", type=int, default=64,
+                         help="micro-batch size limit per replica "
+                              "service (default 64)")
+    gateway.add_argument("--max-delay-s", type=float, default=0.002,
+                         help="micro-batch collection window in seconds "
+                              "(default 0.002)")
+    gateway.add_argument("--drain-timeout-s", type=float, default=30.0,
+                         help="bound on finishing in-flight requests "
+                              "during a SIGTERM graceful drain "
+                              "(default 30)")
     return parser
 
 
@@ -211,6 +250,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_gateway(args: argparse.Namespace) -> int:
+    import contextlib
+    import signal
+
+    from ..gateway import QuantGateway, ReplicaCluster, run_gateway
+    server_kwargs = dict(max_inflight=args.max_inflight,
+                         max_batch=args.max_batch,
+                         max_delay_s=args.max_delay_s)
+    with contextlib.ExitStack() as stack:
+        if args.upstream:
+            upstreams = [u.strip() for u in args.upstream.split(",")
+                         if u.strip()]
+        else:
+            cluster = stack.enter_context(
+                ReplicaCluster(replicas=args.replicas, host=args.host,
+                               **server_kwargs))
+            stack.callback(cluster.drain)  # graceful before close() reaps
+            upstreams = cluster.endpoints
+        gateway = QuantGateway(
+            upstreams, host=args.host, port=args.port,
+            hash_seed=args.hash_seed,
+            probe_interval_s=args.probe_interval_s,
+            upstream_timeout_s=args.upstream_timeout_s,
+            drain_timeout_s=args.drain_timeout_s)
+        # run_gateway installs SIGTERM -> gateway drain (main thread);
+        # once it returns, the stack drains + reaps the local replicas.
+        run_gateway(gateway, ready=lambda port: print(
+            f"gateway on {args.host}:{port} over "
+            f"{len(upstreams)} replica(s): {', '.join(upstreams)}",
+            flush=True))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
     # Legacy alias: `python -m repro tbl3 [--full]` == `run tbl3 [--full]`.
@@ -218,7 +290,7 @@ def main(argv: list[str] | None = None) -> int:
     # alias triggers whenever every positional is a known experiment id.
     positional = [a for a in args if not a.startswith("-")]
     if positional and positional[0] not in ("run", "list", "sweep",
-                                            "serve") and \
+                                            "serve", "gateway") and \
             all(p in EXPERIMENTS for p in positional):
         args = ["run"] + args
     parser = build_parser()
@@ -236,6 +308,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_sweep(ns)
         if ns.command == "serve":
             return _cmd_serve(ns)
+        if ns.command == "gateway":
+            return _cmd_gateway(ns)
     except (ReproError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -217,13 +217,29 @@ class QuantServer:
         return self._draining
 
     def health_info(self) -> dict:
-        """The report a ``PING`` is answered with."""
+        """The report a ``PING`` is answered with.
+
+        ``services`` aggregates the per-arm ``QuantService`` counters
+        (notably ``weight_cache_hits``) so upstream observers — the
+        gateway's ``/metrics`` — see cache behaviour without a side
+        channel.
+        """
+        services = {"arms": len(self._services), "requests": 0,
+                    "batches": 0, "weight_cache_hits": 0}
+        for svc in list(self._services.values()):
+            try:
+                svc_stats = svc.stats()
+            except Exception:
+                continue  # a closing service: skip, health stays cheap
+            for key in ("requests", "batches", "weight_cache_hits"):
+                services[key] += int(svc_stats.get(key, 0))
         return {"status": "draining" if self._draining else "ok",
                 "draining": self._draining,
                 "inflight": self._inflight,
                 "max_inflight": self.max_inflight,
                 "protocol_version": protocol.PROTOCOL_VERSION,
-                "stats": dict(self.stats)}
+                "stats": dict(self.stats),
+                "services": services}
 
     def _start_drain(self) -> None:
         """Loop-side drain entry (idempotent)."""

@@ -11,8 +11,8 @@ host:port and land on some worker.
 The pool is **supervised**: a monitor thread detects dead workers and
 restarts them on the shared port with exponential backoff, so a
 SIGKILLed or crashed worker shrinks capacity only for the restart
-window — never forever. Restarts and exit codes are accounted in
-:attr:`stats`; a worker that keeps dying trips the **crash-loop
+window — never forever. Restarts and exit codes are accounted by
+:meth:`stats`; a worker that keeps dying trips the **crash-loop
 budget** (``max_restarts`` per slot, ``REPRO_SERVER_MAX_RESTARTS``)
 and surfaces a hard :class:`~repro.errors.WorkerCrashLoop` through
 :meth:`check` / :meth:`join` instead of flapping silently. Workers
@@ -20,7 +20,10 @@ that exit cleanly (a drain, ``--max-requests``) are *not* restarted.
 
 ``close()`` reaps every child with a bounded join, escalating
 ``terminate()`` (SIGTERM — a graceful in-worker drain) to ``kill()``:
-no zombie processes survive a failed test run.
+no zombie processes survive a failed test run, and every exit the
+close reaps is accounted in :meth:`stats` exactly once — including
+workers that died earlier without a supervisor watching
+(``restart=False`` pools).
 
 Why sharding beats one process even before counting cores: each
 worker's micro-batching service idles its CPU for up to ``max_delay_s``
@@ -138,7 +141,8 @@ class WorkerPool:
         self.poll_interval_s = float(poll_interval_s)
         self.reap_timeout_s = float(reap_timeout_s)
         self._server_kwargs = dict(server_kwargs)
-        self.stats = {"restarts": 0, "exits": []}
+        self._stats = {"restarts": 0, "exits": []}
+        self._recorded_pids: set[int] = set()
         self._procs: list = []
         self._slot_restarts: list[int] = []
         self._slot_spawned_at: list[float] = []
@@ -212,9 +216,7 @@ class WorkerPool:
                         continue
                     exitcode = proc.exitcode
                     proc.join()  # reap promptly: no zombie between polls
-                    self.stats["exits"].append(
-                        {"slot": slot, "pid": proc.pid,
-                         "exitcode": exitcode})
+                    self._record_exit_locked(slot, proc.pid, exitcode)
                     if exitcode == 0:
                         # Deliberate exit (drain / max_requests): this
                         # slot is done, not crashed.
@@ -245,9 +247,8 @@ class WorkerPool:
                     except ConfigError as exc:
                         # A failed respawn is itself a crash: it eats
                         # budget and the loop tries again (or trips).
-                        self.stats["exits"].append(
-                            {"slot": slot, "pid": None,
-                             "exitcode": f"respawn failed: {exc}"})
+                        self._record_exit_locked(
+                            slot, None, f"respawn failed: {exc}")
                         if self._slot_restarts[slot] >= self.max_restarts:
                             self._failure = WorkerCrashLoop(
                                 f"worker slot {slot}: respawn failed "
@@ -258,7 +259,29 @@ class WorkerPool:
                         continue
                     self._procs[slot] = proc
                     self._slot_spawned_at[slot] = time.monotonic()
-                    self.stats["restarts"] += 1
+                    self._stats["restarts"] += 1
+
+    def _record_exit_locked(self, slot: int, pid, exitcode) -> None:
+        """Account one worker exit (caller holds ``self._lock`` or is
+        the only live accessor); each pid is recorded at most once."""
+        if pid is not None:
+            if pid in self._recorded_pids:
+                return
+            self._recorded_pids.add(pid)
+        self._stats["exits"].append(
+            {"slot": slot, "pid": pid, "exitcode": exitcode})
+
+    def stats(self) -> dict:
+        """Snapshot of the restart/exit accounting.
+
+        ``{"restarts": <supervised respawns>, "exits": [{"slot",
+        "pid", "exitcode"}, ...]}`` — every worker exit appears exactly
+        once, whether the supervisor reaped it live or :meth:`close`
+        reaped it during teardown.
+        """
+        with self._lock:
+            return {"restarts": self._stats["restarts"],
+                    "exits": [dict(e) for e in self._stats["exits"]]}
 
     def check(self) -> None:
         """Raise :class:`WorkerCrashLoop` if the restart budget tripped."""
@@ -286,6 +309,14 @@ class WorkerPool:
         for proc in procs:
             if proc.is_alive():
                 proc.join(timeout=5.0)
+        with self._lock:
+            # Account the exits this reap produced (and any that died
+            # unsupervised, e.g. restart=False pools) exactly once —
+            # the supervisor's records are pid-deduplicated above.
+            for slot, proc in enumerate(self._procs):
+                if proc is not None and proc.exitcode is not None:
+                    self._record_exit_locked(slot, proc.pid,
+                                             proc.exitcode)
         self._procs = []
         self._slot_restarts = []
         self._slot_spawned_at = []

@@ -408,11 +408,11 @@ def test_sigkilled_worker_restarts_without_client_failures(rng):
             for _ in range(20):
                 _expect_exact(cli, x, fmt="m2xfp")
         deadline = time.monotonic() + 30.0
-        while pool.stats["restarts"] < 1 and time.monotonic() < deadline:
+        while pool.stats()["restarts"] < 1 and time.monotonic() < deadline:
             time.sleep(0.05)
-        assert pool.stats["restarts"] >= 1
+        assert pool.stats()["restarts"] >= 1
         assert any(e["exitcode"] == -signal.SIGKILL
-                   for e in pool.stats["exits"])
+                   for e in pool.stats()["exits"])
         deadline = time.monotonic() + 30.0
         while pool.alive() < 2 and time.monotonic() < deadline:
             time.sleep(0.05)
@@ -486,7 +486,7 @@ def test_clean_worker_exit_is_not_restarted(rng):
         while not pool._done_slots and time.monotonic() < deadline:
             time.sleep(0.05)
         assert 0 in pool._done_slots
-        assert pool.stats["restarts"] == 0
-        assert pool.stats["exits"] and \
-            pool.stats["exits"][-1]["exitcode"] == 0
+        assert pool.stats()["restarts"] == 0
+        assert pool.stats()["exits"] and \
+            pool.stats()["exits"][-1]["exitcode"] == 0
         pool.join()  # all slots done -> returns promptly

@@ -1,0 +1,196 @@
+"""Property tests for the gateway's consistent-hash router.
+
+The router's contract (DESIGN.md §9): deterministic placement (same
+catalog -> same replicas in every process, independent of
+``PYTHONHASHSEED``), load balance within bound, and the consistent-
+hashing guarantee — a membership change only remaps the keys whose
+arcs it touches.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.gateway import HashRing
+from repro.runner.formats import list_formats, make_format
+
+REPLICAS = [f"10.0.0.{i}:7421" for i in range(1, 5)]
+
+
+def catalog_fingerprints() -> list[str]:
+    """The real route keys: one fingerprint per catalog format."""
+    return [repr(make_format(name)) for name in list_formats()]
+
+
+def synthetic_keys(n: int = 2000) -> list[str]:
+    return [f"Format(key={i})" for i in range(n)]
+
+
+# ----------------------------------------------------------------------
+# Load balance
+# ----------------------------------------------------------------------
+def test_synthetic_load_balance_within_bound():
+    ring = HashRing(REPLICAS, seed=0)
+    counts = Counter(ring.route(k) for k in synthetic_keys())
+    expected = 2000 / len(REPLICAS)
+    assert set(counts) == set(REPLICAS), "every replica must own keys"
+    for name, n in counts.items():
+        assert 0.5 * expected <= n <= 1.6 * expected, \
+            f"{name} owns {n} of 2000 keys (expected ~{expected:.0f})"
+
+
+def test_catalog_spreads_over_replicas():
+    """The 21 real fingerprints spread: no replica hoards the catalog."""
+    fingerprints = catalog_fingerprints()
+    assert len(fingerprints) == len(list_formats()) >= 21
+    ring = HashRing(REPLICAS, seed=0)
+    counts = Counter(ring.route(fp) for fp in fingerprints)
+    assert len(counts) >= 3, "catalog collapsed onto too few replicas"
+    assert max(counts.values()) <= len(fingerprints) // 2, \
+        f"one replica owns half the catalog: {counts}"
+
+
+def test_each_format_pins_to_exactly_one_replica():
+    ring = HashRing(REPLICAS, seed=0)
+    for fp in catalog_fingerprints():
+        owners = {ring.route(fp) for _ in range(10)}
+        assert len(owners) == 1  # stable: cache affinity
+
+
+# ----------------------------------------------------------------------
+# Minimal remapping under membership changes
+# ----------------------------------------------------------------------
+def test_join_moves_only_keys_onto_the_new_replica():
+    keys = synthetic_keys()
+    ring = HashRing(REPLICAS, seed=0)
+    before = {k: ring.route(k) for k in keys}
+    newcomer = "10.0.0.5:7421"
+    ring.add(newcomer)
+    after = {k: ring.route(k) for k in keys}
+    moved = [k for k in keys if before[k] != after[k]]
+    assert all(after[k] == newcomer for k in moved), \
+        "a join may only remap keys onto the joining replica"
+    # Expected share: 1/(n+1) of keys; allow 2x slack on the bound.
+    assert 0 < len(moved) <= 2.0 * len(keys) / (len(REPLICAS) + 1), \
+        f"join remapped {len(moved)} of {len(keys)} keys"
+
+
+def test_leave_moves_only_the_leavers_keys():
+    keys = synthetic_keys()
+    ring = HashRing(REPLICAS, seed=0)
+    before = {k: ring.route(k) for k in keys}
+    leaver = REPLICAS[2]
+    ring.remove(leaver)
+    after = {k: ring.route(k) for k in keys}
+    moved = [k for k in keys if before[k] != after[k]]
+    assert moved and all(before[k] == leaver for k in moved), \
+        "a leave may only remap the leaving replica's own keys"
+    assert all(after[k] != leaver for k in keys)
+
+
+def test_join_then_leave_is_identity():
+    keys = synthetic_keys(500)
+    ring = HashRing(REPLICAS, seed=0)
+    before = {k: ring.route(k) for k in keys}
+    ring.add("10.0.0.9:7421")
+    ring.remove("10.0.0.9:7421")
+    assert {k: ring.route(k) for k in keys} == before
+
+
+# ----------------------------------------------------------------------
+# Determinism
+# ----------------------------------------------------------------------
+def _placement(ring: HashRing) -> dict:
+    return {fp: ring.route(fp) for fp in catalog_fingerprints()}
+
+
+def test_placement_identical_across_processes():
+    """No ``hash()`` anywhere: PYTHONHASHSEED cannot scramble routing."""
+    script = (
+        "import json\n"
+        "from repro.gateway import HashRing\n"
+        "from repro.runner.formats import list_formats, make_format\n"
+        f"ring = HashRing({REPLICAS!r}, seed=0)\n"
+        "print(json.dumps({repr(make_format(n)): "
+        "ring.route(repr(make_format(n))) for n in list_formats()},"
+        " sort_keys=True))\n")
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    outs = []
+    for hashseed in ("0", "1", "424242"):
+        proc = subprocess.run(
+            [sys.executable, "-c", script], capture_output=True,
+            text=True, check=True,
+            env={"PYTHONPATH": src, "PYTHONHASHSEED": hashseed,
+                 "PATH": "/usr/bin:/bin"})
+        outs.append(proc.stdout.strip())
+    assert outs[0] == outs[1] == outs[2]
+    import json
+    assert json.loads(outs[0]) == _placement(HashRing(REPLICAS, seed=0))
+
+
+def test_seed_rotates_placements_together():
+    keys = synthetic_keys(500)
+    a = HashRing(REPLICAS, seed=0)
+    b = HashRing(REPLICAS, seed=1)
+    assert any(a.route(k) != b.route(k) for k in keys), \
+        "a new seed must actually reshuffle the ring"
+    # ... but each seed is itself stable.
+    assert {k: b.route(k) for k in keys} == \
+        {k: HashRing(REPLICAS, seed=1).route(k) for k in keys}
+
+
+def test_insertion_order_does_not_matter():
+    keys = synthetic_keys(500)
+    fwd = HashRing(REPLICAS, seed=0)
+    rev = HashRing(list(reversed(REPLICAS)), seed=0)
+    assert {k: fwd.route(k) for k in keys} == \
+        {k: rev.route(k) for k in keys}
+
+
+# ----------------------------------------------------------------------
+# Preference (failover) order
+# ----------------------------------------------------------------------
+def test_preference_head_is_the_route():
+    ring = HashRing(REPLICAS, seed=0)
+    for fp in catalog_fingerprints():
+        pref = ring.preference(fp)
+        assert pref[0] == ring.route(fp)
+        assert sorted(pref) == sorted(REPLICAS)  # all, each once
+        assert ring.preference(fp, limit=2) == pref[:2]
+
+
+def test_preference_survives_owner_removal():
+    """Failover target = the next preference entry, by construction."""
+    ring = HashRing(REPLICAS, seed=0)
+    for fp in catalog_fingerprints():
+        owner, runner_up = ring.preference(fp)[:2]
+        ring.remove(owner)
+        assert ring.route(fp) == runner_up
+        ring.add(owner)
+        assert ring.route(fp) == owner  # restored exactly
+
+
+# ----------------------------------------------------------------------
+# Config errors
+# ----------------------------------------------------------------------
+def test_ring_config_errors():
+    ring = HashRing(REPLICAS, seed=0)
+    with pytest.raises(ConfigError):
+        ring.add(REPLICAS[0])  # duplicate
+    with pytest.raises(ConfigError):
+        ring.add("")
+    with pytest.raises(ConfigError):
+        ring.remove("10.9.9.9:1")  # absent
+    with pytest.raises(ConfigError):
+        HashRing(REPLICAS, seed=0, vnodes=0)
+    empty = HashRing([], seed=0)
+    with pytest.raises(ConfigError):
+        empty.route("anything")
+    with pytest.raises(ConfigError):
+        empty.preference("anything")
