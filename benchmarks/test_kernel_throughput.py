@@ -115,9 +115,10 @@ def test_no_kernel_throughput_regression():
     ("codec", "BENCH_codec.json", "bench_codec"),
     ("eval", "BENCH_eval.json", "bench_eval"),
     ("server", "BENCH_server.json", "bench_server"),
+    ("kv", "BENCH_kv.json", "bench_kv"),
 ])
 def test_no_bench_suite_regression(suite, baseline_name, module):
-    """Quick fresh codec/eval/server benchmarks vs committed baselines.
+    """Quick fresh codec/eval/server/kv benchmarks vs committed baselines.
 
     Quick mode shrinks tensors and profiles, so the loosened threshold
     below absorbs the extra noise while still catching a silently
@@ -130,6 +131,6 @@ def test_no_bench_suite_regression(suite, baseline_name, module):
     try:
         from check_bench_regression import run_check
         assert run_check(str(baseline), None, threshold=0.4, quick=True,
-                         bench_module=module) == 0
+                         bench_module=module, suite=suite) == 0
     finally:
         sys.path.pop(0)

@@ -1,18 +1,19 @@
 """Fail when benchmark speedups regress against the committed baselines.
 
-Covers all four committed benchmark files — ``BENCH_kernels.json``
+Covers all five committed benchmark files — ``BENCH_kernels.json``
 (kernel fast-vs-reference speedups), ``BENCH_codec.json`` (codec /
 service / bitstream), ``BENCH_eval.json`` (compiled plans + eval
-engine) and ``BENCH_server.json`` (network server load test, sharded
-vs single worker) — and exits non-zero if any recorded *speedup*
-dropped by more than the threshold (default 20%). Speedups are
+engine), ``BENCH_server.json`` (network server load test, sharded
+vs single worker) and ``BENCH_kv.json`` (streaming KV-cache decode
+loop, structurally gated) — and exits non-zero if any recorded
+*speedup* dropped by more than the threshold (default 20%). Speedups are
 compared rather than raw throughput because both sides of a speedup
 are measured on the same machine, making the ratio portable across
 hardware — the committed baseline may come from a different box than
 CI.
 
 Run:  PYTHONPATH=src python scripts/check_bench_regression.py \
-          [--suite kernels|codec|eval|server|all] [--baseline PATH] \
+          [--suite kernels|codec|eval|server|kv|all] [--baseline PATH] \
           [--candidate PATH] [--threshold 0.2] [--quick]
 
 With no ``--candidate``, a fresh benchmark run supplies the candidate
@@ -33,15 +34,21 @@ SUITES = {
     "codec": ("BENCH_codec.json", "bench_codec"),
     "eval": ("BENCH_eval.json", "bench_eval"),
     "server": ("BENCH_server.json", "bench_server"),
+    "kv": ("BENCH_kv.json", "bench_kv"),
 }
 
 #: suite -> payload sections a candidate run must populate. The server
 #: suite's chaos and gateway sections are validated structurally (their
 #: absolute rps is machine-dependent, but a fresh run must have
 #: *completed* requests — through the fault proxy for chaos, and with
-#: exactly matching /metrics counters for the gateway).
+#: exactly matching /metrics counters for the gateway). The kv suite
+#: has no speedup ratios at all: its decode-loop tokens/s are absolute
+#: rates, so the gate is purely structural — every baseline format must
+#: complete with a positive rate and the wire replay must read back
+#: bit-exact.
 REQUIRED_SECTIONS = {
     "server": ("arms", "sharded", "chaos", "gateway"),
+    "kv": ("decode_loop", "wire"),
 }
 
 
@@ -59,6 +66,33 @@ def check_sections(suite: str, candidate: dict) -> list[str]:
                             "through the fault proxy")
     if suite == "server" and candidate.get("gateway"):
         failures += _check_gateway_section(candidate["gateway"])
+    if suite == "kv":
+        failures += _check_kv_sections(candidate)
+    return failures
+
+
+def _check_kv_sections(candidate: dict) -> list[str]:
+    """The KV decode loop must complete every format arm at a positive
+    rate, and the wire replay must have read back bit-exactly."""
+    failures = []
+    for fmt, row in sorted(candidate.get("decode_loop", {}).items()):
+        for key in ("tokens_per_s", "appends_per_s"):
+            if not (isinstance(row.get(key), (int, float))
+                    and row[key] > 0):
+                failures.append(f"kv: decode_loop '{fmt}' has no "
+                                f"positive '{key}'")
+        if row.get("verify") is not True:
+            failures.append(f"kv: decode_loop '{fmt}' did not run with "
+                            f"verify=True (the serving default)")
+    wire = candidate.get("wire", {})
+    if wire:
+        if not (isinstance(wire.get("tokens_per_s"), (int, float))
+                and wire["tokens_per_s"] > 0):
+            failures.append("kv: wire section has no positive "
+                            "'tokens_per_s'")
+        if wire.get("read_bit_exact") is not True:
+            failures.append("kv: wire session READ was not bit-exact "
+                            "against the local session")
     return failures
 
 

@@ -13,10 +13,13 @@ path, never the bits or the body.
 
 Also pinned: the full error-status contract (one response per typed
 exception — ``FormatError``/``ConfigError``/``CodecError`` → 4xx,
-``BUSY``/``DRAINING`` → 503 + ``Retry-After``, transport failures →
-502/504, plus the 404/405/413 HTTP-shape answers), the ``/healthz``
-bodies for every cluster condition, and the ``/metrics`` rendering of
-a fixed synthetic stats snapshot (schema + exact text).
+``SessionLost`` → 410, ``BUSY``/``DRAINING`` → 503 + ``Retry-After``,
+transport failures → 502/504, plus the 404/405/413 HTTP-shape
+answers), the ``/v1/session/*`` bodies (request JSON plus the exact
+ack / K-V response bytes, built through a real ``KVCacheSession``),
+the ``/healthz`` bodies for every cluster condition, and the
+``/metrics`` rendering of a fixed synthetic stats snapshot (schema +
+exact text).
 
 ``tests/test_gateway.py`` rebuilds everything through the same pure
 builders (``repro.gateway.http``, ``render_metrics``,
@@ -125,11 +128,15 @@ ERROR_CASES = (
     ("crash_loop_502",
      errors.WorkerCrashLoop("worker slot 0 crashed 6 times; restart "
                             "budget 5 exhausted")),
+    ("session_lost_410",
+     errors.SessionLost("session 'kv-0' expected append seq 4, got 7; "
+                        "the stream cannot be reconciled — reopen and "
+                        "replay")),
     ("internal_500",
      RuntimeError("unexpected failure")),
     ("not_found_404",
      ghttp._HttpError(404, "no route for /nope; try /v1/quantize, "
-                           "/healthz, /metrics")),
+                           "/v1/session/*, /healthz, /metrics")),
     ("method_not_allowed_405",
      ghttp._HttpError(405, "GET not allowed on /v1/quantize; use POST")),
     ("payload_too_large_413",
@@ -179,11 +186,79 @@ METRICS_SNAPSHOT = {
                                         "p50_ms": 0.75, "p99_ms": 2.0},
     },
     "upstream": {"busy": 1, "draining": 2, "failovers": 3,
-                 "no_replica": 0, "probe_failures": 4},
+                 "no_replica": 0, "probe_failures": 4,
+                 "session_pinned_failures": 1},
     "replica_requests": {"127.0.0.1:7431": 30, "127.0.0.1:7432": 12},
     "replicas": {"127.0.0.1:7431": _replica("up", hits=7),
                  "127.0.0.1:7432": _replica("down", 1)},
 }
+
+
+#: The pinned session configuration (mirrors the wire vectors: a
+#: policy override, a token budget and a sink block).
+SESSION_CONFIG = {
+    "session_id": "golden-kv",
+    "n_layers": 2,
+    "policy": {"default": "m2xfp", "op": "weight",
+               "overrides": {"1": "elem-em"}},
+    "max_tokens": 4,
+    "sink_tokens": 1,
+    "dispatch": "inherit",
+    "verify": True,
+}
+
+
+def _session_cases(x: np.ndarray) -> dict:
+    """Pinned ``/v1/session/*`` bodies: request JSON + response bytes.
+
+    The ack dicts come from an actual :class:`~repro.kv.KVCacheSession`
+    fed slices of the fixed input, built the way the home replica
+    builds them — so the pinned bytes cover policy echo, eviction
+    counters and the decoded K/V payload, not just the JSON shape.
+    """
+    from repro.kv import KVCacheSession
+
+    cfg = SESSION_CONFIG
+    sid = cfg["session_id"]
+    session = KVCacheSession(cfg["n_layers"], cfg["policy"],
+                             max_tokens=cfg["max_tokens"],
+                             sink_tokens=cfg["sink_tokens"],
+                             dispatch=cfg["dispatch"], session_id=sid,
+                             verify=cfg["verify"])
+    k, v = x[:, :16], x[:, 16:32]
+    open_body = ghttp.canonical_json(cfg)
+    open_resp = ghttp.session_ack_response(
+        {**session.info(), "resumed": False, "next_seq": 0})
+    append_fields = {
+        "session_id": sid, "layer": 0, "seq": 0,
+        "k_b64": base64.b64encode(
+            np.ascontiguousarray(k, dtype="<f8").tobytes()).decode(),
+        "k_shape": list(k.shape),
+        "v_b64": base64.b64encode(
+            np.ascontiguousarray(v, dtype="<f8").tobytes()).decode(),
+        "v_shape": list(v.shape),
+    }
+    ack = {**session.append(0, k, v), "seq": 0, "duplicate": False}
+    append_resp = ghttp.session_ack_response(ack)
+    rk, rv = session.read(0)
+    read_resp = ghttp.session_kv_response(rk, rv, session_id=sid,
+                                          layer=0)
+    close_resp = ghttp.session_ack_response(
+        {"session_id": sid, **session.close()})
+    return {
+        "config": cfg,
+        "open": {"request_json": open_body.decode(),
+                 "response_hex": open_resp.to_bytes().hex()},
+        "append": {"request_json":
+                       ghttp.canonical_json(append_fields).decode(),
+                   "response_hex": append_resp.to_bytes().hex()},
+        "read": {"request_json": ghttp.canonical_json(
+                     {"session_id": sid, "layer": 0}).decode(),
+                 "response_hex": read_resp.to_bytes().hex()},
+        "close": {"request_json": ghttp.canonical_json(
+                      {"session_id": sid}).decode(),
+                  "response_hex": close_resp.to_bytes().hex()},
+    }
 
 
 def build_payload() -> dict:
@@ -192,6 +267,7 @@ def build_payload() -> dict:
         "input_hex": [float(v).hex() for v in x.ravel()],
         "shape": list(x.shape),
         "quantize": {},
+        "sessions": _session_cases(x),
         "errors": {},
         "healthz": {},
         "metrics": {},

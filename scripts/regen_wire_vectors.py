@@ -6,8 +6,11 @@ Writes ``tests/golden/wire_vectors.json``: a deterministic input tensor
 (as ``float.hex()`` text) plus the exact serialized **request and
 response frames** — byte for byte, protocol version included — for the
 m2xfp / elem-em / m2-nvfp4 arms, covering the raw-float64 and the
-packed-container payload encodings — plus the v2 control frames
-(PING / HEALTH / DRAIN) with a fixed health-info dict. ``tests/test_server.py`` rebuilds
+packed-container payload encodings — plus the control frames
+(PING / HEALTH / DRAIN) with a fixed health-info dict and the v3
+session exchange (SESSION_OPEN / APPEND / READ / CLOSE requests with
+their exact ack and K/V response frames, built through a real
+``KVCacheSession``). ``tests/test_server.py`` rebuilds
 every frame from the committed inputs with the same construction path
 the client and server use and compares hex: any silent change to the
 frame header, meta canonicalization, status numbering or payload
@@ -89,6 +92,7 @@ def build_payload() -> dict:
                     "response_hex": response.hex(),
                 }
     payload["control"] = _control_frames()
+    payload["sessions"] = _session_frames(x)
     return payload
 
 
@@ -104,7 +108,7 @@ HEALTH_INFO = {
 
 
 def _control_frames() -> dict:
-    """Pinned v2 control frames: PING request, HEALTH reply, DRAIN."""
+    """Pinned control frames: PING request, HEALTH reply, DRAIN."""
     rid = 1001
     return {
         "ping_hex": protocol.encode_ping(rid).hex(),
@@ -113,6 +117,66 @@ def _control_frames() -> dict:
         "request_id": rid,
         "health_info": HEALTH_INFO,
     }
+
+
+#: The pinned session configuration (exercises a policy override, a
+#: token budget and a sink block in the acks).
+SESSION_CONFIG = {
+    "session_id": "golden-kv",
+    "n_layers": 2,
+    "policy": {"default": "m2xfp", "op": "weight",
+               "overrides": {"1": "elem-em"}},
+    "max_tokens": 4,
+    "sink_tokens": 1,
+    "dispatch": "inherit",
+    "verify": True,
+}
+
+
+def _session_frames(x: np.ndarray) -> dict:
+    """The pinned v3 session exchange, acks built by a real session.
+
+    Request frames come from ``protocol.encode_session_*`` exactly as
+    the client sends them; ack/K-V response frames are built the way
+    ``QuantServer._session_*`` builds them, with the ack dicts produced
+    by an actual :class:`~repro.kv.KVCacheSession` fed slices of the
+    fixed input — so the pinned bytes cover the whole construction
+    path, not just the frame packer.
+    """
+    from repro.kv import KVCacheSession
+
+    cfg = SESSION_CONFIG
+    sid = cfg["session_id"]
+    session = KVCacheSession(cfg["n_layers"], cfg["policy"],
+                             max_tokens=cfg["max_tokens"],
+                             sink_tokens=cfg["sink_tokens"],
+                             dispatch=cfg["dispatch"], session_id=sid,
+                             verify=cfg["verify"])
+    k, v = x[:, :16], x[:, 16:32]
+    rid = 2001
+    frames = {
+        "config": cfg,
+        "open_hex": protocol.encode_session_open(rid, **cfg).hex(),
+        "open_ack_hex": protocol.encode_session_ack(
+            rid, {**session.info(), "resumed": False,
+                  "next_seq": 0}).hex(),
+    }
+    ack = {**session.append(0, k, v), "seq": 0, "duplicate": False}
+    frames["append_hex"] = protocol.encode_session_append(
+        rid + 1, session_id=sid, layer=0, seq=0, k=k, v=v).hex()
+    frames["append_ack_hex"] = protocol.encode_session_ack(
+        rid + 1, ack).hex()
+    rk, rv = session.read(0)
+    frames["read_hex"] = protocol.encode_session_read(
+        rid + 2, session_id=sid, layer=0).hex()
+    frames["read_kv_hex"] = protocol.encode_session_kv(
+        rid + 2, rk, rv, session_id=sid, layer=0).hex()
+    frames["close_hex"] = protocol.encode_session_close(
+        rid + 3, session_id=sid).hex()
+    frames["close_ack_hex"] = protocol.encode_session_ack(
+        rid + 3, {"session_id": sid, **session.close()}).hex()
+    frames["request_id"] = rid
+    return frames
 
 
 def main() -> None:

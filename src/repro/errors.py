@@ -55,6 +55,17 @@ class ServerDraining(ServerBusy):
     """The server is draining for shutdown; reconnect and retry elsewhere."""
 
 
+class SessionLost(ReproError):
+    """A streaming session's server-side state is gone or out of step.
+
+    Raised for unknown session ids, appends whose sequence number the
+    server cannot reconcile (state lost to a crash/restart), and reads
+    against a session the replica no longer holds. Deliberately *not*
+    retryable: blind resubmission could silently corrupt the stream —
+    the client must reopen the session and replay from its own copy.
+    """
+
+
 class ServerError(ReproError):
     """The quantization server failed internally processing a request."""
 

@@ -5,6 +5,12 @@ HTTP/1.1 server exposing
 
 * ``POST /v1/quantize`` — base64-JSON or raw-float64 body in, canonical
   JSON or packed ``PackedTensor`` bytes out (see ``gateway/http.py``);
+* ``POST /v1/session/{open,append,read,close}`` — streaming KV-cache
+  sessions (JSON bodies; see ``gateway/http.py``), routed by hashing
+  the **session id** and *pinned*: session state lives on exactly one
+  replica, so session ops never failover blindly — a dead home replica
+  surfaces a typed error (410 ``SessionLost`` once its state is gone),
+  and the client reopens + replays;
 * ``GET /healthz`` — cluster health: ok / degraded / down, per-replica
   states (HTTP 503 only when **zero** replicas are routable);
 * ``GET /metrics`` — Prometheus text exposition: per-arm request
@@ -223,7 +229,7 @@ def render_metrics(snapshot: dict) -> str:
             for code, n in sorted(snapshot["http_status"].items())])
     metric("repro_gateway_upstream_events_total", "counter",
            "Upstream routing events: busy, draining, failovers, "
-           "no_replica, probe_failures.",
+           "no_replica, probe_failures, session_pinned_failures.",
            [f'repro_gateway_upstream_events_total{{event="{k}"}} {v}'
             for k, v in sorted(snapshot["upstream"].items())])
     up_samples, req_samples, hit_samples = [], [], []
@@ -612,6 +618,53 @@ class QuantGateway:
         raise last_error if last_error is not None else ServerBusy(
             "no upstream replica available")
 
+    def _session_replica(self, session_id: str) -> _Replica:
+        """The pinned home replica for a session id.
+
+        First *routable* replica in the ring's preference order for the
+        id — deterministic while health holds, and the same walk every
+        client of this gateway sees, so all ops for one session land on
+        one replica. If nothing is routable the top preference is
+        returned anyway and the transport error surfaces typed.
+        """
+        order = [self.replicas[name]
+                 for name in self.ring.preference(session_id)]
+        for rep in order:
+            if rep.routable:
+                return rep
+        return order[0]
+
+    async def _session_upstream(self, session_id: str, call):
+        """One *pinned* session op; returns ``(result, replica)``.
+
+        Deliberately no failover walk: session state lives only on the
+        home replica, so a blind re-send elsewhere could not resume the
+        stream — it would either invent fresh state (open) or raise
+        ``SessionLost`` against a replica that never held the session.
+        Transport failures strike the replica's health and surface to
+        the client, whose own retry loop re-sends with the same seq —
+        the seq-dedup contract makes that bit-safe.
+        """
+        rep = self._session_replica(session_id)
+        try:
+            cli = await rep.client()
+            result = await call(cli)
+        except ServerDraining:
+            self.stats.bump("draining")
+            rep.state = "draining"
+            raise
+        except ServerBusy:
+            self.stats.bump("busy")
+            raise
+        except _FAILOVER_ERRORS:
+            self.stats.bump("session_pinned_failures")
+            await rep.mark_failed()
+            raise
+        else:
+            if rep.state == "down":
+                rep.state = "up"  # answered: alive again
+            return result, rep
+
     # ------------------------------------------------------------------
     # HTTP handling
     # ------------------------------------------------------------------
@@ -677,9 +730,19 @@ class QuantGateway:
                 return ghttp.error_response(ghttp._HttpError(
                     405, f"{method} not allowed on {path}; use POST"))
             return await self._handle_quantize(request)
+        if path.startswith("/v1/session/"):
+            action = path[len("/v1/session/"):]
+            if action not in ("open", "append", "read", "close"):
+                return ghttp.error_response(ghttp._HttpError(
+                    404, f"no route for {path}; session actions are "
+                         f"open, append, read, close"))
+            if method != "POST":
+                return ghttp.error_response(ghttp._HttpError(
+                    405, f"{method} not allowed on {path}; use POST"))
+            return await self._handle_session(request, action)
         return ghttp.error_response(ghttp._HttpError(
-            404, f"no route for {path}; try /v1/quantize, /healthz, "
-                 f"/metrics"))
+            404, f"no route for {path}; try /v1/quantize, "
+                 f"/v1/session/*, /healthz, /metrics"))
 
     async def _handle_quantize(self, request: ghttp.HttpRequest) \
             -> ghttp.HttpResponse:
@@ -703,6 +766,55 @@ class QuantGateway:
             return ghttp.quantize_response(result, fmt=fmt, op=op,
                                            packed=packed,
                                            fingerprint=fingerprint)
+        finally:
+            self._inflight -= 1
+            if self._draining and self._inflight == 0 and \
+                    self._drained is not None:
+                self._drained.set()
+
+    async def _handle_session(self, request: ghttp.HttpRequest,
+                              action: str) -> ghttp.HttpResponse:
+        if self._draining:
+            return ghttp.error_response(ServerDraining(
+                "gateway is draining for shutdown; no new session work"))
+        self._inflight += 1
+        t0 = time.monotonic()
+        deadline = self.upstream_timeout_s
+        try:
+            if action == "open":
+                cfg = ghttp.parse_session_open(request)
+                sid = cfg["session_id"]
+                ack, rep = await self._session_upstream(
+                    sid, lambda cli: cli.session_open(
+                        deadline_s=deadline, retries=0, **cfg))
+                response = ghttp.session_ack_response(ack)
+            elif action == "append":
+                sid, layer, seq, k, v = \
+                    ghttp.parse_session_append(request)
+                ack, rep = await self._session_upstream(
+                    sid, lambda cli: cli.session_append(
+                        sid, layer, k, v, seq=seq,
+                        deadline_s=deadline, retries=0))
+                response = ghttp.session_ack_response(ack)
+            elif action == "read":
+                sid, layer = ghttp.parse_session_read(request)
+                (k, v), rep = await self._session_upstream(
+                    sid, lambda cli: cli.session_read(
+                        sid, layer, deadline_s=deadline, retries=0))
+                response = ghttp.session_kv_response(
+                    k, v, session_id=sid, layer=layer)
+            else:  # close
+                sid = ghttp.parse_session_close(request)
+                ack, rep = await self._session_upstream(
+                    sid, lambda cli: cli.session_close(
+                        sid, deadline_s=deadline, retries=0))
+                response = ghttp.session_ack_response(ack)
+        except Exception as exc:
+            return ghttp.error_response(exc)
+        else:
+            self.stats.record_request(f"session:{action}",
+                                      time.monotonic() - t0, rep.name)
+            return response
         finally:
             self._inflight -= 1
             if self._draining and self._inflight == 0 and \

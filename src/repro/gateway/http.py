@@ -14,6 +14,7 @@ The error contract maps the library's typed exception hierarchy onto
 HTTP statuses (most specific first)::
 
     ConfigError / ProtocolError        -> 400   (bad request)
+    SessionLost                        -> 410   (state gone; reopen)
     FormatError / CodecError           -> 422   (unprocessable numbers)
     ServerBusy / ServerDraining        -> 503 + Retry-After (retryable)
     RequestTimeout                     -> 504   (upstream deadline)
@@ -39,6 +40,14 @@ responses ship the self-describing ``PackedTensor`` container bytes
 golden vectors pin. Response bodies never echo the dispatch mode:
 dispatch changes the compute path, not the bits, so responses are
 byte-identical across modes (asserted by the golden suite).
+
+Streaming KV sessions ride the same layer: ``POST /v1/session/open``,
+``/append``, ``/read`` and ``/close`` take canonical-JSON bodies
+(tensors as base64 ``<f8`` with explicit shapes, mirroring the wire
+protocol's session frames) and answer with the session ack dict or the
+decoded K/V pair. A session whose server-side state is gone answers
+410 Gone (:class:`~repro.errors.SessionLost`) — the one status that
+tells a client "reopen and replay", never "retry as-is".
 """
 
 from __future__ import annotations
@@ -54,12 +63,14 @@ import numpy as np
 
 from ..errors import (CodecError, ConfigError, ConnectionLost, FormatError,
                       ProtocolError, RequestTimeout, RetryBudgetExceeded,
-                      ServerBusy, ServerDraining, ServerError)
+                      ServerBusy, ServerDraining, ServerError, SessionLost)
 
 __all__ = [
     "HttpRequest", "HttpResponse", "read_http_request",
     "http_status_for", "error_response", "json_response",
     "text_response", "quantize_response", "parse_quantize_request",
+    "parse_session_open", "parse_session_append", "parse_session_read",
+    "parse_session_close", "session_ack_response", "session_kv_response",
     "canonical_json", "RETRY_AFTER_S",
     "MAX_HEADER_BYTES", "PACKED_CONTENT_TYPE",
 ]
@@ -74,7 +85,7 @@ PACKED_CONTENT_TYPE = "application/x-repro-packed-tensor"
 
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found",
-    405: "Method Not Allowed", 408: "Request Timeout",
+    405: "Method Not Allowed", 408: "Request Timeout", 410: "Gone",
     413: "Payload Too Large", 422: "Unprocessable Entity",
     500: "Internal Server Error", 502: "Bad Gateway",
     503: "Service Unavailable", 504: "Gateway Timeout",
@@ -82,6 +93,7 @@ _REASONS = {
 
 #: Exception -> HTTP status, most specific class first (isinstance walk).
 _STATUS_ORDER = (
+    (SessionLost, 410),
     (ServerDraining, 503),
     (ServerBusy, 503),
     (RequestTimeout, 504),
@@ -406,3 +418,136 @@ def parse_quantize_request(request: HttpRequest):
                           f"(little-endian float64)")
     x = np.frombuffer(payload, dtype="<f8").reshape(shape).copy()
     return x, fmt, op, dispatch, packed
+
+
+# ----------------------------------------------------------------------
+# Session request parsing + responses (JSON bodies, golden-pinned)
+# ----------------------------------------------------------------------
+def _json_object(request: HttpRequest, what: str) -> dict:
+    ctype = request.headers.get("content-type", "application/json")
+    ctype = ctype.split(";", 1)[0].strip().lower()
+    if ctype != "application/json":
+        raise ConfigError(f"{what} bodies must be application/json, "
+                          f"got {ctype!r}")
+    try:
+        fields = json.loads(request.body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigError(f"unreadable JSON body: {exc}") from exc
+    if not isinstance(fields, dict):
+        raise ConfigError(f"{what} body must be a JSON object")
+    return fields
+
+
+def _session_id_of(fields: dict) -> str:
+    sid = fields.get("session_id")
+    if not isinstance(sid, str) or not sid:
+        raise ConfigError("session request is missing session_id")
+    return sid
+
+
+def _int_field(fields: dict, name: str, minimum: int) -> int:
+    raw = fields.get(name)
+    if isinstance(raw, bool) or not isinstance(raw, int):
+        raise ConfigError(f"{name} must be an integer, got {raw!r}")
+    if raw < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {raw}")
+    return raw
+
+
+def _tensor_field(fields: dict, b64_key: str, shape_key: str) -> np.ndarray:
+    raw = fields.get(b64_key)
+    if not isinstance(raw, str):
+        raise ConfigError(f"session append body is missing {b64_key}")
+    try:
+        payload = base64.b64decode(raw.encode("ascii"), validate=True)
+    except (UnicodeEncodeError, binascii.Error, ValueError) as exc:
+        raise ConfigError(f"{b64_key} is not valid base64: {exc}") from exc
+    if shape_key not in fields:
+        raise ConfigError(f"session append body is missing {shape_key}")
+    shape = _parse_shape(fields[shape_key])
+    if len(shape) != 2:
+        raise ConfigError(f"{shape_key} must be 2-D (tokens, width), "
+                          f"got {shape}")
+    n = int(np.prod(shape, dtype=np.int64))
+    if len(payload) != 8 * n:
+        raise ConfigError(f"{b64_key} has {len(payload)} bytes; shape "
+                          f"{shape} needs {8 * n} (little-endian float64)")
+    return np.frombuffer(payload, dtype="<f8").reshape(shape).copy()
+
+
+def parse_session_open(request: HttpRequest) -> dict:
+    """Decode ``POST /v1/session/open`` into ``session_open`` kwargs.
+
+    Policy / budget validation is deliberately left to the replica (and
+    :class:`~repro.kv.KVPolicy`): the gateway checks shape, not
+    semantics, so the two layers cannot disagree about what a legal
+    policy is.
+    """
+    fields = _json_object(request, "session open")
+    from ..serve.service import DISPATCH_MODES
+    dispatch = fields.get("dispatch", "inherit")
+    if dispatch not in DISPATCH_MODES:
+        raise ConfigError(f"dispatch must be one of {DISPATCH_MODES}, "
+                          f"got {dispatch!r}")
+    max_tokens = fields.get("max_tokens")
+    if max_tokens is not None:
+        if isinstance(max_tokens, bool) or not isinstance(max_tokens, int):
+            raise ConfigError(f"max_tokens must be an integer or null, "
+                              f"got {max_tokens!r}")
+    policy = fields.get("policy", "m2xfp")
+    if not isinstance(policy, (str, dict)):
+        raise ConfigError(f"policy must be a format name or a policy "
+                          f"spec object, got {policy!r}")
+    return {
+        "session_id": _session_id_of(fields),
+        "n_layers": _int_field(fields, "n_layers", 1),
+        "policy": policy,
+        "max_tokens": max_tokens,
+        "sink_tokens": _int_field(fields, "sink_tokens", 0)
+        if "sink_tokens" in fields else 0,
+        "dispatch": dispatch,
+        "verify": _parse_bool(fields.get("verify", True), "verify"),
+    }
+
+
+def parse_session_append(request: HttpRequest):
+    """Decode ``POST /v1/session/append`` -> (sid, layer, seq, k, v)."""
+    fields = _json_object(request, "session append")
+    k = _tensor_field(fields, "k_b64", "k_shape")
+    v = _tensor_field(fields, "v_b64", "v_shape")
+    return (_session_id_of(fields), _int_field(fields, "layer", 0),
+            _int_field(fields, "seq", 0), k, v)
+
+
+def parse_session_read(request: HttpRequest):
+    """Decode ``POST /v1/session/read`` -> (session_id, layer)."""
+    fields = _json_object(request, "session read")
+    return _session_id_of(fields), _int_field(fields, "layer", 0)
+
+
+def parse_session_close(request: HttpRequest) -> str:
+    """Decode ``POST /v1/session/close`` -> session_id."""
+    fields = _json_object(request, "session close")
+    return _session_id_of(fields)
+
+
+def session_ack_response(session: dict, *,
+                         keep_alive: bool = True) -> HttpResponse:
+    """The 200 answer for open/append/close: the replica's ack dict."""
+    return json_response({"session": session}, keep_alive=keep_alive)
+
+
+def session_kv_response(k: np.ndarray, v: np.ndarray, *, session_id: str,
+                        layer: int, keep_alive: bool = True) -> HttpResponse:
+    """The 200 answer for ``/v1/session/read``: decoded K and V."""
+    k = np.ascontiguousarray(k, dtype="<f8")
+    v = np.ascontiguousarray(v, dtype="<f8")
+    body = {
+        "k_b64": base64.b64encode(k.tobytes()).decode("ascii"),
+        "k_shape": list(k.shape),
+        "layer": int(layer),
+        "session_id": session_id,
+        "v_b64": base64.b64encode(v.tobytes()).decode("ascii"),
+        "v_shape": list(v.shape),
+    }
+    return json_response(body, keep_alive=keep_alive)

@@ -1,0 +1,15 @@
+"""Streaming KV-cache quantization sessions (paper Sec. 6.4, served).
+
+``KVCacheSession`` is the stateful serving workload on top of the codec
+and plan layers: decode steps append K/V blocks per layer, each block is
+quantized through the plan-compiled kernels and stored as packed
+container bytes, and a token budget evicts old blocks (sliding window
+with an optional keep-first-N "sink" region). ``KVPolicy`` picks the
+catalog format per layer, so mixed-precision caches (e.g. ``m2xfp``
+everywhere but ``elem-em`` on the embedding-adjacent layers) are one
+dict away.
+"""
+
+from .session import KVCacheSession, KVPolicy
+
+__all__ = ["KVCacheSession", "KVPolicy"]

@@ -1,0 +1,398 @@
+"""Stateful streaming KV-cache quantization sessions.
+
+A :class:`KVCacheSession` models the tensor that actually lives in DRAM
+between decode steps: per decode step the caller appends the new K/V
+rows for each layer, the session quantizes them **through the
+plan-compiled kernels** (the same ``quantize_weight`` /
+``quantize_activation`` entry points the batch path uses — by default
+every append cross-checks the packed bytes against that output and
+raises on any mismatch, so streamed state is bit-exact *by
+construction*), and only the packed :class:`~repro.codec.PackedTensor`
+bytes are retained. Reads decode the retained blocks back to float64.
+
+Eviction is by **token budget** per layer: once a layer holds more than
+``max_tokens`` tokens, the oldest blocks are dropped — except blocks
+that began inside the first ``sink_tokens`` positions ("attention
+sinks"), which are never evicted. An append that cannot fit even after
+evicting every evictable block is refused with
+:class:`~repro.errors.ConfigError` and leaves the session unchanged —
+the budget invariant is never violated, not even transiently.
+
+Bit-exactness contract (asserted in ``tests/test_kv_session.py`` for
+every catalog format under every dispatch mode):
+
+* ``read(layer)`` equals the concatenation of one-shot quantizations of
+  the retained blocks, bit for bit; and
+* for every group-wise (batchable) format this also equals the one-shot
+  quantization of the concatenated raw blocks — the streamed cache and
+  the batch cache are the same bytes. Tensor-scoped formats (NVFP4 /
+  M2-NVFP4 and MaxPreserving wrappers of them) are **block-scoped** by
+  design: their tensor-level scale depends on the whole input, so each
+  appended block is its own scaling scope (the session analogue of
+  ``QuantService`` never cross-batching them).
+
+Example::
+
+    from repro.kv import KVCacheSession, KVPolicy
+
+    policy = KVPolicy("m2xfp", overrides={0: "elem-em"})
+    sess = KVCacheSession(n_layers=4, policy=policy,
+                          max_tokens=512, sink_tokens=16)
+    for step_k, step_v in decode_steps:          # (t, d_head) blocks
+        for layer in range(4):
+            sess.append(layer, step_k[layer], step_v[layer])
+    k, v = sess.read(0)                           # dequantized float64
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+import numpy as np
+
+from ..errors import ConfigError
+from ..serve.service import DISPATCH_MODES, _dispatch_scope
+
+__all__ = ["KVCacheSession", "KVPolicy"]
+
+_OPS = ("weight", "activation")
+
+_session_counter = itertools.count(1)
+
+
+class KVPolicy:
+    """Per-layer format selection for a KV-cache session.
+
+    Parameters
+    ----------
+    default:
+        Catalog format name used for every layer without an override.
+    overrides:
+        ``{layer_index: format_name}`` exceptions — the mixed-precision
+        knob (NxFP-style per-layer adaptation).
+    op:
+        Operand path the K/V blocks are quantized on. KV entries are
+        right-hand GEMM operands cached across steps, so the lazy
+        ``"weight"`` path is the default (paper Sec. 6.4).
+    """
+
+    def __init__(self, default: str = "m2xfp",
+                 overrides: dict[int, str] | None = None,
+                 op: str = "weight") -> None:
+        if op not in _OPS:
+            raise ConfigError(f"op must be one of {_OPS}, got {op!r}")
+        from ..runner.formats import make_format
+        self.default = str(default)
+        self.op = op
+        self.overrides: dict[int, str] = {}
+        for layer, name in (overrides or {}).items():
+            self.overrides[int(layer)] = str(name)
+        # Validate every name once, up front, and share the format
+        # objects across appends so the compiled-plan cache is keyed by
+        # a stable fingerprint (and the session never rebuilds group
+        # geometry per call).
+        self._formats = {name: make_format(name)
+                         for name in {self.default, *self.overrides.values()}}
+
+    def name_for(self, layer: int) -> str:
+        return self.overrides.get(int(layer), self.default)
+
+    def format_for(self, layer: int):
+        return self._formats[self.name_for(layer)]
+
+    def spec(self) -> dict:
+        """JSON-safe description (the wire/HTTP session-open encoding)."""
+        return {"default": self.default, "op": self.op,
+                "overrides": {str(k): v
+                              for k, v in sorted(self.overrides.items())}}
+
+    @classmethod
+    def from_spec(cls, spec) -> "KVPolicy":
+        if isinstance(spec, KVPolicy):
+            return spec
+        if isinstance(spec, str):
+            return cls(spec)
+        if not isinstance(spec, dict):
+            raise ConfigError(f"policy must be a format name or a spec "
+                              f"object, got {spec!r}")
+        overrides = spec.get("overrides") or {}
+        if not isinstance(overrides, dict):
+            raise ConfigError(f"policy overrides must be an object, "
+                              f"got {overrides!r}")
+        try:
+            overrides = {int(k): str(v) for k, v in overrides.items()}
+        except (TypeError, ValueError):
+            raise ConfigError(f"policy override keys must be layer "
+                              f"indices, got {overrides!r}") from None
+        return cls(spec.get("default", "m2xfp"), overrides=overrides,
+                   op=spec.get("op", "weight"))
+
+    def __repr__(self) -> str:  # stable — used in config comparisons
+        return (f"KVPolicy(default={self.default!r}, "
+                f"overrides={dict(sorted(self.overrides.items()))!r}, "
+                f"op={self.op!r})")
+
+
+class _Block:
+    """One appended K/V block: packed bytes plus its stream position."""
+
+    __slots__ = ("start", "tokens", "width", "k_blob", "v_blob")
+
+    def __init__(self, start: int, tokens: int, width: int,
+                 k_blob: bytes, v_blob: bytes) -> None:
+        self.start = start
+        self.tokens = tokens
+        self.width = width
+        self.k_blob = k_blob
+        self.v_blob = v_blob
+
+
+class KVCacheSession:
+    """Append-only quantized KV cache with token-budget eviction.
+
+    Parameters
+    ----------
+    n_layers:
+        Number of transformer layers (independent K/V streams).
+    policy:
+        A :class:`KVPolicy`, a catalog format name, or a policy spec
+        dict. Default: ``m2xfp`` on every layer, weight path.
+    max_tokens:
+        Per-layer token budget; ``None`` disables eviction.
+    sink_tokens:
+        Blocks beginning inside the first ``sink_tokens`` stream
+        positions are never evicted (StreamingLM-style attention sinks).
+    dispatch:
+        Kernel dispatch mode pinned for every quantization this session
+        runs (``inherit`` / ``fast`` / ``reference`` / ``bittwiddle`` —
+        bit-identical by the parity contract).
+    session_id:
+        Stable identifier; auto-generated when omitted.
+    verify:
+        When True (default), every append decodes the fresh container
+        and cross-checks it against the format's own plan-routed
+        quantize output — streamed state can never silently diverge
+        from the batch path.
+
+    Thread-safe: one lock serializes appends/reads/close, so a server
+    can drive the session from worker threads.
+    """
+
+    def __init__(self, n_layers: int, policy=None, *,
+                 max_tokens: int | None = None, sink_tokens: int = 0,
+                 dispatch: str = "inherit", session_id: str | None = None,
+                 verify: bool = True) -> None:
+        n_layers = int(n_layers)
+        if n_layers < 1:
+            raise ConfigError(f"n_layers must be >= 1, got {n_layers}")
+        if dispatch not in DISPATCH_MODES:
+            raise ConfigError(f"dispatch must be one of {DISPATCH_MODES}, "
+                              f"got {dispatch!r}")
+        if max_tokens is not None:
+            max_tokens = int(max_tokens)
+            if max_tokens < 1:
+                raise ConfigError(f"max_tokens must be >= 1 or None, "
+                                  f"got {max_tokens}")
+        sink_tokens = int(sink_tokens)
+        if sink_tokens < 0:
+            raise ConfigError(f"sink_tokens must be >= 0, "
+                              f"got {sink_tokens}")
+        if max_tokens is not None and sink_tokens >= max_tokens:
+            raise ConfigError(f"sink_tokens ({sink_tokens}) must be < "
+                              f"max_tokens ({max_tokens}); the sink "
+                              f"region alone would exhaust the budget")
+        self.n_layers = n_layers
+        self.policy = KVPolicy() if policy is None \
+            else KVPolicy.from_spec(policy)
+        self.max_tokens = max_tokens
+        self.sink_tokens = sink_tokens
+        self.dispatch = dispatch
+        self.verify = bool(verify)
+        self.session_id = session_id if session_id \
+            else f"kv-{next(_session_counter)}"
+        self._lock = threading.Lock()
+        self._closed = False
+        self._blocks: list[list[_Block]] = [[] for _ in range(n_layers)]
+        self._next_pos = [0] * n_layers
+        self._stats = {"appends": 0, "tokens_appended": 0,
+                       "evicted_blocks": 0, "evicted_tokens": 0,
+                       "payload_bytes": 0, "header_bytes": 0,
+                       "packed_elements": 0}
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def append(self, layer: int, k: np.ndarray, v: np.ndarray) -> dict:
+        """Quantize and retain one (t, d_head) K/V block for ``layer``.
+
+        Returns an acknowledgement dict (stream position, tokens held,
+        eviction counts — the payload of the wire-protocol APPEND ack).
+        """
+        layer = self._check_layer(layer)
+        k = np.asarray(k, dtype=np.float64)
+        v = np.asarray(v, dtype=np.float64)
+        if k.ndim != 2 or v.ndim != 2:
+            raise ConfigError(f"K/V blocks must be 2-D (tokens, d_head); "
+                              f"got k{k.shape} v{v.shape}")
+        if k.shape != v.shape:
+            raise ConfigError(f"K and V blocks must share a shape; "
+                              f"got k{k.shape} v{v.shape}")
+        if k.shape[0] < 1 or k.shape[1] < 1:
+            raise ConfigError(f"K/V blocks must be non-empty; "
+                              f"got shape {tuple(k.shape)}")
+        tokens, width = k.shape
+        fmt = self.policy.format_for(layer)
+        from ..codec import encode
+        with _dispatch_scope(self.dispatch):
+            pk = encode(fmt, k, op=self.policy.op, axis=-1,
+                        verify=self.verify)
+            pv = encode(fmt, v, op=self.policy.op, axis=-1,
+                        verify=self.verify)
+        k_blob, v_blob = pk.to_bytes(), pv.to_bytes()
+        with self._lock:
+            self._check_open()
+            blocks = self._blocks[layer]
+            if blocks and blocks[0].width != width:
+                raise ConfigError(
+                    f"layer {layer} blocks are {blocks[0].width} wide; "
+                    f"an append of width {width} cannot join the stream")
+            start = self._next_pos[layer]
+            block = _Block(start, tokens, width, k_blob, v_blob)
+            evicted = self._evict_for(blocks, block)
+            blocks.append(block)
+            self._next_pos[layer] = start + tokens
+            self._stats["appends"] += 1
+            self._stats["tokens_appended"] += tokens
+            self._stats["evicted_blocks"] += len(evicted)
+            evicted_tokens = sum(b.tokens for b in evicted)
+            self._stats["evicted_tokens"] += evicted_tokens
+            self._stats["payload_bytes"] += pk.payload_bytes \
+                + pv.payload_bytes
+            self._stats["header_bytes"] += pk.header_bytes \
+                + pv.header_bytes
+            self._stats["packed_elements"] += pk.n_elements + pv.n_elements
+            held = sum(b.tokens for b in blocks)
+        return {"session_id": self.session_id, "layer": layer,
+                "start": start, "tokens": tokens, "tokens_held": held,
+                "evicted_blocks": len(evicted),
+                "evicted_tokens": evicted_tokens,
+                "format": self.policy.name_for(layer)}
+
+    def read(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dequantize the retained cache for ``layer`` as (K, V).
+
+        The concatenation (in stream order) of every retained block's
+        decoded bytes; empty layers yield two ``(0, 0)`` arrays.
+        """
+        layer = self._check_layer(layer)
+        with self._lock:
+            self._check_open()
+            blocks = list(self._blocks[layer])
+        if not blocks:
+            empty = np.zeros((0, 0), dtype=np.float64)
+            return empty, empty.copy()
+        from ..codec import decode
+        fmt = self.policy.format_for(layer)
+        ks = [decode(b.k_blob, fmt=fmt) for b in blocks]
+        vs = [decode(b.v_blob, fmt=fmt) for b in blocks]
+        return (np.concatenate(ks, axis=0), np.concatenate(vs, axis=0))
+
+    def positions(self, layer: int) -> list[tuple[int, int]]:
+        """Retained ``(start, tokens)`` spans for ``layer`` (stream
+        order) — what :meth:`read` rows correspond to after eviction."""
+        layer = self._check_layer(layer)
+        with self._lock:
+            self._check_open()
+            return [(b.start, b.tokens) for b in self._blocks[layer]]
+
+    def tokens_held(self, layer: int) -> int:
+        layer = self._check_layer(layer)
+        with self._lock:
+            self._check_open()
+            return sum(b.tokens for b in self._blocks[layer])
+
+    def stats(self) -> dict:
+        """Counters plus the measured packed footprint."""
+        with self._lock:
+            out = dict(self._stats)
+            out["tokens_held"] = [sum(b.tokens for b in layer)
+                                  for layer in self._blocks]
+            out["closed"] = self._closed
+        if out["packed_elements"]:
+            out["measured_bits_per_element"] = (
+                out["payload_bytes"] * 8 / out["packed_elements"])
+        return out
+
+    def info(self) -> dict:
+        """JSON-safe session description (wire/HTTP OPEN acks)."""
+        return {"session_id": self.session_id, "n_layers": self.n_layers,
+                "max_tokens": self.max_tokens,
+                "sink_tokens": self.sink_tokens, "dispatch": self.dispatch,
+                "verify": self.verify, "policy": self.policy.spec()}
+
+    def close(self) -> dict:
+        """Close the session; further appends/reads raise ``ConfigError``.
+
+        Idempotent; returns the final :meth:`stats` snapshot either way.
+        """
+        with self._lock:
+            self._closed = True
+        return {**self.stats(), "closed": True}
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __enter__(self) -> "KVCacheSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _check_layer(self, layer) -> int:
+        layer = int(layer)
+        if not 0 <= layer < self.n_layers:
+            raise ConfigError(f"layer must be in [0, {self.n_layers}), "
+                              f"got {layer}")
+        return layer
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ConfigError(f"session {self.session_id} is closed; "
+                              f"open a new session to continue")
+
+    def _evict_for(self, blocks: list[_Block], new: _Block) -> list[_Block]:
+        """Drop oldest evictable blocks until ``new`` fits the budget.
+
+        Mutates ``blocks`` and returns what was dropped; raises (leaving
+        ``blocks`` untouched) when even maximal eviction cannot fit the
+        append — the budget invariant must hold *after every append*,
+        so an impossible append is refused, never partially applied.
+        """
+        if self.max_tokens is None:
+            return []
+        held = sum(b.tokens for b in blocks)
+        overshoot = held + new.tokens - self.max_tokens
+        if overshoot <= 0:
+            return []
+        evictable = [b for b in blocks if b.start >= self.sink_tokens]
+        budget = sum(b.tokens for b in evictable)
+        if overshoot > budget:
+            pinned = held - budget
+            raise ConfigError(
+                f"append of {new.tokens} tokens cannot fit the "
+                f"{self.max_tokens}-token budget: {pinned} tokens are "
+                f"pinned (sinks), only {budget} are evictable")
+        evicted: list[_Block] = []
+        for b in evictable:  # oldest first — blocks is in stream order
+            if overshoot <= 0:
+                break
+            evicted.append(b)
+            overshoot -= b.tokens
+        for b in evicted:
+            blocks.remove(b)
+        return evicted

@@ -387,6 +387,74 @@ class QuantClient:
         rid = self._send(protocol.encode_drain)
         return protocol.decode_health(self._wait_frame(rid, deadline_s))
 
+    # ------------------------------------------------------------------
+    # Streaming KV-cache sessions (protocol v3)
+    # ------------------------------------------------------------------
+    def session_open(self, *, session_id: str, n_layers: int, policy=None,
+                     max_tokens: int | None = None, sink_tokens: int = 0,
+                     dispatch: str = "inherit", verify: bool = True,
+                     deadline_s: float | None = None,
+                     retries: int | None = None) -> dict:
+        """Open (or idempotently resume) a KV-cache session.
+
+        The ack carries the server's session info plus ``next_seq`` —
+        the sequence number the next :meth:`session_append` must use.
+        Safe to retry: re-opening with the same config resumes.
+        """
+        def once():
+            rid = self._send(protocol.encode_session_open,
+                             session_id=session_id, n_layers=n_layers,
+                             policy=policy, max_tokens=max_tokens,
+                             sink_tokens=sink_tokens, dispatch=dispatch,
+                             verify=verify)
+            return protocol.decode_session_ack(
+                self._wait_frame(rid, deadline_s))
+        return self._with_retries(f"session {session_id} open", once,
+                                  retries=retries)
+
+    def session_append(self, session_id: str, layer: int, k, v, *,
+                       seq: int, deadline_s: float | None = None,
+                       retries: int | None = None) -> dict:
+        """Append one K/V block; ``seq`` is the caller's append counter.
+
+        Retrying with the *same* seq is safe: the server replays the
+        stored ack for a duplicate. An un-reconcilable seq (state lost
+        to a crash) raises the typed, non-retryable
+        :class:`~repro.errors.SessionLost`.
+        """
+        def once():
+            rid = self._send(protocol.encode_session_append,
+                             session_id=session_id, layer=layer, seq=seq,
+                             k=k, v=v)
+            return protocol.decode_session_ack(
+                self._wait_frame(rid, deadline_s))
+        return self._with_retries(f"session {session_id} append", once,
+                                  retries=retries)
+
+    def session_read(self, session_id: str, layer: int, *,
+                     deadline_s: float | None = None,
+                     retries: int | None = None):
+        """Dequantized (K, V) for one layer of a live session."""
+        def once():
+            rid = self._send(protocol.encode_session_read,
+                             session_id=session_id, layer=layer)
+            return protocol.decode_session_kv(
+                self._wait_frame(rid, deadline_s))
+        return self._with_retries(f"session {session_id} read", once,
+                                  retries=retries)
+
+    def session_close(self, session_id: str, *,
+                      deadline_s: float | None = None,
+                      retries: int | None = None) -> dict:
+        """Close a session; the ack carries its final stats."""
+        def once():
+            rid = self._send(protocol.encode_session_close,
+                             session_id=session_id)
+            return protocol.decode_session_ack(
+                self._wait_frame(rid, deadline_s))
+        return self._with_retries(f"session {session_id} close", once,
+                                  retries=retries)
+
     def quantize_batch(self, tensors, *, fmt: str, op: str = "activation",
                        dispatch: str = "inherit", packed: bool = False,
                        window: int = 32) -> list:
@@ -649,3 +717,64 @@ class AsyncQuantClient:
         fut = await self._send(protocol.encode_drain)
         return protocol.decode_health(await self._await_frame(fut,
                                                               deadline_s))
+
+    # ------------------------------------------------------------------
+    # Streaming KV-cache sessions (protocol v3)
+    # ------------------------------------------------------------------
+    async def session_open(self, *, session_id: str, n_layers: int,
+                           policy=None, max_tokens: int | None = None,
+                           sink_tokens: int = 0,
+                           dispatch: str = "inherit", verify: bool = True,
+                           deadline_s: float | None = None,
+                           retries: int | None = None) -> dict:
+        """Open (or idempotently resume) a KV-cache session."""
+        async def once():
+            fut = await self._send(protocol.encode_session_open,
+                                   session_id=session_id,
+                                   n_layers=n_layers, policy=policy,
+                                   max_tokens=max_tokens,
+                                   sink_tokens=sink_tokens,
+                                   dispatch=dispatch, verify=verify)
+            return protocol.decode_session_ack(
+                await self._await_frame(fut, deadline_s))
+        return await self._with_retries(f"session {session_id} open",
+                                        once, retries=retries)
+
+    async def session_append(self, session_id: str, layer: int, k, v, *,
+                             seq: int, deadline_s: float | None = None,
+                             retries: int | None = None) -> dict:
+        """Append one K/V block (same seq-dedup contract as the sync
+        client: retried duplicates replay, lost state raises
+        :class:`~repro.errors.SessionLost`)."""
+        async def once():
+            fut = await self._send(protocol.encode_session_append,
+                                   session_id=session_id, layer=layer,
+                                   seq=seq, k=k, v=v)
+            return protocol.decode_session_ack(
+                await self._await_frame(fut, deadline_s))
+        return await self._with_retries(f"session {session_id} append",
+                                        once, retries=retries)
+
+    async def session_read(self, session_id: str, layer: int, *,
+                           deadline_s: float | None = None,
+                           retries: int | None = None):
+        """Dequantized (K, V) for one layer of a live session."""
+        async def once():
+            fut = await self._send(protocol.encode_session_read,
+                                   session_id=session_id, layer=layer)
+            return protocol.decode_session_kv(
+                await self._await_frame(fut, deadline_s))
+        return await self._with_retries(f"session {session_id} read",
+                                        once, retries=retries)
+
+    async def session_close(self, session_id: str, *,
+                            deadline_s: float | None = None,
+                            retries: int | None = None) -> dict:
+        """Close a session; the ack carries its final stats."""
+        async def once():
+            fut = await self._send(protocol.encode_session_close,
+                                   session_id=session_id)
+            return protocol.decode_session_ack(
+                await self._await_frame(fut, deadline_s))
+        return await self._with_retries(f"session {session_id} close",
+                                        once, retries=retries)

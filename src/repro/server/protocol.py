@@ -5,9 +5,11 @@ and server. Layout (all little-endian)::
 
     uint32  body length B (bytes after this word)
     bytes 0..3   magic  b"RQP1"
-    byte  4      protocol version (currently 2)
+    byte  4      protocol version (currently 3)
     byte  5      kind    (1 = request, 2 = response, 3 = ping,
-                          4 = health, 5 = drain)
+                          4 = health, 5 = drain, 6 = session open,
+                          7 = session append, 8 = session read,
+                          9 = session close)
     byte  6      status  (requests: 0; responses: a Status code)
     byte  7      flags   (payload encoding: raw float64 | PackedTensor)
     bytes 8..11  uint32 request id (client-chosen; echoed in the response)
@@ -34,12 +36,27 @@ bounded in-flight work and exit), plus the ``DRAINING`` status answered
 to requests that arrive during a drain (clients treat it like ``BUSY``
 but reconnect first).
 
+Version 3 added the **session frames** for streaming KV-cache
+quantization: ``SESSION_OPEN`` (meta carries the session config —
+layers, per-layer format policy, token budget, sink region, dispatch
+mode), ``SESSION_APPEND`` (one K/V block as raw float64, K then V,
+shapes in meta, plus a client-assigned monotonically increasing ``seq``
+the server uses to deduplicate retried appends), ``SESSION_READ`` (the
+server answers with both dequantized tensors in one raw payload) and
+``SESSION_CLOSE``. Open/append/close are acknowledged with ordinary
+``RESPONSE`` frames whose meta carries a ``session`` object; reads are
+answered with a raw-float64 ``RESPONSE`` carrying ``k_shape`` /
+``v_shape``. The ``SESSION_LOST`` status (-> the typed
+:class:`~repro.errors.SessionLost`) reports unknown session ids and
+un-reconcilable sequence numbers — the never-silent-corruption answer
+after a replica crash.
+
 **Versioning rule:** any change to the byte layout above — header
 fields, meta keys, payload encodings, status numbering — bumps
 ``PROTOCOL_VERSION``; a server must reject frames carrying any other
 version with ``Status.PROTOCOL_ERROR`` naming both versions. The golden
-vectors in ``tests/golden/wire_vectors.json`` pin version-1 frames
-byte-exactly, so accidental drift is a tier-1 failure.
+vectors in ``tests/golden/wire_vectors.json`` pin the current version's
+frames byte-exactly, so accidental drift is a tier-1 failure.
 
 Example::
 
@@ -61,23 +78,31 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..errors import CodecError, ConfigError, ConnectionLost, FormatError, \
-    ProtocolError, ServerBusy, ServerDraining, ServerError
+    ProtocolError, ServerBusy, ServerDraining, ServerError, SessionLost
 
 __all__ = [
     "MAGIC", "PROTOCOL_VERSION", "MAX_FRAME_BYTES",
     "KIND_REQUEST", "KIND_RESPONSE", "KIND_PING", "KIND_HEALTH",
-    "KIND_DRAIN", "FLAG_RAW_F64", "FLAG_PACKED",
+    "KIND_DRAIN", "KIND_SESSION_OPEN", "KIND_SESSION_APPEND",
+    "KIND_SESSION_READ", "KIND_SESSION_CLOSE",
+    "FLAG_RAW_F64", "FLAG_PACKED",
     "Status", "Frame", "QuantRequest",
     "encode_request", "decode_request",
     "encode_response_array", "encode_response_packed",
     "encode_response_error", "response_result",
     "encode_ping", "encode_drain", "encode_health", "decode_health",
+    "encode_session_open", "decode_session_open",
+    "encode_session_append", "decode_session_append",
+    "encode_session_read", "decode_session_read",
+    "encode_session_close", "decode_session_close",
+    "encode_session_ack", "decode_session_ack",
+    "encode_session_kv", "decode_session_kv",
     "frame_to_bytes", "frame_from_bytes", "read_frame", "recv_frame",
     "status_for_exception",
 ]
 
 MAGIC = b"RQP1"
-PROTOCOL_VERSION = 2
+PROTOCOL_VERSION = 3
 
 #: Upper bound on one frame body; anything larger is a protocol error
 #: (protects both sides from a corrupted or hostile length word).
@@ -90,7 +115,15 @@ KIND_HEALTH = 4    # server -> client: liveness/health report (answers
                    # PING, and acknowledges DRAIN)
 KIND_DRAIN = 5     # client -> server: stop accepting, finish, exit
 
-_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_PING, KIND_HEALTH, KIND_DRAIN)
+# Version-3 session frames (streaming KV-cache quantization).
+KIND_SESSION_OPEN = 6    # client -> server: create/resume a session
+KIND_SESSION_APPEND = 7  # client -> server: one K/V block, seq-tagged
+KIND_SESSION_READ = 8    # client -> server: dequantize one layer
+KIND_SESSION_CLOSE = 9   # client -> server: finish a session
+
+_KINDS = (KIND_REQUEST, KIND_RESPONSE, KIND_PING, KIND_HEALTH, KIND_DRAIN,
+          KIND_SESSION_OPEN, KIND_SESSION_APPEND, KIND_SESSION_READ,
+          KIND_SESSION_CLOSE)
 
 #: Payload encodings (``flags`` bits).
 FLAG_RAW_F64 = 0x1   # raw little-endian C-order float64, shape in meta
@@ -108,6 +141,7 @@ class Status(enum.IntEnum):
     PROTOCOL_ERROR = 5
     INTERNAL_ERROR = 6
     DRAINING = 7
+    SESSION_LOST = 8
 
 
 #: status -> exception class raised client-side (and the reverse map the
@@ -120,6 +154,7 @@ STATUS_TO_ERROR = {
     Status.PROTOCOL_ERROR: ProtocolError,
     Status.INTERNAL_ERROR: ServerError,
     Status.DRAINING: ServerDraining,
+    Status.SESSION_LOST: SessionLost,
 }
 
 _OPS = ("weight", "activation")
@@ -129,9 +164,9 @@ _LEN = struct.Struct("<I")
 
 def status_for_exception(exc: BaseException) -> Status:
     """The wire status a server reports for ``exc`` (most specific wins)."""
-    for status in (Status.DRAINING, Status.BUSY, Status.FORMAT_ERROR,
-                   Status.CONFIG_ERROR, Status.CODEC_ERROR,
-                   Status.PROTOCOL_ERROR):
+    for status in (Status.DRAINING, Status.BUSY, Status.SESSION_LOST,
+                   Status.FORMAT_ERROR, Status.CONFIG_ERROR,
+                   Status.CODEC_ERROR, Status.PROTOCOL_ERROR):
         if isinstance(exc, STATUS_TO_ERROR[status]):
             return status
     return Status.INTERNAL_ERROR
@@ -445,3 +480,207 @@ def decode_health(frame: Frame) -> dict:
         raise ProtocolError(f"expected a health frame, got kind "
                             f"{frame.kind}")
     return dict(frame.meta)
+
+
+# ----------------------------------------------------------------------
+# Session frames (version 3): streaming KV-cache quantization
+# ----------------------------------------------------------------------
+def _session_id_of(meta: dict) -> str:
+    sid = meta.get("session_id")
+    if not isinstance(sid, str) or not sid:
+        raise ProtocolError("session frame meta is missing session_id")
+    return sid
+
+
+def _layer_of(meta: dict) -> int:
+    layer = meta.get("layer")
+    if not isinstance(layer, int) or layer < 0:
+        raise ProtocolError(f"session frame layer must be an int >= 0, "
+                            f"got {layer!r}")
+    return layer
+
+
+def encode_session_open(request_id: int, *, session_id: str, n_layers: int,
+                        policy=None, max_tokens: int | None = None,
+                        sink_tokens: int = 0, dispatch: str = "inherit",
+                        verify: bool = True) -> bytes:
+    """Serialize a SESSION_OPEN frame carrying the session config.
+
+    ``policy`` is a catalog format name, a policy-spec dict, or a
+    :class:`~repro.kv.KVPolicy` (serialized through its ``spec()``).
+    Open is **idempotent**: re-opening an existing id with the same
+    config is acknowledged as a resume; a different config is refused
+    with ``CONFIG_ERROR``.
+    """
+    from ..kv.session import KVPolicy
+    spec = KVPolicy.from_spec(policy if policy is not None
+                              else "m2xfp").spec()
+    meta = {"session_id": str(session_id), "n_layers": int(n_layers),
+            "policy": spec,
+            "max_tokens": None if max_tokens is None else int(max_tokens),
+            "sink_tokens": int(sink_tokens), "dispatch": dispatch,
+            "verify": bool(verify)}
+    return frame_to_bytes(Frame(kind=KIND_SESSION_OPEN, status=0, flags=0,
+                                request_id=request_id, meta=meta))
+
+
+def decode_session_open(frame: Frame) -> dict:
+    """Validated SESSION_OPEN config (kwargs for ``KVCacheSession``)."""
+    if frame.kind != KIND_SESSION_OPEN:
+        raise ProtocolError(f"expected a session-open frame, got kind "
+                            f"{frame.kind}")
+    meta = frame.meta
+    n_layers = meta.get("n_layers")
+    if not isinstance(n_layers, int) or n_layers < 1:
+        raise ProtocolError(f"session open n_layers must be an int >= 1, "
+                            f"got {n_layers!r}")
+    max_tokens = meta.get("max_tokens")
+    if max_tokens is not None and not isinstance(max_tokens, int):
+        raise ProtocolError(f"session open max_tokens must be an int or "
+                            f"null, got {max_tokens!r}")
+    from ..serve.service import DISPATCH_MODES
+    dispatch = meta.get("dispatch", "inherit")
+    if dispatch not in DISPATCH_MODES:
+        raise ProtocolError(f"session dispatch must be one of "
+                            f"{DISPATCH_MODES}, got {dispatch!r}")
+    return {"session_id": _session_id_of(meta), "n_layers": n_layers,
+            "policy": meta.get("policy"), "max_tokens": max_tokens,
+            "sink_tokens": int(meta.get("sink_tokens", 0)),
+            "dispatch": dispatch,
+            "verify": bool(meta.get("verify", True))}
+
+
+def encode_session_append(request_id: int, *, session_id: str, layer: int,
+                          seq: int, k: np.ndarray,
+                          v: np.ndarray) -> bytes:
+    """Serialize a SESSION_APPEND frame: K then V as raw float64.
+
+    ``seq`` is the client's per-session append counter (0-based,
+    monotonically increasing across *all* layers). The server applies
+    ``seq == next expected``, replays the stored ack for ``next - 1``
+    (a retried duplicate), and answers ``SESSION_LOST`` for anything
+    else — a reconnecting client either resumes exactly or learns the
+    state is gone; it never silently corrupts the stream.
+    """
+    k = np.ascontiguousarray(k, dtype="<f8")
+    v = np.ascontiguousarray(v, dtype="<f8")
+    meta = {"session_id": str(session_id), "layer": int(layer),
+            "seq": int(seq), "k_shape": list(k.shape),
+            "v_shape": list(v.shape)}
+    return frame_to_bytes(Frame(kind=KIND_SESSION_APPEND, status=0,
+                                flags=FLAG_RAW_F64, request_id=request_id,
+                                meta=meta,
+                                payload=k.tobytes() + v.tobytes()))
+
+
+def _split_kv_payload(frame: Frame) -> tuple[np.ndarray, np.ndarray]:
+    """Materialize the K then V tensors of a raw-f64 two-tensor payload."""
+    if not frame.flags & FLAG_RAW_F64:
+        raise ProtocolError("session K/V payload must be raw float64 "
+                            "(FLAG_RAW_F64)")
+    shapes = []
+    for field_name in ("k_shape", "v_shape"):
+        shape = frame.meta.get(field_name)
+        if not isinstance(shape, list) or \
+                not all(isinstance(d, int) and d >= 0 for d in shape):
+            raise ProtocolError(f"bad session {field_name} {shape!r}")
+        shapes.append(shape)
+    k_shape, v_shape = shapes
+    nk = int(np.prod(k_shape, dtype=np.int64)) if k_shape else 1
+    nv = int(np.prod(v_shape, dtype=np.int64)) if v_shape else 1
+    if len(frame.payload) != 8 * (nk + nv):
+        raise ProtocolError(f"session K/V payload has "
+                            f"{len(frame.payload)} bytes; shapes "
+                            f"{k_shape}+{v_shape} need {8 * (nk + nv)}")
+    k = np.frombuffer(frame.payload, dtype="<f8", count=nk) \
+        .reshape(k_shape).copy()
+    v = np.frombuffer(frame.payload, dtype="<f8", offset=8 * nk) \
+        .reshape(v_shape).copy()
+    return k, v
+
+
+def decode_session_append(frame: Frame) -> dict:
+    """Validated SESSION_APPEND fields: id, layer, seq and both tensors."""
+    if frame.kind != KIND_SESSION_APPEND:
+        raise ProtocolError(f"expected a session-append frame, got kind "
+                            f"{frame.kind}")
+    seq = frame.meta.get("seq")
+    if not isinstance(seq, int) or seq < 0:
+        raise ProtocolError(f"session append seq must be an int >= 0, "
+                            f"got {seq!r}")
+    k, v = _split_kv_payload(frame)
+    return {"session_id": _session_id_of(frame.meta),
+            "layer": _layer_of(frame.meta), "seq": seq, "k": k, "v": v}
+
+
+def encode_session_read(request_id: int, *, session_id: str,
+                        layer: int) -> bytes:
+    """Serialize a SESSION_READ frame (answered with a raw K/V response)."""
+    meta = {"session_id": str(session_id), "layer": int(layer)}
+    return frame_to_bytes(Frame(kind=KIND_SESSION_READ, status=0, flags=0,
+                                request_id=request_id, meta=meta))
+
+
+def decode_session_read(frame: Frame) -> tuple[str, int]:
+    if frame.kind != KIND_SESSION_READ:
+        raise ProtocolError(f"expected a session-read frame, got kind "
+                            f"{frame.kind}")
+    return _session_id_of(frame.meta), _layer_of(frame.meta)
+
+
+def encode_session_close(request_id: int, *, session_id: str) -> bytes:
+    """Serialize a SESSION_CLOSE frame (acknowledged with final stats)."""
+    meta = {"session_id": str(session_id)}
+    return frame_to_bytes(Frame(kind=KIND_SESSION_CLOSE, status=0, flags=0,
+                                request_id=request_id, meta=meta))
+
+
+def decode_session_close(frame: Frame) -> str:
+    if frame.kind != KIND_SESSION_CLOSE:
+        raise ProtocolError(f"expected a session-close frame, got kind "
+                            f"{frame.kind}")
+    return _session_id_of(frame.meta)
+
+
+def encode_session_ack(request_id: int, session: dict) -> bytes:
+    """Serialize the OK answer to open/append/close: a ``session`` meta
+    object (session info, append ack fields, or final stats)."""
+    return frame_to_bytes(Frame(kind=KIND_RESPONSE, status=int(Status.OK),
+                                flags=0, request_id=request_id,
+                                meta={"session": dict(session)}))
+
+
+def decode_session_ack(frame: Frame) -> dict:
+    """The ``session`` object of an ack (or raise the typed error)."""
+    if frame.kind != KIND_RESPONSE:
+        raise ProtocolError(f"expected a response frame, got kind "
+                            f"{frame.kind}")
+    if frame.status != Status.OK:
+        response_result(frame)  # raises the typed error
+    session = frame.meta.get("session")
+    if not isinstance(session, dict):
+        raise ProtocolError("session ack is missing its session object")
+    return session
+
+
+def encode_session_kv(request_id: int, k: np.ndarray, v: np.ndarray, *,
+                      session_id: str, layer: int) -> bytes:
+    """Serialize the OK answer to SESSION_READ: both dequantized tensors."""
+    k = np.ascontiguousarray(k, dtype="<f8")
+    v = np.ascontiguousarray(v, dtype="<f8")
+    meta = {"session_id": str(session_id), "layer": int(layer),
+            "k_shape": list(k.shape), "v_shape": list(v.shape)}
+    return frame_to_bytes(Frame(kind=KIND_RESPONSE, status=int(Status.OK),
+                                flags=FLAG_RAW_F64, request_id=request_id,
+                                meta=meta,
+                                payload=k.tobytes() + v.tobytes()))
+
+
+def decode_session_kv(frame: Frame) -> tuple[np.ndarray, np.ndarray]:
+    """The (K, V) tensors of a SESSION_READ answer (or raise typed)."""
+    if frame.kind != KIND_RESPONSE:
+        raise ProtocolError(f"expected a response frame, got kind "
+                            f"{frame.kind}")
+    if frame.status != Status.OK:
+        response_result(frame)  # raises the typed error
+    return _split_kv_payload(frame)

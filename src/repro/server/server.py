@@ -31,10 +31,24 @@ Fault tolerance (protocol version 2):
   with a protocol error; a trickling or garbage peer cannot pin a
   connection task forever (the max-frame-size guard bounds allocation).
 
+Streaming KV-cache sessions (protocol version 3): ``SESSION_OPEN``
+creates (or idempotently resumes) a :class:`~repro.kv.KVCacheSession`
+in the server's bounded session table; ``SESSION_APPEND`` carries one
+K/V block tagged with a client sequence number — the server applies
+the expected seq, **replays** the stored ack for the immediately
+preceding one (a retried duplicate after a transport failure) and
+answers ``SESSION_LOST`` for anything else, so a reconnecting client
+either resumes exactly or learns the state is gone, never silently
+corrupts the stream; ``SESSION_READ`` returns the dequantized layer;
+``SESSION_CLOSE`` frees the slot. During a drain, open/append/read are
+refused with ``DRAINING`` while close stays allowed — open sessions
+are rejected cleanly, not wedged.
+
 Env knobs (all overridable per instance): ``REPRO_SERVER_PORT`` (default
 7421), ``REPRO_SERVER_MAX_INFLIGHT`` (default 64),
 ``REPRO_SERVER_READ_TIMEOUT_S`` (default 60),
-``REPRO_SERVER_DRAIN_TIMEOUT_S`` (default 30), and — consumed by the
+``REPRO_SERVER_DRAIN_TIMEOUT_S`` (default 30),
+``REPRO_SERVER_MAX_SESSIONS`` (default 64), and — consumed by the
 CLI / worker pool — ``REPRO_SERVER_WORKERS`` /
 ``REPRO_SERVER_MAX_RESTARTS``.
 
@@ -54,15 +68,16 @@ import os
 import signal
 import threading
 
-from ..errors import ConfigError, ProtocolError
+from ..errors import ConfigError, ProtocolError, ServerBusy, SessionLost
 from . import protocol
 from .protocol import Status
 
 __all__ = ["QuantServer", "ServerThread", "run_server",
            "PORT_ENV", "MAX_INFLIGHT_ENV", "WORKERS_ENV",
-           "READ_TIMEOUT_ENV", "DRAIN_TIMEOUT_ENV",
+           "READ_TIMEOUT_ENV", "DRAIN_TIMEOUT_ENV", "MAX_SESSIONS_ENV",
            "DEFAULT_PORT", "DEFAULT_MAX_INFLIGHT",
-           "DEFAULT_READ_TIMEOUT_S", "DEFAULT_DRAIN_TIMEOUT_S"]
+           "DEFAULT_READ_TIMEOUT_S", "DEFAULT_DRAIN_TIMEOUT_S",
+           "DEFAULT_MAX_SESSIONS"]
 
 #: Environment knobs (documented in the README's env-knob table).
 PORT_ENV = "REPRO_SERVER_PORT"
@@ -70,11 +85,13 @@ MAX_INFLIGHT_ENV = "REPRO_SERVER_MAX_INFLIGHT"
 WORKERS_ENV = "REPRO_SERVER_WORKERS"
 READ_TIMEOUT_ENV = "REPRO_SERVER_READ_TIMEOUT_S"
 DRAIN_TIMEOUT_ENV = "REPRO_SERVER_DRAIN_TIMEOUT_S"
+MAX_SESSIONS_ENV = "REPRO_SERVER_MAX_SESSIONS"
 
 DEFAULT_PORT = 7421
 DEFAULT_MAX_INFLIGHT = 64
 DEFAULT_READ_TIMEOUT_S = 60.0
 DEFAULT_DRAIN_TIMEOUT_S = 30.0
+DEFAULT_MAX_SESSIONS = 64
 
 
 def _env_int(name: str, default: int) -> int:
@@ -95,6 +112,24 @@ def _env_float(name: str, default: float) -> float:
         return float(raw)
     except ValueError:
         raise ConfigError(f"{name} must be a number, got {raw!r}") from None
+
+
+#: Frame kinds that carry admitted (in-flight-bounded) work.
+_SESSION_KINDS = (protocol.KIND_SESSION_OPEN, protocol.KIND_SESSION_APPEND,
+                  protocol.KIND_SESSION_READ, protocol.KIND_SESSION_CLOSE)
+_WORK_KINDS = (protocol.KIND_REQUEST, *_SESSION_KINDS)
+
+
+class _SessionEntry:
+    """One live session: the cache plus the seq-dedup resume state."""
+
+    __slots__ = ("session", "lock", "next_seq", "last_ack")
+
+    def __init__(self, session) -> None:
+        self.session = session
+        self.lock = asyncio.Lock()   # serializes appends per session
+        self.next_seq = 0            # the seq the next append must carry
+        self.last_ack: dict | None = None  # replayed for a retried dup
 
 
 class QuantServer:
@@ -124,6 +159,10 @@ class QuantServer:
         Upper bound on how long a drain waits for admitted in-flight
         work before exiting anyway (``None`` reads
         ``REPRO_SERVER_DRAIN_TIMEOUT_S``, default 30).
+    max_sessions:
+        Bound on concurrently open KV-cache sessions; at the bound,
+        ``SESSION_OPEN`` answers ``BUSY`` (``None`` reads
+        ``REPRO_SERVER_MAX_SESSIONS``, default 64).
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int | None = None, *,
@@ -131,7 +170,8 @@ class QuantServer:
                  max_delay_s: float = 0.002, service_workers: int = 0,
                  max_requests: int | None = None,
                  read_timeout_s: float | None = None,
-                 drain_timeout_s: float | None = None) -> None:
+                 drain_timeout_s: float | None = None,
+                 max_sessions: int | None = None) -> None:
         self.host = host
         self.port = _env_int(PORT_ENV, DEFAULT_PORT) if port is None \
             else int(port)
@@ -147,14 +187,22 @@ class QuantServer:
             if drain_timeout_s is None else float(drain_timeout_s)
         if self.drain_timeout_s < 0 or self.read_timeout_s < 0:
             raise ConfigError("timeouts must be >= 0")
+        self.max_sessions = _env_int(MAX_SESSIONS_ENV, DEFAULT_MAX_SESSIONS) \
+            if max_sessions is None else int(max_sessions)
+        if self.max_sessions < 1:
+            raise ConfigError("max_sessions must be >= 1")
         self.max_batch = max_batch
         self.max_delay_s = max_delay_s
         self.service_workers = service_workers
         self.max_requests = max_requests
         self.stats = {"connections": 0, "requests": 0, "responses": 0,
                       "busy_rejections": 0, "errors": 0, "pings": 0,
-                      "drain_requests": 0, "draining_rejections": 0}
+                      "drain_requests": 0, "draining_rejections": 0,
+                      "session_opens": 0, "session_appends": 0,
+                      "session_reads": 0, "session_closes": 0,
+                      "sessions_lost": 0}
         self._services: dict[tuple, object] = {}
+        self._sessions: dict[str, _SessionEntry] = {}
         self._inflight = 0
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
@@ -239,7 +287,9 @@ class QuantServer:
                 "max_inflight": self.max_inflight,
                 "protocol_version": protocol.PROTOCOL_VERSION,
                 "stats": dict(self.stats),
-                "services": services}
+                "services": services,
+                "sessions": {"open": len(self._sessions),
+                             "max_sessions": self.max_sessions}}
 
     def _start_drain(self) -> None:
         """Loop-side drain entry (idempotent)."""
@@ -307,12 +357,23 @@ class QuantServer:
                         frame.request_id, self.health_info()))
                     continue
                 self.stats["requests"] += 1
-                if frame.kind != protocol.KIND_REQUEST:
+                if frame.kind not in _WORK_KINDS:
                     await self._answer(writer, wlock,
                                        protocol.encode_response_error(
                                            frame.request_id,
                                            Status.PROTOCOL_ERROR,
-                                           "expected a request frame"))
+                                           "expected a request or "
+                                           "session frame"))
+                    continue
+                if self._draining and frame.kind == \
+                        protocol.KIND_SESSION_CLOSE:
+                    # Drain still lets clients close their sessions —
+                    # open sessions are rejected cleanly, never wedged.
+                    self._inflight += 1
+                    task = asyncio.create_task(
+                        self._respond_session(frame, writer, wlock))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
                     continue
                 if self._draining:
                     # The drain contract: admitted work finishes, new
@@ -335,8 +396,9 @@ class QuantServer:
                                            f"({self.max_inflight}); retry"))
                     continue
                 self._inflight += 1
-                task = asyncio.create_task(
-                    self._respond(frame, writer, wlock))
+                handler = self._respond if frame.kind == \
+                    protocol.KIND_REQUEST else self._respond_session
+                task = asyncio.create_task(handler(frame, writer, wlock))
                 tasks.add(task)
                 task.add_done_callback(tasks.discard)
         except ProtocolError as exc:
@@ -416,6 +478,136 @@ class QuantServer:
 
     async def _answer(self, writer, wlock, data: bytes) -> None:
         await self._send(writer, wlock, data)
+
+    # ------------------------------------------------------------------
+    # Streaming KV-cache sessions (protocol v3)
+    # ------------------------------------------------------------------
+    def _get_session(self, session_id: str) -> _SessionEntry:
+        entry = self._sessions.get(session_id)
+        if entry is None:
+            self.stats["sessions_lost"] += 1
+            raise SessionLost(
+                f"unknown session {session_id!r} on this replica; "
+                f"reopen the session and replay from the client's copy")
+        return entry
+
+    async def _respond_session(self, frame: protocol.Frame,
+                               writer: asyncio.StreamWriter,
+                               wlock: asyncio.Lock) -> None:
+        rid = frame.request_id
+        handlers = {
+            protocol.KIND_SESSION_OPEN: self._session_open,
+            protocol.KIND_SESSION_APPEND: self._session_append,
+            protocol.KIND_SESSION_READ: self._session_read,
+            protocol.KIND_SESSION_CLOSE: self._session_close,
+        }
+        try:
+            try:
+                data = await handlers[frame.kind](frame)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                self.stats["errors"] += 1
+                data = protocol.encode_response_error(
+                    rid, protocol.status_for_exception(exc), str(exc),
+                    type(exc).__name__)
+            try:
+                await self._answer(writer, wlock, data)
+            except (ConnectionError, OSError):
+                pass  # client went away; the session state stays
+        finally:
+            self._inflight -= 1
+            self.stats["responses"] += 1
+            if self._draining and self._inflight == 0 and \
+                    self._drained is not None:
+                self._drained.set()
+            if self.max_requests is not None and \
+                    self.stats["responses"] >= self.max_requests:
+                self.request_stop()
+
+    async def _session_open(self, frame: protocol.Frame) -> bytes:
+        cfg = protocol.decode_session_open(frame)
+        self.stats["session_opens"] += 1
+        sid = cfg["session_id"]
+        from ..kv import KVCacheSession
+        entry = self._sessions.get(sid)
+        if entry is not None:
+            # Idempotent resume: the same config is acknowledged (with
+            # the seq the client must continue from); a different one
+            # is a hard error — two writers must not share state.
+            fresh = KVCacheSession(cfg["n_layers"], cfg["policy"],
+                                   max_tokens=cfg["max_tokens"],
+                                   sink_tokens=cfg["sink_tokens"],
+                                   dispatch=cfg["dispatch"],
+                                   session_id=sid, verify=cfg["verify"])
+            if fresh.info() != entry.session.info():
+                raise ConfigError(
+                    f"session {sid!r} is already open with a different "
+                    f"configuration; close it first or pick a new id")
+            return protocol.encode_session_ack(
+                frame.request_id, {**entry.session.info(),
+                                   "resumed": True,
+                                   "next_seq": entry.next_seq})
+        if len(self._sessions) >= self.max_sessions:
+            raise ServerBusy(f"server at max open sessions "
+                             f"({self.max_sessions}); close one or retry")
+        session = KVCacheSession(cfg["n_layers"], cfg["policy"],
+                                 max_tokens=cfg["max_tokens"],
+                                 sink_tokens=cfg["sink_tokens"],
+                                 dispatch=cfg["dispatch"],
+                                 session_id=sid, verify=cfg["verify"])
+        self._sessions[sid] = _SessionEntry(session)
+        return protocol.encode_session_ack(
+            frame.request_id, {**session.info(), "resumed": False,
+                               "next_seq": 0})
+
+    async def _session_append(self, frame: protocol.Frame) -> bytes:
+        req = protocol.decode_session_append(frame)
+        self.stats["session_appends"] += 1
+        entry = self._get_session(req["session_id"])
+        async with entry.lock:
+            seq = req["seq"]
+            if seq == entry.next_seq:
+                # A failed append still consumes its seq (the failure is
+                # deterministic and will not be retried), so the stream
+                # position stays in step with the client's counter.
+                entry.next_seq += 1
+                entry.last_ack = None
+                ack = await asyncio.to_thread(
+                    entry.session.append, req["layer"], req["k"],
+                    req["v"])
+                ack = {**ack, "seq": seq, "duplicate": False}
+                entry.last_ack = ack
+            elif seq == entry.next_seq - 1 and entry.last_ack is not None:
+                # A retried duplicate (the first ack died with the
+                # connection): replay the stored ack — idempotent.
+                ack = {**entry.last_ack, "duplicate": True}
+            else:
+                self.stats["sessions_lost"] += 1
+                raise SessionLost(
+                    f"session {req['session_id']!r} expected append seq "
+                    f"{entry.next_seq}, got {seq}; the stream cannot be "
+                    f"reconciled — reopen and replay")
+        return protocol.encode_session_ack(frame.request_id, ack)
+
+    async def _session_read(self, frame: protocol.Frame) -> bytes:
+        sid, layer = protocol.decode_session_read(frame)
+        self.stats["session_reads"] += 1
+        entry = self._get_session(sid)
+        k, v = await asyncio.to_thread(entry.session.read, layer)
+        return protocol.encode_session_kv(frame.request_id, k, v,
+                                          session_id=sid, layer=layer)
+
+    async def _session_close(self, frame: protocol.Frame) -> bytes:
+        sid = protocol.decode_session_close(frame)
+        self.stats["session_closes"] += 1
+        entry = self._sessions.pop(sid, None)
+        if entry is None:
+            self.stats["sessions_lost"] += 1
+            raise SessionLost(f"unknown session {sid!r}; nothing to close")
+        final = await asyncio.to_thread(entry.session.close)
+        return protocol.encode_session_ack(
+            frame.request_id, {"session_id": sid, **final})
 
 
 def _install_sigterm_drain(server: QuantServer) -> None:

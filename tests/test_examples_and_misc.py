@@ -17,10 +17,20 @@ class TestExamples:
         out = capsys.readouterr().out
         assert "m2xfp" in out and "bits/element" in out
 
-    def test_kv_cache_runs(self, capsys):
+    def test_kv_cache_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["kv_cache.py"])
+        runpy.run_path("examples/kv_cache.py", run_name="__main__")
+        out = capsys.readouterr().out
+        assert "streaming KV sessions" in out
+        assert "improvement" in out
+        assert "compiled-plan cache" in out
+
+    def test_kv_cache_static_mode_runs(self, capsys, monkeypatch):
+        monkeypatch.setattr(sys, "argv", ["kv_cache.py", "--static"])
         runpy.run_path("examples/kv_cache.py", run_name="__main__")
         out = capsys.readouterr().out
         assert "improvement" in out
+        assert "packed KV-cache footprint" in out
 
     def test_accelerator_sim_runs(self, capsys):
         runpy.run_path("examples/accelerator_sim.py", run_name="__main__")

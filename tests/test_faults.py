@@ -32,10 +32,11 @@ import pytest
 
 from repro.errors import (ConfigError, ConnectionLost, ProtocolError,
                           RequestTimeout, RetryBudgetExceeded,
-                          WorkerCrashLoop)
+                          ServerDraining, SessionLost, WorkerCrashLoop)
+from repro.kv import KVCacheSession
 from repro.server import (AsyncQuantClient, FaultPlan, FaultProxy,
-                          QuantClient, ServerThread, WorkerPool,
-                          local_expected, protocol)
+                          QuantClient, QuantServer, ServerThread,
+                          WorkerPool, local_expected, protocol)
 from repro.server.faults import (FAULT_CLOSE_AFTER_ENV, FAULT_KILL_PROB_ENV,
                                  FAULT_SEED_ENV)
 
@@ -470,6 +471,134 @@ def test_pool_close_escalates_to_kill_when_terminate_ignored():
     pool.close()
     assert time.monotonic() - t0 < 30.0
     assert all(not p.is_alive() for p in procs)
+
+
+# ----------------------------------------------------------------------
+# Streaming KV sessions under chaos
+# ----------------------------------------------------------------------
+def _kv_block(rng, tokens: int = 2, width: int = 64) -> np.ndarray:
+    return rng.standard_normal((tokens, width)) \
+        * np.exp(rng.standard_normal((tokens, width)))
+
+
+def test_session_appends_resume_bit_exact_through_kills(rng):
+    """Mid-session connection kills: the retrying client's seq-dedup
+    resume must leave the stream bit-identical to an unfaulted local
+    session — duplicates replayed, nothing applied twice, no gaps."""
+    blocks = [(_kv_block(rng), _kv_block(rng)) for _ in range(14)]
+    plan = FaultPlan(seed=11, kill_prob=0.10, delay_prob=0.2,
+                     delay_s=0.002)
+    with ServerThread(port=0) as st, \
+            FaultProxy(target_port=st.port, plan=plan) as px, \
+            QuantClient(port=px.port, retries=16, backoff_base_s=0.005,
+                        backoff_max_s=0.05, retry_seed=3,
+                        timeout=30.0) as cli:
+        cli.session_open(session_id="chaos", n_layers=1, policy="m2xfp",
+                         max_tokens=16, sink_tokens=4)
+        local = KVCacheSession(1, "m2xfp", max_tokens=16, sink_tokens=4)
+        for seq, (k, v) in enumerate(blocks):
+            ack = cli.session_append("chaos", 0, k, v, seq=seq)
+            ref = local.append(0, k, v)
+            assert (ack["start"], ack["tokens_held"]) \
+                == (ref["start"], ref["tokens_held"])
+        K, V = cli.session_read("chaos", 0)
+        lk, lv = local.read(0)
+        assert K.tobytes() == lk.tobytes()
+        assert V.tobytes() == lv.tobytes()
+        assert px.stats["killed"] > 0, "the chaos never bit"
+        # Kills mid-append forced retries: the server saw more APPEND
+        # frames than there are blocks, yet applied exactly len(blocks).
+        assert st.server.stats["session_appends"] >= len(blocks)
+        assert local.stats()["appends"] == len(blocks)
+
+
+class _StalledKVService:
+    """A quantize-service stub whose futures resolve on demand."""
+
+    def __init__(self):
+        from repro.runner.formats import make_format
+        self.fmt = make_format("m2xfp")
+        self.futures: list = []
+        self.released = threading.Event()
+
+    def submit(self, x, op="activation"):
+        from concurrent.futures import Future
+        fut: Future = Future()
+        self.futures.append((fut, np.zeros_like(x)))
+        if self.released.is_set():
+            fut.set_result(np.zeros_like(x))
+        return fut
+
+    def release(self):
+        self.released.set()
+        for fut, result in self.futures:
+            if not fut.done():
+                fut.set_result(result)
+
+
+def test_drain_rejects_session_ops_but_admits_close(rng, monkeypatch):
+    """During a drain, open/append/read answer DRAINING (retryable
+    backpressure) while CLOSE stays admitted — an open session is
+    rejected cleanly and can still free its slot, never wedged."""
+    x = rng.standard_normal((2, 32))
+    k = _kv_block(rng)
+    stub = _StalledKVService()
+    monkeypatch.setattr(QuantServer, "_get_service",
+                        lambda self, req: stub)
+    st = ServerThread(port=0).__enter__()
+    try:
+        with QuantClient(port=st.port, timeout=30.0) as cli:
+            cli.session_open(session_id="s", n_layers=1)
+            cli.session_append("s", 0, k, k, seq=0)
+            rid = cli.submit(x, fmt="m2xfp")  # stalls: holds the drain
+            ack = cli.drain()
+            assert ack["draining"] is True
+            with pytest.raises(ServerDraining):
+                cli.session_open(session_id="t", n_layers=1, retries=0)
+            with pytest.raises(ServerDraining):
+                cli.session_append("s", 0, k, k, seq=1, retries=0)
+            with pytest.raises(ServerDraining):
+                cli.session_read("s", 0, retries=0)
+            final = cli.session_close("s", retries=0)
+            assert final["closed"] is True
+            stub.release()
+            assert cli.result(rid).shape == x.shape
+    finally:
+        st.__exit__(None, None, None)
+
+
+@pytest.mark.slow
+def test_sigkilled_worker_surfaces_session_lost_then_replay(rng):
+    """SIGKILL the replica holding a session: the reconnecting client
+    must get a typed ``SessionLost`` — never a silently fresh stream —
+    and reopening + replaying from its own copy restores bit-exact
+    state."""
+    blocks = [(_kv_block(rng), _kv_block(rng)) for _ in range(6)]
+    with WorkerPool(workers=1, port=0, backoff_base_s=0.02,
+                    healthy_reset_s=0.5) as pool:
+        with QuantClient(port=pool.port, retries=20, backoff_base_s=0.05,
+                         backoff_max_s=0.5, retry_seed=0,
+                         timeout=30.0) as cli:
+            cli.session_open(session_id="s", n_layers=1)
+            for seq in range(3):
+                k, v = blocks[seq]
+                cli.session_append("s", 0, k, v, seq=seq)
+            os.kill(pool._procs[0].pid, signal.SIGKILL)
+            # The retry loop reconnects to the restarted worker, whose
+            # session table is empty: typed SessionLost, not retryable.
+            with pytest.raises(SessionLost):
+                cli.session_append("s", 0, *blocks[3], seq=3)
+            # Recovery protocol: reopen and replay the client's copy.
+            ack = cli.session_open(session_id="s", n_layers=1)
+            assert ack["resumed"] is False and ack["next_seq"] == 0
+            local = KVCacheSession(1)
+            for seq, (k, v) in enumerate(blocks):
+                cli.session_append("s", 0, k, v, seq=seq)
+                local.append(0, k, v)
+            K, V = cli.session_read("s", 0)
+            lk, lv = local.read(0)
+            assert K.tobytes() == lk.tobytes()
+            assert V.tobytes() == lv.tobytes()
 
 
 @pytest.mark.slow

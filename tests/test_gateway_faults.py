@@ -29,6 +29,7 @@ import numpy as np
 import pytest
 
 from repro.gateway import GatewayThread, ReplicaCluster
+from repro.kv import KVCacheSession
 from repro.server import FaultPlan, FaultProxy, QuantClient, ServerThread
 from repro.server.client import local_expected
 
@@ -209,7 +210,162 @@ def test_zero_routable_replicas_is_down_not_ok(rng):
 
 
 # ----------------------------------------------------------------------
-# 4. Real process SIGKILL mid-stream (slow: spawns interpreters)
+# 4. Streaming KV sessions: pinned routing, 410 Gone, replay recovery
+# ----------------------------------------------------------------------
+def _session(conn, action, fields) -> tuple[int, bytes]:
+    conn.request("POST", f"/v1/session/{action}", json.dumps(fields),
+                 {"Content-Type": "application/json"})
+    resp = conn.getresponse()
+    return resp.status, resp.read()
+
+
+def _append_fields(sid, layer, seq, k, v) -> dict:
+    def b64(a):
+        return base64.b64encode(
+            np.ascontiguousarray(a, dtype="<f8").tobytes()).decode()
+    return {"session_id": sid, "layer": layer, "seq": seq,
+            "k_b64": b64(k), "k_shape": list(k.shape),
+            "v_b64": b64(v), "v_shape": list(v.shape)}
+
+
+def _read_kv(body: bytes) -> tuple[np.ndarray, np.ndarray]:
+    fields = json.loads(body)
+    return tuple(
+        np.frombuffer(base64.b64decode(fields[f"{side}_b64"]),
+                      "<f8").reshape(fields[f"{side}_shape"])
+        for side in ("k", "v"))
+
+
+def test_session_ops_pin_to_one_replica_and_unknown_is_410(rng):
+    """All of one session's ops land on its home replica (no failover
+    spraying state across the cluster); a session nobody holds answers
+    410 Gone carrying the typed SessionLost."""
+    blocks = [(rng.standard_normal((2, 64)), rng.standard_normal((2, 64)))
+              for _ in range(4)]
+    with ServerThread(port=0) as a, ServerThread(port=0) as b:
+        upstreams = [f"127.0.0.1:{a.port}", f"127.0.0.1:{b.port}"]
+        with GatewayThread(upstreams=upstreams, port=0,
+                           probe_interval_s=0.2) as gw:
+            conn = http.client.HTTPConnection("127.0.0.1", gw.port,
+                                              timeout=60)
+            try:
+                status, body = _session(conn, "read",
+                                        {"session_id": "ghost",
+                                         "layer": 0})
+                assert status == 410
+                err = json.loads(body)
+                assert err["exc_type"] == "SessionLost"
+                assert err["status"] == 410
+                status, _ = _session(conn, "open",
+                                     {"session_id": "pinned",
+                                      "n_layers": 1})
+                assert status == 200
+                local = KVCacheSession(1)
+                for seq, (k, v) in enumerate(blocks):
+                    status, _ = _session(conn, "append", _append_fields(
+                        "pinned", 0, seq, k, v))
+                    assert status == 200
+                    local.append(0, k, v)
+                status, body = _session(conn, "read",
+                                        {"session_id": "pinned",
+                                         "layer": 0})
+                assert status == 200
+                K, V = _read_kv(body)
+                lk, lv = local.read(0)
+                assert K.tobytes() == lk.tobytes()
+                assert V.tobytes() == lv.tobytes()
+                # Exactly one replica ever saw the session.
+                touched = [st for st in (a, b)
+                           if st.server.stats["session_opens"] > 0]
+                assert len(touched) == 1
+                assert touched[0].server.stats["session_appends"] \
+                    == len(blocks)
+            finally:
+                conn.close()
+
+
+@pytest.mark.slow
+def test_sigkill_home_replica_yields_410_then_replay_recovers(rng):
+    """SIGKILL the replica holding a session's state: the next session
+    op surfaces 410 Gone (typed SessionLost) — never a silent fresh
+    stream — and the client-side reopen + replay protocol restores a
+    bit-exact cache through the gateway."""
+    sid = "kv-chaos"
+    blocks = [(rng.standard_normal((2, 64)), rng.standard_normal((2, 64)))
+              for _ in range(5)]
+    with ReplicaCluster(replicas=2, max_delay_s=0.0005,
+                        backoff_base_s=0.01) as cluster:
+        with GatewayThread(upstreams=cluster.endpoints, port=0,
+                           probe_interval_s=0.1,
+                           upstream_timeout_s=15.0) as gw:
+            conn = http.client.HTTPConnection("127.0.0.1", gw.port,
+                                              timeout=60)
+            try:
+                assert _session(conn, "open", {"session_id": sid,
+                                               "n_layers": 1})[0] == 200
+                for seq in range(3):
+                    k, v = blocks[seq]
+                    assert _session(conn, "append", _append_fields(
+                        sid, 0, seq, k, v))[0] == 200
+                home = gw.gateway._session_replica(sid).name
+                victim = next(p for p in cluster.pools
+                              if f"{p.host}:{p.port}" == home)
+                os.kill(victim._procs[0].pid, signal.SIGKILL)
+                # The next append must answer 410 (the home's state died
+                # with it) after transient 502/503s — never 200.
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    status, body = _session(conn, "append", _append_fields(
+                        sid, 0, 3, *blocks[3]))
+                    if status not in (502, 503):
+                        break
+                    time.sleep(0.1)
+                assert status == 410, (status, body)
+                assert json.loads(body)["exc_type"] == "SessionLost"
+                # Client recovery: reopen + full replay. Routing follows
+                # health, so a mid-replay 410 (the home flapping back)
+                # just restarts the loop — the protocol converges.
+                local = KVCacheSession(1)
+                for k, v in blocks:
+                    local.append(0, k, v)
+                deadline = time.monotonic() + 60.0
+                replayed = False
+                while not replayed and time.monotonic() < deadline:
+                    # Best-effort close first: clears any stale partial
+                    # state where the ops currently route, so the open
+                    # below starts a fresh stream at seq 0.
+                    _session(conn, "close", {"session_id": sid})
+                    if _session(conn, "open", {"session_id": sid,
+                                               "n_layers": 1})[0] != 200:
+                        time.sleep(0.1)
+                        continue
+                    replayed = True
+                    for seq, (k, v) in enumerate(blocks):
+                        while True:
+                            status, _ = _session(conn, "append",
+                                                 _append_fields(
+                                                     sid, 0, seq, k, v))
+                            if status in (502, 503):
+                                time.sleep(0.1)
+                                continue
+                            break
+                        if status != 200:   # routing moved: reopen
+                            replayed = False
+                            break
+                assert replayed, "session replay never converged"
+                status, body = _session(conn, "read",
+                                        {"session_id": sid, "layer": 0})
+                assert status == 200
+                K, V = _read_kv(body)
+                lk, lv = local.read(0)
+                assert K.tobytes() == lk.tobytes()
+                assert V.tobytes() == lv.tobytes()
+            finally:
+                conn.close()
+
+
+# ----------------------------------------------------------------------
+# 5. Real process SIGKILL mid-stream (slow: spawns interpreters)
 # ----------------------------------------------------------------------
 @pytest.mark.slow
 def test_sigkill_replica_mid_stream_invisible_to_clients(rng):
