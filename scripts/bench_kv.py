@@ -11,11 +11,21 @@ eviction). Per catalog format it records:
 * **appends/s** — per-layer K/V block appends per second;
 * **measured bits/elem** — the session's packed payload footprint.
 
-Sessions run with ``verify=True`` — the serving default, where every
-append cross-checks its packed bytes against the one-shot batch
-quantizer — so the numbers price the bit-exactness contract, not a
-fast path the server never takes. A ``verify_off_tokens_per_s`` column
-records what the cross-check costs.
+Sessions run with ``verify=True`` — the serving default. On the fused
+quantize→pack path that is an O(bytes) unpack-and-compare of every
+stream against the executor's code arrays; on the fallback path it is
+a full re-quantize against the one-shot batch quantizer — either way
+the numbers price the integrity contract, not a fast path the server
+never takes. A ``verify_off_tokens_per_s`` column
+records what the cross-check costs, and ``stage_s_per_append`` breaks
+each append into its quantize / pack / verify stage seconds (from
+:func:`repro.codec.collect_encode_stats`, surfaced through
+``KVCacheSession.encode_stage_stats``).
+
+The **fused** section re-runs a subset of formats with
+``REPRO_NO_FUSED_PACK=1`` — the fallback that re-derives codes from
+dequantized floats instead of packing the plan executor's code-space
+output — and records the fused-vs-unfused tokens/s ratio.
 
 The **wire** section replays the same decode loop through a live
 :class:`~repro.server.ServerThread` over protocol-v3 SESSION frames
@@ -34,10 +44,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 
 import numpy as np
 
+from repro.codec import FUSED_PACK_ENV
 from repro.kv import KVCacheSession, KVPolicy
 from repro.server import QuantClient, ServerThread
 
@@ -46,6 +58,10 @@ DEFAULT_OUT = "BENCH_kv.json"
 #: Catalog formats the decode loop is measured under (group-scoped and
 #: tensor-scoped both represented).
 FORMATS = ("m2xfp", "mxfp4", "elem-em", "sg-em", "nvfp4", "m2-nvfp4")
+
+#: Formats the fused-vs-unfused section re-measures (all plan-compiled
+#: with code-space executors, so the knob actually changes the path).
+FUSED_FORMATS = ("m2xfp", "mxfp4", "elem-em", "sg-em")
 
 #: The format the over-the-wire section replays.
 WIRE_FORMAT = "m2xfp"
@@ -77,7 +93,9 @@ def _decode_loop(fmt: str, blocks, *, n_layers, max_tokens, sink_tokens,
         sess.append(layer, k, v)
     elapsed = time.perf_counter() - t0
     stats = sess.stats()
+    stages = sess.encode_stage_stats()
     sess.close()
+    appends = n_layers * (1 + steps)  # prefill blocks + decode steps
     return {
         "tokens_per_s": round(steps / elapsed, 1),
         "appends_per_s": round(steps * n_layers / elapsed, 1),
@@ -86,6 +104,13 @@ def _decode_loop(fmt: str, blocks, *, n_layers, max_tokens, sink_tokens,
             stats["measured_bits_per_element"], 3),
         "evicted_tokens": stats["evicted_tokens"],
         "verify": verify,
+        # Each append encodes one K and one V block.
+        "fused_appends": stages["fused_encodes"] // 2,
+        "stage_s_per_append": {
+            "quantize": round(stages["quantize_s"] / appends, 7),
+            "pack": round(stages["pack_s"] / appends, 7),
+            "verify": round(stages["verify_s"] / appends, 7),
+        },
     }
 
 
@@ -157,6 +182,7 @@ def run_benchmarks(quick: bool = False) -> dict:
         },
         "decode_loop": {},
         "wire": {},
+        "fused": {},
     }
     kw = dict(n_layers=n_layers, max_tokens=max_tokens,
               sink_tokens=sink_tokens, steps=steps)
@@ -168,6 +194,33 @@ def run_benchmarks(quick: bool = False) -> dict:
         print(f"  {fmt:10s} {row['tokens_per_s']:8.1f} tokens/s verified "
               f"({row['verify_off_tokens_per_s']:8.1f} unverified)  "
               f"{row['measured_bits_per_element']:5.2f} bits/elem")
+
+    # --- fused quantize→pack vs the REPRO_NO_FUSED_PACK fallback -------
+    prev = os.environ.get(FUSED_PACK_ENV)
+    try:
+        for fmt in FUSED_FORMATS:
+            os.environ.pop(FUSED_PACK_ENV, None)
+            f_tps = max(_decode_loop(fmt, blocks, verify=True,
+                                     **kw)["tokens_per_s"]
+                        for _ in range(2))
+            os.environ[FUSED_PACK_ENV] = "1"
+            u_tps = max(_decode_loop(fmt, blocks, verify=True,
+                                     **kw)["tokens_per_s"]
+                        for _ in range(2))
+            payload["fused"][fmt] = {
+                "tokens_per_s": f_tps,
+                "unfused_tokens_per_s": u_tps,
+                "speedup_fused_pack": round(f_tps / u_tps, 3),
+            }
+            print(f"  fused {fmt:10s} {f_tps:8.1f} tokens/s  "
+                  f"unfused {u_tps:8.1f}  "
+                  f"({payload['fused'][fmt]['speedup_fused_pack']:.2f}x)")
+    finally:
+        if prev is None:
+            os.environ.pop(FUSED_PACK_ENV, None)
+        else:
+            os.environ[FUSED_PACK_ENV] = prev
+
     payload["wire"] = run_wire(blocks, **kw)
     return payload
 

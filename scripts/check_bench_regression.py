@@ -41,14 +41,17 @@ SUITES = {
 #: suite's chaos and gateway sections are validated structurally (their
 #: absolute rps is machine-dependent, but a fresh run must have
 #: *completed* requests — through the fault proxy for chaos, and with
-#: exactly matching /metrics counters for the gateway). The kv suite
-#: has no speedup ratios at all: its decode-loop tokens/s are absolute
-#: rates, so the gate is purely structural — every baseline format must
-#: complete with a positive rate and the wire replay must read back
-#: bit-exact.
+#: exactly matching /metrics counters for the gateway). The kv suite's
+#: decode-loop tokens/s are absolute rates, so that part of the gate is
+#: purely structural — every baseline format must complete with a
+#: positive rate and the wire replay must read back bit-exact. The
+#: codec and kv ``fused`` sections compare the fused quantize→pack
+#: path against its ``REPRO_NO_FUSED_PACK=1`` fallback and must show
+#: the fused arm at least breaking even (``speedup_fused_pack >= 1``).
 REQUIRED_SECTIONS = {
+    "codec": ("arms", "fused"),
     "server": ("arms", "sharded", "chaos", "gateway"),
-    "kv": ("decode_loop", "wire"),
+    "kv": ("decode_loop", "wire", "fused"),
 }
 
 
@@ -68,6 +71,31 @@ def check_sections(suite: str, candidate: dict) -> list[str]:
         failures += _check_gateway_section(candidate["gateway"])
     if suite == "kv":
         failures += _check_kv_sections(candidate)
+    if suite in ("codec", "kv") and candidate.get("fused"):
+        failures += _check_fused_section(suite, candidate["fused"])
+    return failures
+
+
+def _check_fused_section(suite: str, fused: dict) -> list[str]:
+    """Every fused-vs-unfused arm must record its ratio, and the fused
+    quantize→pack path must not be *slower* than re-deriving codes from
+    dequantized floats — if it is, the zero-copy encode has regressed
+    into pure overhead and the run fails outright (no 20% grace: the
+    fallback is the same machine, same run). Both suites measure the
+    gated ratio under the serving-default ``verify=True`` configuration,
+    where the fused cross-check is an O(bytes) compare instead of a full
+    re-quantization."""
+    failures = []
+    for arm, row in sorted(fused.items()):
+        ratio = row.get("speedup_fused_pack") if isinstance(row, dict) else None
+        if not isinstance(ratio, (int, float)):
+            failures.append(f"{suite}: fused arm '{arm}' has no "
+                            f"'speedup_fused_pack' ratio")
+        elif ratio < 1.0:
+            failures.append(
+                f"{suite}: fused arm '{arm}' is slower than the "
+                f"REPRO_NO_FUSED_PACK fallback "
+                f"({ratio:.2f}x < 1.00x)")
     return failures
 
 

@@ -7,8 +7,8 @@ Three guarantees, so the docs cannot silently rot:
 2. every *relative* markdown link in the root documents resolves to a
    real file or directory;
 3. the README's environment-knob table stays in sync with the source:
-   every ``REPRO_*`` name used under ``src/`` appears in the table
-   (the ``REPRO_SERVER_*`` serving knobs included), and every table
+   every ``REPRO_*`` name used under ``src/`` or ``scripts/`` appears in
+   the table (the ``REPRO_SERVER_*`` serving knobs included), and every table
    entry appears somewhere in ``src/``, ``scripts/``, ``benchmarks/``,
    ``tests/`` or ``examples/``.
 
@@ -61,10 +61,18 @@ def check_markdown_links(repo: Path = REPO) -> list[str]:
 
 
 def knobs_in_source(repo: Path = REPO) -> set[str]:
-    """Every REPRO_* name referenced under src/ (code is ground truth)."""
+    """Every REPRO_* name referenced under src/ or scripts/ (code is
+    ground truth — scripts included, so a bench-only knob like a
+    benchmark arm switch cannot dodge the README table)."""
     found = set()
-    for path in (repo / "src").rglob("*.py"):
-        found.update(_KNOB_RE.findall(path.read_text()))
+    checker = Path(__file__).resolve()
+    for d in ("src", "scripts"):
+        for path in (repo / d).rglob("*.py"):
+            if path.resolve() == checker:
+                # This file's own docstring names knob *prefixes*
+                # (REPRO_SERVER_*), not knob uses.
+                continue
+            found.update(_KNOB_RE.findall(path.read_text()))
     return found
 
 
@@ -87,7 +95,7 @@ def check_env_knob_table(repo: Path = REPO) -> list[str]:
     in_table = knobs_in_readme_table(repo)
     for knob in sorted(in_src - in_table):
         problems.append(f"README.md env-knob table is missing {knob} "
-                        f"(referenced under src/)")
+                        f"(referenced under src/ or scripts/)")
     referenced = set()
     for d in KNOB_SOURCE_DIRS:
         for path in (repo / d).rglob("*.py"):

@@ -43,16 +43,27 @@ def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
     high bits of the final byte are zero, so equal field sequences always
     serialize to equal bytes. Widths 4, 8 and 16 — the FP4 nibbles,
     E8M0/FP8 scale bytes and FP16 scale codes that dominate every real
-    container — take direct nibble/byte paths instead of the per-bit
-    expansion; ``tests/test_codec.py`` asserts the emitted bytes equal
-    the generic path's, and the pinned golden containers are unchanged.
+    container — take direct nibble/byte paths, and every other sub-byte
+    width above one bit (the 2-bit metadata, 3-bit Elem-EE refinements,
+    5-bit SMX6 mantissas, ...) goes through a whole-word path: fields
+    are OR-merged in three pairwise-doubling passes into uint64 words
+    of eight, whose low ``w`` bytes are the stream bytes. Width 1 is
+    ``np.packbits`` itself (the per-bit expansion degenerates to it),
+    and only widths above 16 still hit the per-bit expansion.
+    ``tests/test_codec.py`` asserts every fast path's bytes equal the
+    generic path's, and the pinned golden containers are unchanged.
     """
     if not 1 <= width <= 64:
         raise CodecError(f"field width must be in [1, 64], got {width}")
     values = np.asarray(values, dtype=np.int64).reshape(-1)
-    if values.size and (values.min() < 0 or
-                        (width < 64 and values.max() >= (1 << width))):
-        raise CodecError(f"field values must fit in {width} unsigned bits")
+    if values.size:
+        # One reduction pass validates both bounds: the OR of the
+        # fields is negative iff any field is (sign bit), and has a
+        # bit at or above ``width`` iff any field does.
+        merged = int(np.bitwise_or.reduce(values))
+        if merged < 0 or (width < 64 and merged >= (1 << width)):
+            raise CodecError(
+                f"field values must fit in {width} unsigned bits")
     if values.size == 0:
         return np.zeros(0, dtype=np.uint8)
     if width == 8:
@@ -66,7 +77,31 @@ def pack_bits(values: np.ndarray, width: int) -> np.ndarray:
         hi = values[1::2].astype(np.uint8)
         out[: hi.size] |= hi << np.uint8(4)
         return out
+    if 1 < width < 8:
+        return _pack_bits_words(values, width)
     return _pack_bits_generic(values, width)
+
+
+def _pack_bits_words(values: np.ndarray, width: int) -> np.ndarray:
+    """Whole-word path for widths 2..7.
+
+    Eight ``width``-bit fields span exactly ``width`` bytes, so each
+    group of eight packs as one little-endian uint64 — assembled by
+    OR-merging adjacent fields in three pairwise-doubling passes
+    (``w``-bit fields → ``2w`` → ``4w`` → ``8w``-bit words), which
+    touches each element ~3 times instead of materializing the 8-wide
+    shift matrix. The word's low ``width`` bytes are the stream bytes —
+    identical, bit for bit, to the LSB-first per-bit expansion.
+    """
+    m = -(-values.size // 8)
+    v = np.zeros(8 * m, dtype=np.uint64)
+    v[: values.size] = values.astype(np.uint64)
+    a = v[0::2] | (v[1::2] << np.uint64(width))
+    b = a[0::2] | (a[1::2] << np.uint64(2 * width))
+    words = b[0::2] | (b[1::2] << np.uint64(4 * width))
+    out = np.ascontiguousarray(
+        words.astype("<u8").view(np.uint8).reshape(m, 8)[:, :width])
+    return out.reshape(-1)[: packed_nbytes(values.size, width)]
 
 
 def _pack_bits_generic(values: np.ndarray, width: int) -> np.ndarray:
@@ -96,7 +131,24 @@ def unpack_bits(buf: bytes | np.ndarray, width: int, count: int) -> np.ndarray:
         fields[0::2] = used & 0x0F
         fields[1::2] = used >> 4
         return fields[:count]
+    if width < 8:
+        return _unpack_bits_words(raw, width, count)
     return _unpack_bits_generic(raw, width, count)
+
+
+def _unpack_bits_words(raw: np.ndarray, width: int, count: int) -> np.ndarray:
+    """Invert :func:`_pack_bits_words`: uint64 words back to fields."""
+    m = -(-count // 8)
+    nbytes = packed_nbytes(count, width)
+    buf = np.zeros(m * width, dtype=np.uint8)
+    buf[:nbytes] = raw[:nbytes]
+    b = np.zeros((m, 8), dtype=np.uint8)
+    b[:, :width] = buf.reshape(m, width)
+    words = b.view("<u8").reshape(-1)
+    shifts = np.arange(8, dtype=np.uint64) * np.uint64(width)
+    mask = np.uint64((1 << width) - 1)
+    fields = (words[:, None] >> shifts) & mask
+    return fields.reshape(-1)[:count].astype(np.int64)
 
 
 def _unpack_bits_generic(raw: np.ndarray, width: int, count: int) -> np.ndarray:

@@ -46,6 +46,11 @@ Example::
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+from contextlib import contextmanager
+
 import numpy as np
 
 from ..core.elem_em import META_BITS_PER_VALUE, ElemEM, ElemEMEncoding, \
@@ -73,9 +78,44 @@ from ..mx.smx import SMX
 from .bitstream import bits_needed, pack_bits, unpack_bits
 from .container import PackedTensor, Stream
 
-__all__ = ["encode", "decode", "codec_for", "supports"]
+__all__ = ["encode", "decode", "codec_for", "supports",
+           "FUSED_PACK_ENV", "fused_pack_enabled", "collect_encode_stats"]
 
 _OPS = ("weight", "activation")
+
+#: Environment variable disabling the fused quantize→pack path ("=1"
+#: turns it off; every encode then re-derives codes from dequantized
+#: floats exactly as before the fused path existed).
+FUSED_PACK_ENV = "REPRO_NO_FUSED_PACK"
+
+
+def fused_pack_enabled() -> bool:
+    """True unless ``REPRO_NO_FUSED_PACK=1`` is exported."""
+    return os.environ.get(FUSED_PACK_ENV, "0") != "1"
+
+
+_STAGE_SINK = threading.local()
+
+
+@contextmanager
+def collect_encode_stats():
+    """Collect per-stage encode timings from :func:`encode` calls.
+
+    Yields a dict accumulated in place by every :func:`encode` on this
+    thread while the context is active: ``encodes`` / ``fused_encodes``
+    call counts and ``quantize_s`` / ``pack_s`` / ``verify_s`` stage
+    seconds (the legacy path cannot split quantize from pack, so its
+    whole ``encode_into`` lands in ``quantize_s``). Nestable — the inner
+    context shadows the outer one.
+    """
+    stats = {"encodes": 0, "fused_encodes": 0,
+             "quantize_s": 0.0, "pack_s": 0.0, "verify_s": 0.0}
+    prev = getattr(_STAGE_SINK, "stats", None)
+    _STAGE_SINK.stats = stats
+    try:
+        yield stats
+    finally:
+        _STAGE_SINK.stats = prev
 
 
 # ----------------------------------------------------------------------
@@ -175,11 +215,41 @@ def _unhex(text: str) -> float:
 class Codec:
     """Base class: encode a format's streams into / out of a container."""
 
+    #: Stream names the fused code-space path supplies, in packing
+    #: order; None means the family has no fused layout and always
+    #: encodes from floats.
+    code_streams: tuple[str, ...] | None = None
+
     def encode_into(self, fmt, x: np.ndarray, pt: PackedTensor) -> None:
         raise NotImplementedError
 
     def decode(self, fmt, pt: PackedTensor) -> np.ndarray:
         raise NotImplementedError
+
+    def code_layout(self, fmt, pt: PackedTensor) -> tuple[str, ...] | None:
+        """Expected fused stream layout for this container, or None."""
+        return self.code_streams
+
+    def encode_from_codes(self, fmt, cs, pt: PackedTensor) -> None:
+        """Pack a plan executor's :class:`CodeSpaceResult` directly.
+
+        The code arrays are already the exact integers ``encode_into``
+        would derive from the dequantized floats (the executor/codec
+        parity contract, DESIGN.md §11), so packing is a pure bitstream
+        write — no quantization arithmetic at all.
+        """
+        expected = self.code_layout(fmt, pt)
+        if expected is None:
+            raise CodecError(f"{type(self).__name__} has no fused "
+                             "code-space layout")
+        if cs.stream_names != tuple(expected):
+            raise CodecError(f"code-space streams {cs.stream_names} do not "
+                             f"match the {type(self).__name__} layout "
+                             f"{tuple(expected)}")
+        for s in cs.streams:
+            values = np.asarray(s.values).reshape(-1)
+            pt.add_stream(s.name, pack_bits(values, s.width),
+                          s.width, values.size)
 
 
 class Fp16Codec(Codec):
@@ -208,6 +278,8 @@ class Fp16Codec(Codec):
 
 class BlockCodec(Codec):
     """Plain :class:`BlockFormat`: element codes + E8M0 exponent bytes."""
+
+    code_streams = ("scales", "elements")
 
     def _scales(self, fmt, groups: np.ndarray) -> np.ndarray:
         return fmt.group_scales(groups)
@@ -242,6 +314,9 @@ class BlockCodec(Codec):
 
 
 class MSFPCodec(BlockCodec):
+    #: No plan executor compiles for the subclass, so the inherited
+    #: layout is never exercised; cleared to keep that explicit.
+    code_streams = None
     """MSFP's ceil-rule exponent: take the scales the format computed."""
 
     def _scales(self, fmt, groups):
@@ -249,6 +324,7 @@ class MSFPCodec(BlockCodec):
 
 
 class GroupFP4Codec(BlockCodec):
+    code_streams = None
     """FP16 group scales; zero groups flush to +0.0 exactly like the format."""
 
     def _scales(self, fmt, groups):
@@ -441,6 +517,8 @@ class MaxPreserveCodec(Codec):
 class ElemEMCodec(Codec):
     """Elem-EM: FP4 codes + E8M0 exponents + 2-bit top-k metadata."""
 
+    code_streams = ("elements", "scales", "meta")
+
     def encode_into(self, fmt, x, pt):
         groups, _ = to_groups(x, fmt.group_size, axis=pt.axis)
         enc = elem_em_encode(groups, fmt.sub_size, fmt.top_k, fmt.scale_rule)
@@ -469,6 +547,8 @@ class ElemEMCodec(Codec):
 class SgEMCodec(Codec):
     """Sg-EM: FP4 codes + stored (bias-folded) exponents + 2-bit sg codes."""
 
+    code_streams = ("elements", "scales", "meta")
+
     def encode_into(self, fmt, x, pt):
         groups, _ = to_groups(x, fmt.group_size, axis=pt.axis)
         enc = sg_em_encode(groups, fmt.sub_size, fmt.adaptive, fmt.scale_rule)
@@ -494,6 +574,8 @@ class SgEMCodec(Codec):
 
 class SgEECodec(Codec):
     """Sg-EE: FP4 codes + exponents + per-subgroup decrement codes."""
+
+    code_streams = ("elements", "scales", "meta")
 
     def encode_into(self, fmt, x, pt):
         groups, _ = to_groups(x, fmt.group_size, axis=pt.axis)
@@ -530,6 +612,8 @@ class ElemEECodec(Codec):
     therefore needs its own 3-bit field — see the module docstring for
     why this exceeds the nominal metadata budget.
     """
+
+    code_streams = ("elements", "scales", "meta", "refined")
 
     def encode_into(self, fmt, x, pt):
         from ..mx.scale_rules import shared_scale_exponent
@@ -591,6 +675,13 @@ class M2XFPCodec(Codec):
     def encode_into(self, fmt, x, pt):
         codec, sub_fmt = self._delegate(fmt, pt)
         codec.encode_into(sub_fmt, x, pt)
+
+    def code_layout(self, fmt, pt):
+        return self._delegate(fmt, pt)[0].code_layout(fmt, pt)
+
+    def encode_from_codes(self, fmt, cs, pt):
+        codec, sub_fmt = self._delegate(fmt, pt)
+        codec.encode_from_codes(sub_fmt, cs, pt)
 
     def decode(self, fmt, pt):
         codec, sub_fmt = self._delegate(fmt, pt)
@@ -756,6 +847,17 @@ def encode(fmt, x: np.ndarray, op: str = "activation", axis: int = -1,
     and cross-checks it bit-for-bit against the format's own quantize
     output — cheap insurance when integrating a new format. Extra
     ``kwargs`` go to the codec (e.g. NVFP4's calibrated ``tensor_amax``).
+
+    When a compiled plan with a code-space sibling exists for
+    ``(fmt, op, shape, axis)`` and ``REPRO_NO_FUSED_PACK`` is unset, the
+    container is packed straight from the executor's integer codes — no
+    dequantize/re-derive round trip, byte-identical output — and
+    ``verify=True`` degrades from re-quantizing everything to an
+    O(bytes) cross-check: each packed stream is unpacked and compared
+    against the executor's code arrays, catching bitstream truncation
+    and round-trip bugs without ever materializing floats (the
+    code-vs-float parity itself is pinned statically by
+    ``tests/test_fused_pack.py``).
     """
     if op not in _OPS:
         raise CodecError(f"op must be one of {_OPS}, got {op!r}")
@@ -765,12 +867,53 @@ def encode(fmt, x: np.ndarray, op: str = "activation", axis: int = -1,
     pt = PackedTensor(format_name=_catalog_name(fmt), fingerprint=repr(fmt),
                       op=op, shape=x.shape, axis=axis,
                       group_size=int(getattr(fmt, "group_size", 1)))
+    sink = getattr(_STAGE_SINK, "stats", None)
+    run_codes = None
+    if not kwargs and fused_pack_enabled() \
+            and codec.code_layout(fmt, pt) is not None:
+        from ..plan.cache import lookup_plan
+        plan = lookup_plan(fmt, op, x, axis)
+        if plan is not None and plan.run_codes is not None:
+            run_codes = plan.run_codes
+    if sink is not None:
+        sink["encodes"] += 1
+        sink["fused_encodes"] += run_codes is not None
+        t0 = time.perf_counter()
+    if run_codes is not None:
+        cs = run_codes(x)
+        if sink is not None:
+            t1 = time.perf_counter()
+            sink["quantize_s"] += t1 - t0
+            t0 = t1
+        codec.encode_from_codes(fmt, cs, pt)
+        if sink is not None:
+            t1 = time.perf_counter()
+            sink["pack_s"] += t1 - t0
+            t0 = t1
+        if verify:
+            for s in cs.streams:
+                stored = pt.stream(s.name)
+                back = unpack_bits(stored.data, stored.width, stored.count)
+                if not np.array_equal(back,
+                                      np.asarray(s.values).reshape(-1)):
+                    raise CodecError(
+                        f"fused pack round-trip mismatch for {fmt!r} "
+                        f"({op}), stream {s.name!r}")
+            if sink is not None:
+                sink["verify_s"] += time.perf_counter() - t0
+        return pt
     codec.encode_into(fmt, x, pt, **kwargs)
+    if sink is not None:
+        t1 = time.perf_counter()
+        sink["quantize_s"] += t1 - t0
+        t0 = t1
     if verify:
         expect = _dispatch_quantize(fmt, x, op, axis)
         got = codec.decode(fmt, pt)
         if got.tobytes() != np.asarray(expect, dtype=np.float64).tobytes():
             raise CodecError(f"round-trip mismatch for {fmt!r} ({op})")
+        if sink is not None:
+            sink["verify_s"] += time.perf_counter() - t0
     return pt
 
 

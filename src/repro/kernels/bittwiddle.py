@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["encode_magnitudes"]
+__all__ = ["encode_magnitudes", "encode_packed"]
 
 _FRAC_MASK = np.uint64((1 << 52) - 1)
 _IMPLICIT = np.uint64(1 << 52)
@@ -85,3 +85,20 @@ def encode_magnitudes(spec, x: np.ndarray,
     # format's first step for every shift the library can produce.
     code = np.where(e_field == 0, 0, code)
     return np.minimum(code, spec.code_count - 1).astype(np.int64)
+
+
+def encode_packed(spec, x: np.ndarray,
+                  exp_shift: np.ndarray | int | None = None) -> np.ndarray:
+    """Full wire codes ``sign << (E+M) | magnitude`` of ``x / 2**exp_shift``.
+
+    The fused quantize→pack encode for mini-float block elements: the
+    sign is the input's sign bit (``np.signbit`` semantics, including
+    -0.0) and the magnitude comes straight from the bit-pattern encoder
+    above, so the result is exactly what the codec's legacy float path
+    derives — ready for the bitstream packer, with no dequantized
+    intermediate.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    sign = np.signbit(x).astype(np.int64)
+    mag = encode_magnitudes(spec, x, exp_shift)
+    return (sign << (spec.exp_bits + spec.man_bits)) | mag

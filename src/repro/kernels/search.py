@@ -67,24 +67,42 @@ def candidate_search(subs: np.ndarray, cand_scales: np.ndarray,
         raise ValueError("candidate_search expects a small element grid")
     codes = np.empty((n, n_sub, n_cand, sub), dtype=np.int8)
     err = np.empty((n, n_sub, n_cand), dtype=np.float64)
-    rows = max(1, chunk_elems // max(1, n_sub * n_cand * sub))
+    rows = max(1, min(n, chunk_elems // max(1, n_sub * n_cand * sub)) or 1)
+    # One scratch set reused across chunks: the search is memory-bound,
+    # and every fresh temporary the old expression chain allocated (abs,
+    # divide, one bool per boundary, the grid gather, the error sum) is
+    # a cache-cold write the ``out=`` forms below avoid.
+    ax_buf = np.empty((rows, n_sub, 1, sub))
+    scaled_buf = np.empty((rows, n_sub, n_cand, sub))
+    cmp_buf = np.empty((rows, n_sub, n_cand, sub), dtype=bool)
+    q_buf = np.empty((rows, n_sub, n_cand, sub))
     for lo in range(0, n, rows):
         hi = min(n, lo + rows)
-        ax = np.abs(subs[lo:hi])[:, :, None, :]
+        r = hi - lo
+        ax = ax_buf[:r]
+        np.abs(subs[lo:hi, :, None, :], out=ax)
         s = cand_scales[lo:hi][:, None, :, None]
-        scaled = ax / s
-        # searchsorted(boundaries, x, "left") == count of boundaries < x.
-        c = (scaled > boundaries[0]).astype(np.int8)
+        scaled = scaled_buf[:r]
+        np.divide(ax, s, out=scaled)
+        # searchsorted(boundaries, x, "left") == count of boundaries < x;
+        # each compare lands in the bool scratch and accumulates through
+        # its (free) int8 reinterpretation, exactly like the old
+        # bool-into-int8 ``+=``.
+        c = codes[lo:hi]
+        cb = cmp_buf[:r]
+        np.greater(scaled, boundaries[0], out=cb)
+        c[...] = cb.view(np.int8)
         for b in boundaries[1:]:
-            c += scaled > b
-        codes[lo:hi] = c
+            np.greater(scaled, b, out=cb)
+            c += cb.view(np.int8)
         # |q|*s - |v| is the exact negation of q*s - v wherever v < 0, so
         # squaring gives the reference residuals bit for bit.
-        q = grid[c]
+        q = q_buf[:r]
+        np.take(grid, c, out=q)
         q *= s
         q -= ax
         q *= q
-        err[lo:hi] = q.sum(axis=3)
+        q.sum(axis=3, out=err[lo:hi])
     return codes, err
 
 

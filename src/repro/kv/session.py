@@ -170,8 +170,11 @@ class KVCacheSession:
     session_id:
         Stable identifier; auto-generated when omitted.
     verify:
-        When True (default), every append decodes the fresh container
-        and cross-checks it against the format's own plan-routed
+        When True (default), every append cross-checks the fresh
+        container: on the fused quantize→pack path each packed stream
+        is unpacked and compared against the executor's code arrays
+        (O(bytes)); on the ``REPRO_NO_FUSED_PACK=1`` fallback the
+        container is decoded against the format's own plan-routed
         quantize output — streamed state can never silently diverge
         from the batch path.
 
@@ -219,6 +222,11 @@ class KVCacheSession:
                        "evicted_blocks": 0, "evicted_tokens": 0,
                        "payload_bytes": 0, "header_bytes": 0,
                        "packed_elements": 0}
+        # Per-stage encode timings, kept out of stats(): the wire CLOSE
+        # ack pins that dict's JSON in the golden frames, and seconds
+        # are not reproducible bytes.
+        self._encode_stats = {"fused_encodes": 0, "quantize_s": 0.0,
+                              "pack_s": 0.0, "verify_s": 0.0}
 
     # ------------------------------------------------------------------
     # Public API
@@ -243,8 +251,8 @@ class KVCacheSession:
                               f"got shape {tuple(k.shape)}")
         tokens, width = k.shape
         fmt = self.policy.format_for(layer)
-        from ..codec import encode
-        with _dispatch_scope(self.dispatch):
+        from ..codec import collect_encode_stats, encode
+        with _dispatch_scope(self.dispatch), collect_encode_stats() as es:
             pk = encode(fmt, k, op=self.policy.op, axis=-1,
                         verify=self.verify)
             pv = encode(fmt, v, op=self.policy.op, axis=-1,
@@ -272,6 +280,10 @@ class KVCacheSession:
             self._stats["header_bytes"] += pk.header_bytes \
                 + pv.header_bytes
             self._stats["packed_elements"] += pk.n_elements + pv.n_elements
+            self._encode_stats["fused_encodes"] += es["fused_encodes"]
+            self._encode_stats["quantize_s"] += es["quantize_s"]
+            self._encode_stats["pack_s"] += es["pack_s"]
+            self._encode_stats["verify_s"] += es["verify_s"]
             held = sum(b.tokens for b in blocks)
         return {"session_id": self.session_id, "layer": layer,
                 "start": start, "tokens": tokens, "tokens_held": held,
@@ -323,6 +335,18 @@ class KVCacheSession:
             out["measured_bits_per_element"] = (
                 out["payload_bytes"] * 8 / out["packed_elements"])
         return out
+
+    def encode_stage_stats(self) -> dict:
+        """Cumulative per-stage encode cost over every append.
+
+        ``fused_encodes`` counts the encode() calls that rode the fused
+        quantize→pack path; ``quantize_s`` / ``pack_s`` / ``verify_s``
+        are the stage seconds from the codec's stage sink. Separate from
+        :meth:`stats` because the wire CLOSE ack serializes that dict
+        verbatim into golden-pinned frames.
+        """
+        with self._lock:
+            return dict(self._encode_stats)
 
     def info(self) -> dict:
         """JSON-safe session description (wire/HTTP OPEN acks)."""

@@ -29,8 +29,10 @@ Example::
 
 from .cache import (MAX_PLANS, PLANS_ENV, QuantPlan, clear_plan_cache,
                     get_plan, lookup_plan, plan_cache_stats, plans_enabled)
+from .codespace import CodeSpaceResult, CodeStream
 from .geometry import GroupGeometry
 
-__all__ = ["QuantPlan", "GroupGeometry", "PLANS_ENV", "MAX_PLANS",
+__all__ = ["QuantPlan", "GroupGeometry", "CodeSpaceResult", "CodeStream",
+           "PLANS_ENV", "MAX_PLANS",
            "plans_enabled", "get_plan", "lookup_plan", "clear_plan_cache",
            "plan_cache_stats"]

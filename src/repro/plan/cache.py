@@ -46,11 +46,19 @@ _OPS = ("weight", "activation")
 
 @dataclass
 class QuantPlan:
-    """A compiled, reusable quantization program for one call signature."""
+    """A compiled, reusable quantization program for one call signature.
+
+    ``run_codes`` is the fused quantize→pack sibling: the same search
+    returning a :class:`~repro.plan.codespace.CodeSpaceResult` instead
+    of a dequantized tensor. It is None for the families without a
+    matching codec stream layout; the codec falls back to the legacy
+    encode for those.
+    """
 
     key: tuple
     run: Callable[[np.ndarray], np.ndarray]
     geometry: GroupGeometry = field(repr=False, default=None)
+    run_codes: Callable | None = field(repr=False, default=None)
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
         return self.run(x)
@@ -100,9 +108,10 @@ def get_plan(fmt, op: str, shape: tuple, axis: int,
             size = _group_size(fmt)
             if size is not None and shape[axis % len(shape)] is not None:
                 geom = GroupGeometry(shape, axis, size)
-                run = compile_executor(fmt, op, geom)
+                run, run_codes = compile_executor(fmt, op, geom)
                 if run is not None:
-                    plan = QuantPlan(key=key, run=run, geometry=geom)
+                    plan = QuantPlan(key=key, run=run, geometry=geom,
+                                     run_codes=run_codes)
                     _stats["compiles"] += 1
         _cache[key] = plan
         if len(_cache) > MAX_PLANS:

@@ -12,10 +12,18 @@ reductions), so their outputs are bit-identical to the kernel-dispatched
 legacy paths — asserted format-by-format in ``tests/test_plan.py`` and
 by the golden-vector conformance suite.
 
+The families with a matching codec stream layout additionally compile a
+``run_codes(x) -> CodeSpaceResult`` sibling: the same search, but
+returning the element/scale/metadata *codes* the codec would re-derive
+from floats, in the codec's stream order, with the dequantized tensor
+left lazy (see :mod:`repro.plan.codespace` and DESIGN.md §11). The
+codec's fused ``encode`` path packs these arrays directly.
+
 Registered families (exact instance type):
 
 * ``BlockFormat`` — MXFP4/6/8, MXINT8: fused scale + element encode.
-* ``MXAnt`` / ``MXMAnt`` — per-group adaptive-type candidate loops.
+* ``MXAnt`` / ``MXMAnt`` — per-group adaptive-type candidate loops
+  (no code-space sibling: the codec has no per-group-type layout).
 * ``SgEM`` — the Sg-EM (bias x multiplier) search, running-best form.
 * ``SgEE`` — fixed decrements and the adaptive (bias x decrement) search.
 * ``ElemEM`` (top-1) / ``ElemEE`` — fused top-element refinement.
@@ -38,11 +46,13 @@ from ..formats.floatspec import FloatSpec
 from ..formats.intspec import GridSpec, IntSpec
 from ..formats.registry import FP4_E2M1
 from ..kernels.elem import elem_ee_select
-from ..kernels.search import hierarchical_select
+from ..kernels.search import (candidate_search, gather_candidate_codes,
+                              hierarchical_select)
 from ..mx.base import BlockFormat
 from ..mx.scale_rules import shared_scale_exponent
+from .codespace import CodeSpaceResult, CodeStream
 from .geometry import GroupGeometry
-from .ops import (fp4_codes, fp4_half_ints, fp6_window_refine,
+from .ops import (fp4_codes, fp4_half_ints, fp6_window_codes,
                   small_grid_encoder, subgroup_top1, tree_amax, validate_amax)
 
 __all__ = ["EXECUTOR_COMPILERS", "compile_executor"]
@@ -70,10 +80,31 @@ def _compile_block(fmt: BlockFormat, op: str, geom: GroupGeometry):
             v = fp4_half_ints(fp4_codes(ax)).astype(np.float64)
             v *= _exp2(e - 1)[:, None]
             return geom.unpack(np.copysign(v, groups))
-        return run
+
+        def run_codes(x: np.ndarray) -> CodeSpaceResult:
+            groups = geom.pack(x)
+            ax = np.abs(groups)
+            amax = tree_amax(ax)
+            validate_amax(amax)
+            e = shared_scale_exponent(amax, elem, rule)
+            ax *= _exp2(-e)[:, None]
+            c = fp4_codes(ax)
+            elems = np.signbit(groups).astype(np.int64) << 3
+            elems |= c
+
+            def dequantize() -> np.ndarray:
+                v = fp4_half_ints(c).astype(np.float64)
+                v *= _exp2(e - 1)[:, None]
+                return geom.unpack(np.copysign(v, groups))
+            return CodeSpaceResult(
+                (CodeStream("scales", e + 127, 8),
+                 CodeStream("elements", elems, 4)), dequantize)
+        return run, run_codes
 
     if isinstance(elem, FloatSpec) and elem.boundaries is not None:
         bounds, grid = elem.boundaries, elem.grid
+        width = elem.total_bits
+        mag_bits = elem.exp_bits + elem.man_bits
 
         def run(x: np.ndarray) -> np.ndarray:
             groups = geom.pack(x)
@@ -85,7 +116,35 @@ def _compile_block(fmt: BlockFormat, op: str, geom: GroupGeometry):
             v = grid[np.searchsorted(bounds, ax, side="left")]
             v *= _exp2(e)[:, None]
             return geom.unpack(np.copysign(v, groups))
-        return run
+
+        def run_codes(x: np.ndarray) -> CodeSpaceResult:
+            groups = geom.pack(x)
+            ax = np.abs(groups)
+            amax = tree_amax(ax)
+            validate_amax(amax)
+            e = shared_scale_exponent(amax, elem, rule)
+            ax *= _exp2(-e)[:, None]
+            # The magnitude code IS the boundary count, so the same
+            # searchsorted that feeds ``run``'s grid gather yields the
+            # wire codes directly. (The uint64-view masked-bit-pattern
+            # encode — kernels/bittwiddle.encode_packed — derives
+            # identical codes from the raw float64 representation, but
+            # its ~30 elementwise passes lose to the boundary cache's
+            # single binary search on vectorized NumPy; it stays the
+            # REPRO_BITTWIDDLE dispatch analog, parity-pinned in
+            # tests/test_fused_pack.py.)
+            idx = np.searchsorted(bounds, ax, side="left")
+            elems = np.signbit(groups).astype(np.int64) << mag_bits
+            elems |= idx
+
+            def dequantize() -> np.ndarray:
+                v = grid[idx]
+                v *= _exp2(e)[:, None]
+                return geom.unpack(np.copysign(v, groups))
+            return CodeSpaceResult(
+                (CodeStream("scales", e + 127, 8),
+                 CodeStream("elements", elems, width)), dequantize)
+        return run, run_codes
 
     if isinstance(elem, IntSpec):
         def run(x: np.ndarray) -> np.ndarray:
@@ -96,7 +155,22 @@ def _compile_block(fmt: BlockFormat, op: str, geom: GroupGeometry):
             q = elem.quantize(groups * _exp2(-e)[:, None])
             q *= _exp2(e)[:, None]
             return geom.unpack(q)
-        return run
+
+        def run_codes(x: np.ndarray) -> CodeSpaceResult:
+            groups = geom.pack(x)
+            amax = tree_amax(np.abs(groups))
+            validate_amax(amax)
+            e = shared_scale_exponent(amax, elem, rule)
+            q = elem.quantize(groups * _exp2(-e)[:, None])
+            elems = np.signbit(q).astype(np.int64) << (elem.bits - 1)
+            elems |= np.abs(q).astype(np.int64)
+
+            def dequantize() -> np.ndarray:
+                return geom.unpack(q * _exp2(e)[:, None])
+            return CodeSpaceResult(
+                (CodeStream("scales", e + 127, 8),
+                 CodeStream("elements", elems, elem.bits)), dequantize)
+        return run, run_codes
 
     return None
 
@@ -209,11 +283,13 @@ class _SgUSpace:
     """
 
     def __init__(self, n_sub: int, sub: int, rule: str, biases, inner,
-                 fallback) -> None:
+                 fallback, fallback_codes) -> None:
         self.n_sub, self.sub, self.rule = n_sub, sub, rule
         self.n_bias, self.n_inner = len(biases), len(inner)
+        self.biases_arr = np.asarray(biases)
         self.fallback_outer = list(biases).index(0)
         self.fallback = fallback
+        self.fallback_codes = fallback_codes
         bounds = FP4_E2M1.boundaries
         self.ratios = []
         thresholds = []
@@ -227,7 +303,8 @@ class _SgUSpace:
         self.t_stack = np.asarray(thresholds).reshape(-1, 1, 1)
         self.half_ratios = np.asarray([r * 0.5 for r in self.ratios])
 
-    def __call__(self, groups: np.ndarray) -> np.ndarray:
+    def _eval(self, groups: np.ndarray):
+        """The shared search; None when outside the guarded regime."""
         n = groups.shape[0]
         n_sub, sub = self.n_sub, self.sub
         k = n_sub * sub
@@ -239,10 +316,10 @@ class _SgUSpace:
                 int(base_e.min(initial=0)) < -126 or \
                 float(np.where(ax > 0.0, ax, 1.0).min(initial=1.0)) \
                 < _U_SPACE_MIN:
-            return self.fallback(groups)
+            return None
         u = ax * _exp2(-(base_e - 1))[:, None]
         if float(np.where(u > 0.0, u, 1.0).min(initial=1.0)) < _U_SPACE_MIN:
-            return self.fallback(groups)
+            return None
 
         n_cand = self.n_bias * self.n_inner
         # One broadcast compare against all candidates' thresholds, an
@@ -269,12 +346,43 @@ class _SgUSpace:
         outer, inner_idx, _ = hierarchical_select(
             err, self.n_bias, self.n_inner, fallback_outer=self.fallback_outer)
         cand_idx = (outer[:, None] * self.n_inner + inner_idx).ravel()
-        win = v2_all.reshape(n_cand, n * n_sub, sub)[cand_idx,
-                                                     np.arange(n * n_sub)]
+        return n, base_e, codes, v2_all, outer, inner_idx, cand_idx
+
+    def __call__(self, groups: np.ndarray) -> np.ndarray:
+        sel = self._eval(groups)
+        if sel is None:
+            return self.fallback(groups)
+        n, base_e, _codes, v2_all, _outer, _inner_idx, cand_idx = sel
+        n_sub, sub = self.n_sub, self.sub
+        win = v2_all.reshape(-1, n * n_sub, sub)[cand_idx,
+                                                 np.arange(n * n_sub)]
         s_half = self.half_ratios[cand_idx].reshape(n, n_sub) \
             * _exp2(base_e - 1)[:, None]
         dq = win.reshape(n, n_sub, sub) * s_half[:, :, None]
-        return np.copysign(dq.reshape(n, k), groups)
+        return np.copysign(dq.reshape(n, n_sub * sub), groups)
+
+    def codes(self, groups: np.ndarray):
+        """Code-space twin of ``__call__``: gathers the winning magnitude
+        codes instead of their half-values; dequantization stays lazy."""
+        sel = self._eval(groups)
+        if sel is None:
+            return self.fallback_codes(groups)
+        n, base_e, codes, _v2_all, outer, inner_idx, cand_idx = sel
+        n_sub, sub = self.n_sub, self.sub
+        k = n_sub * sub
+        mag = codes.reshape(-1, n * n_sub, sub)[cand_idx,
+                                                np.arange(n * n_sub)]
+        elems = np.signbit(groups).astype(np.int64) << 3
+        elems |= mag.reshape(n, k)
+        exps = clamp_exponent(base_e + self.biases_arr[outer])
+        s_half = self.half_ratios[cand_idx].reshape(n, n_sub) \
+            * _exp2(base_e - 1)[:, None]
+
+        def dequantize() -> np.ndarray:
+            dq = fp4_half_ints(mag).reshape(n, n_sub, sub) \
+                * s_half[:, :, None]
+            return np.copysign(dq.reshape(n, k), groups)
+        return elems, exps, inner_idx, dequantize
 
 
 def _sg_broadcast(n_sub: int, sub: int, rule: str, biases, inner):
@@ -287,6 +395,10 @@ def _sg_broadcast(n_sub: int, sub: int, rule: str, biases, inner):
     arithmetic. About 25 NumPy calls regardless of input size, which is
     what makes it several times faster than the legacy path on the
     micro-batch activations a serving front end sees.
+
+    Returns the ``(run_groups, codes_groups)`` pair; the codes variant
+    gathers the winning magnitude codes at the same indices the value
+    variant gathers half-values, so both modes share one evaluation.
     """
     k = n_sub * sub
     n_inner = len(inner)
@@ -294,7 +406,7 @@ def _sg_broadcast(n_sub: int, sub: int, rule: str, biases, inner):
     inner_mults = np.asarray([m for m, _ in inner])
     fallback = list(biases).index(0)
 
-    def run_groups(groups: np.ndarray) -> np.ndarray:
+    def evaluate(groups: np.ndarray):
         n = groups.shape[0]
         ax = np.abs(groups)
         amax = tree_amax(ax)
@@ -317,13 +429,33 @@ def _sg_broadcast(n_sub: int, sub: int, rule: str, biases, inner):
         outer, inner_idx, _ = hierarchical_select(err, len(biases), n_inner,
                                                   fallback_outer=fallback)
         cand_idx = outer[:, None] * n_inner + inner_idx
+        return n, c, v2, cand, exps_all, outer, inner_idx, cand_idx
+
+    def run_groups(groups: np.ndarray) -> np.ndarray:
+        n, _c, v2, cand, _exps, _outer, _inner, cand_idx = evaluate(groups)
         win = v2.reshape(n * n_sub, -1, sub)[np.arange(n * n_sub),
                                              cand_idx.ravel()]
         s_win = np.take_along_axis(cand, cand_idx, axis=1)
         dq = win.reshape(n, n_sub, sub) * (s_win * 0.5)[:, :, None]
         return np.copysign(dq.reshape(n, k), groups)
 
-    return run_groups
+    def codes_groups(groups: np.ndarray):
+        n, c, _v2, cand, exps_all, outer, inner_idx, cand_idx = \
+            evaluate(groups)
+        mag = c.reshape(n * n_sub, -1, sub)[np.arange(n * n_sub),
+                                            cand_idx.ravel()]
+        elems = np.signbit(groups).astype(np.int64) << 3
+        elems |= mag.reshape(n, k)
+        exps = exps_all[np.arange(n), outer]
+        s_win = np.take_along_axis(cand, cand_idx, axis=1)
+
+        def dequantize() -> np.ndarray:
+            dq = fp4_half_ints(mag).reshape(n, n_sub, sub) \
+                * (s_win * 0.5)[:, :, None]
+            return np.copysign(dq.reshape(n, k), groups)
+        return elems, exps, inner_idx, dequantize
+
+    return run_groups, codes_groups
 
 
 def _sg_search(n_sub: int, sub: int, rule: str, biases, inner):
@@ -342,15 +474,29 @@ def _sg_search(n_sub: int, sub: int, rule: str, biases, inner):
     candidates all overflow to non-finite error are re-encoded at the
     fallback (bias 0, first inner) candidate, matching
     ``hierarchical_select``'s ``invalid`` semantics.
+
+    Returns the ``(run_groups, codes_groups)`` pair. The codes variant
+    runs the same candidate grid through the chunked
+    :func:`~repro.kernels.search.candidate_search` kernel (preallocated
+    scratch, boundary-compare code assignment) and gathers the winning
+    magnitude codes directly. Every candidate scale is a power of two
+    times a small exact multiplier, so the kernel's division matches the
+    streaming loop's single-rounding shortcuts bit for bit — selections,
+    codes and dequantized values are identical between the two variants
+    (asserted across all dispatch modes in ``tests/test_fused_pack.py``).
     """
     k = n_sub * sub
+    n_inner = len(inner)
+    biases_arr = np.asarray(biases)
+    inner_mults = np.asarray([m for m, _ in inner])
+    fallback = list(biases).index(0)
 
     def scaled_for(ax, t_b, e_b, scale_b, mult, shift):
         if shift is not None:
             return t_b if shift == 0 else ax * _exp2(shift - e_b)[:, None]
         return t_b if mult == 1.0 else ax / (scale_b * mult)[:, None]
 
-    def run_groups(groups: np.ndarray) -> np.ndarray:
+    def search(groups: np.ndarray) -> np.ndarray:
         n = groups.shape[0]
         ax = np.abs(groups)
         amax = tree_amax(ax)
@@ -403,7 +549,35 @@ def _sg_search(n_sub: int, sub: int, rule: str, biases, inner):
         dq *= best_sh[:, :, None]
         return np.copysign(dq.reshape(n, k), groups)
 
-    return run_groups
+    def search_codes(groups: np.ndarray):
+        n = groups.shape[0]
+        ax = np.abs(groups)
+        amax = tree_amax(ax)
+        validate_amax(amax)
+        base_e = shared_scale_exponent(amax, FP4_E2M1, rule)
+        exps_all = clamp_exponent(base_e[:, None] + biases_arr)
+        cand = (_exp2(exps_all)[:, :, None] * inner_mults).reshape(n, -1)
+        codes, err = candidate_search(groups.reshape(n, n_sub, sub), cand,
+                                      FP4_E2M1.grid, FP4_E2M1.boundaries)
+        outer, inner_idx, _ = hierarchical_select(err, len(biases), n_inner,
+                                                  fallback_outer=fallback)
+        mag = gather_candidate_codes(codes, outer, inner_idx, n_inner)
+        elems = np.signbit(groups).astype(np.int64) << 3
+        elems |= mag.reshape(n, k)
+        rows = np.arange(n)
+        best_e = exps_all[rows, outer]
+
+        def dequantize() -> np.ndarray:
+            # half-value x (scale / 2): the same single rounding as the
+            # run variant's ``v2 * (scale_b * (mult * 0.5))``.
+            s_half = cand[rows[:, None],
+                          outer[:, None] * n_inner + inner_idx] * 0.5
+            dq = fp4_half_ints(mag).astype(np.float64)
+            dq *= s_half[:, :, None]
+            return np.copysign(dq.reshape(n, k), groups)
+        return elems, best_e, inner_idx, dequantize
+
+    return search, search_codes
 
 
 def _pick_sg_variant(geom: GroupGeometry, n_sub: int, sub: int, rule: str,
@@ -415,9 +589,28 @@ def _pick_sg_variant(geom: GroupGeometry, n_sub: int, sub: int, rule: str,
     """
     cand_elems = geom.n_groups * n_sub * sub * len(biases) * len(inner)
     if cand_elems <= _SG_BROADCAST_LIMIT:
-        exact = _sg_broadcast(n_sub, sub, rule, biases, inner)
-        return _SgUSpace(n_sub, sub, rule, biases, inner, fallback=exact)
+        exact_run, exact_codes = _sg_broadcast(n_sub, sub, rule, biases, inner)
+        engine = _SgUSpace(n_sub, sub, rule, biases, inner,
+                           fallback=exact_run, fallback_codes=exact_codes)
+        return engine, engine.codes
     return _sg_search(n_sub, sub, rule, biases, inner)
+
+
+def _sg_codespace(geom: GroupGeometry, search_codes, meta_width: int):
+    """Wrap a Sg ``codes_groups`` closure into the codec's stream layout.
+
+    All three Sg engines return the same ``(elems, exps, meta,
+    dequantize)`` quadruple; the stream order (elements, scales, meta)
+    and the ``exps + 127`` E8M0 bias match the SgEM/SgEE codecs.
+    """
+    def run_codes(x: np.ndarray) -> CodeSpaceResult:
+        elems, exps, meta, dequantize = search_codes(geom.pack(x))
+        return CodeSpaceResult(
+            (CodeStream("elements", elems, 4),
+             CodeStream("scales", exps + 127, 8),
+             CodeStream("meta", meta, meta_width)),
+            lambda: geom.unpack(dequantize()))
+    return run_codes
 
 
 def _compile_sg_em(fmt: SgEM, op: str, geom: GroupGeometry):
@@ -425,12 +618,12 @@ def _compile_sg_em(fmt: SgEM, op: str, geom: GroupGeometry):
     biases = list(ADAPTIVE_BIASES) if fmt.adaptive else [0]
     # Reference candidate order: bias outer (-1, 0, +1), multiplier inner.
     inner = [(m, None if m != 1.0 else 0) for m in SG_EM_MULTIPLIERS]
-    search = _pick_sg_variant(geom, n_sub, fmt.sub_size, fmt.scale_rule,
-                              biases, inner)
+    search, search_codes = _pick_sg_variant(geom, n_sub, fmt.sub_size,
+                                            fmt.scale_rule, biases, inner)
 
     def run(x: np.ndarray) -> np.ndarray:
         return geom.unpack(search(geom.pack(x)))
-    return run
+    return run, _sg_codespace(geom, search_codes, 2)
 
 
 def _compile_sg_ee(fmt: SgEE, op: str, geom: GroupGeometry):
@@ -441,14 +634,14 @@ def _compile_sg_ee(fmt: SgEE, op: str, geom: GroupGeometry):
 
     if fmt.adaptive:
         inner = [(1.0 / (1 << d), d) for d in range(d_max + 1)]
-        search = _pick_sg_variant(geom, n_sub, sub, rule,
-                                  list(ADAPTIVE_BIASES), inner)
+        search, search_codes = _pick_sg_variant(geom, n_sub, sub, rule,
+                                                list(ADAPTIVE_BIASES), inner)
 
         def run(x: np.ndarray) -> np.ndarray:
             return geom.unpack(search(geom.pack(x)))
-        return run
+        return run, _sg_codespace(geom, search_codes, fmt.meta_bits)
 
-    def run(x: np.ndarray) -> np.ndarray:
+    def _encode(x: np.ndarray):
         groups = geom.pack(x)
         n = groups.shape[0]
         ax = np.abs(groups)
@@ -461,10 +654,29 @@ def _compile_sg_ee(fmt: SgEE, op: str, geom: GroupGeometry):
         # local = 2^e / 2^d: power-of-two, so scaling by its reciprocal
         # is the same correctly-rounded division, bit for bit.
         axs = ax.reshape(n, n_sub, sub) * _exp2(decs - e[:, None])[:, :, None]
-        v = fp4_half_ints(fp4_codes(axs)).astype(np.float64)
+        return groups, n, e, decs, fp4_codes(axs)
+
+    def run(x: np.ndarray) -> np.ndarray:
+        groups, n, e, decs, c = _encode(x)
+        v = fp4_half_ints(c).astype(np.float64)
         v *= _exp2(e[:, None] - decs - 1)[:, :, None]
         return geom.unpack(np.copysign(v.reshape(n, n_sub * sub), groups))
-    return run
+
+    def run_codes(x: np.ndarray) -> CodeSpaceResult:
+        groups, n, e, decs, c = _encode(x)
+        elems = np.signbit(groups).astype(np.int64) << 3
+        elems |= c.reshape(n, n_sub * sub)
+
+        def dequantize() -> np.ndarray:
+            v = fp4_half_ints(c).astype(np.float64)
+            v *= _exp2(e[:, None] - decs - 1)[:, :, None]
+            return geom.unpack(np.copysign(v.reshape(n, n_sub * sub),
+                                           groups))
+        return CodeSpaceResult(
+            (CodeStream("elements", elems, 4),
+             CodeStream("scales", e + 127, 8),
+             CodeStream("meta", decs, fmt.meta_bits)), dequantize)
+    return run, run_codes
 
 
 # ----------------------------------------------------------------------
@@ -478,7 +690,7 @@ def _compile_elem_em(fmt: ElemEM, op: str, geom: GroupGeometry):
     flat_base = np.arange(n_sub_total) * sub
     rule = fmt.scale_rule
 
-    def run(x: np.ndarray) -> np.ndarray:
+    def _encode(x: np.ndarray):
         groups = geom.pack(x)
         n, k = groups.shape
         ax = np.abs(groups)
@@ -487,16 +699,34 @@ def _compile_elem_em(fmt: ElemEM, op: str, geom: GroupGeometry):
         e = shared_scale_exponent(amax, FP4_E2M1, rule)
         ax *= _exp2(-e)[:, None]
         c = fp4_codes(ax)
-        v = fp4_half_ints(c).astype(np.float64)
         top = subgroup_top1(c.reshape(n, k // sub, sub))
         flat = flat_base + top.ravel()
-        refined2 = fp6_window_refine(ax.reshape(-1)[flat],
-                                     c.reshape(-1)[flat].astype(np.int64))
+        meta, refined2 = fp6_window_codes(ax.reshape(-1)[flat],
+                                          c.reshape(-1)[flat]
+                                          .astype(np.int64))
+        return groups, n, e, c, flat, meta, refined2
+
+    def _finish(groups, n, e, c, flat, refined2) -> np.ndarray:
+        v = fp4_half_ints(c).astype(np.float64)
         v.reshape(-1)[flat] = refined2
         v *= _exp2(e - 1)[:, None]
         np.copysign(v, groups, out=v)
         return geom.unpack(v)
-    return run
+
+    def run(x: np.ndarray) -> np.ndarray:
+        groups, n, e, c, flat, _meta, refined2 = _encode(x)
+        return _finish(groups, n, e, c, flat, refined2)
+
+    def run_codes(x: np.ndarray) -> CodeSpaceResult:
+        groups, n, e, c, flat, meta, refined2 = _encode(x)
+        elems = np.signbit(groups).astype(np.int64) << 3
+        elems |= c
+        return CodeSpaceResult(
+            (CodeStream("elements", elems, 4),
+             CodeStream("scales", e + 127, 8),
+             CodeStream("meta", meta, META_BITS_PER_VALUE)),
+            lambda: _finish(groups, n, e, c, flat, refined2))
+    return run, run_codes
 
 
 def _compile_elem_ee(fmt: ElemEE, op: str, geom: GroupGeometry):
@@ -506,7 +736,7 @@ def _compile_elem_ee(fmt: ElemEE, op: str, geom: GroupGeometry):
     o_max = (1 << fmt.meta_bits) - 1
     rule = fmt.scale_rule
 
-    def run(x: np.ndarray) -> np.ndarray:
+    def _encode(x: np.ndarray):
         groups = geom.pack(x)
         n, k = groups.shape
         ax = np.abs(groups)
@@ -515,18 +745,38 @@ def _compile_elem_ee(fmt: ElemEE, op: str, geom: GroupGeometry):
         e = shared_scale_exponent(amax, FP4_E2M1, rule)
         ax *= _exp2(-e)[:, None]
         c = fp4_codes(ax)
-        v = fp4_half_ints(c).astype(np.float64)
         top = subgroup_top1(c.reshape(n, k // sub, sub))
         flat = flat_base + top.ravel()
         top_val = np.copysign(ax.reshape(-1)[flat],
                               np.asarray(groups).reshape(-1)[flat])
-        _, cand, pick = elem_ee_select(top_val, o_max, FP4_E2M1)
+        ref_codes, cand, pick = elem_ee_select(top_val, o_max, FP4_E2M1)
+        return groups, n, e, c, flat, ref_codes, cand, pick
+
+    def _finish(groups, n, e, c, flat, cand, pick) -> np.ndarray:
+        v = fp4_half_ints(c).astype(np.float64)
         best = np.take_along_axis(cand, pick[..., None], axis=-1)[..., 0]
         v.reshape(-1)[flat] = np.abs(best) * 2.0
         v *= _exp2(e - 1)[:, None]
         np.copysign(v, groups, out=v)
         return geom.unpack(v)
-    return run
+
+    def run(x: np.ndarray) -> np.ndarray:
+        groups, n, e, c, flat, _ref, cand, pick = _encode(x)
+        return _finish(groups, n, e, c, flat, cand, pick)
+
+    def run_codes(x: np.ndarray) -> CodeSpaceResult:
+        groups, n, e, c, flat, ref_codes, cand, pick = _encode(x)
+        elems = np.signbit(groups).astype(np.int64) << 3
+        elems |= c
+        refined = np.take_along_axis(ref_codes, pick[..., None],
+                                     axis=-1)[..., 0]
+        return CodeSpaceResult(
+            (CodeStream("elements", elems, 4),
+             CodeStream("scales", e + 127, 8),
+             CodeStream("meta", pick, fmt.meta_bits),
+             CodeStream("refined", refined, 3)),
+            lambda: _finish(groups, n, e, c, flat, cand, pick))
+    return run, run_codes
 
 
 # ----------------------------------------------------------------------
@@ -552,8 +802,18 @@ EXECUTOR_COMPILERS = {
 
 
 def compile_executor(fmt, op: str, geom: GroupGeometry):
-    """The fused ``run`` closure for ``fmt``/``op``, or None."""
+    """The ``(run, run_codes)`` pair for ``fmt``/``op``.
+
+    ``run`` is the fused dequantizing closure (or None when the
+    configuration is out of scope); ``run_codes`` is the code-space
+    sibling, None for the families without a codec stream layout.
+    """
     compiler = EXECUTOR_COMPILERS.get(type(fmt))
     if compiler is None:
-        return None
-    return compiler(fmt, op, geom)
+        return None, None
+    compiled = compiler(fmt, op, geom)
+    if compiled is None:
+        return None, None
+    if isinstance(compiled, tuple):
+        return compiled
+    return compiled, None

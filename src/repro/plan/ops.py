@@ -28,7 +28,7 @@ from ..formats.registry import FP4_E2M1, FP6_E2M3
 __all__ = ["tree_amax", "validate_amax", "cmp_accumulate", "fp4_codes",
            "fp4_half_ints",
            "fp4_half_values", "small_grid_encoder", "subgroup_top1",
-           "fp6_window_refine"]
+           "fp6_window_codes", "fp6_window_refine"]
 
 #: The boundary array of the standard FP4 E2M1 grid (seven entries).
 _FP4_BOUNDS = FP4_E2M1.boundaries
@@ -168,21 +168,31 @@ def subgroup_top1(codes_sub: np.ndarray) -> np.ndarray:
     return ((span - 1) - (best & (span - 1))).astype(np.int64)
 
 
-def fp6_window_refine(top_abs: np.ndarray, top_codes: np.ndarray) -> np.ndarray:
+def fp6_window_codes(top_abs: np.ndarray,
+                     top_codes: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     """Elem-EM's FP6 bias-clamp refinement, reduced to a 3-wide window.
 
     Implements ``clip(clip(fp6_code + 1, lo, lo + 3) - 1, 0, 63)`` for
     ``lo = fp4_code << 2`` without the full FP6 grid search: the clamp
     makes only the three FP6 boundaries at ``lo - 1 .. lo + 1`` matter,
     so the refined code is ``lo - 1 +`` the count of those boundaries
-    below the value (a ``-inf`` sentinel covers ``lo = 0``). Returns
+    below the value (a ``-inf`` sentinel covers ``lo = 0``). That count
+    is also exactly the 2-bit wire metadata the codec derives as
+    ``clip(fp6_code + 1, lo, lo + 3) - lo``: both equal the number of
+    the window's boundaries the value exceeds (for ``lo = 0`` the
+    sentinel contributes the same fixed 1 the clamp floor does).
+
+    Returns ``(meta, refined2)``: the metadata counts in ``[0, 3]`` and
     the doubled refined magnitudes (exact — the FP6 grid is dyadic), to
     be scaled by ``s / 2`` like :func:`fp4_half_values` output.
     """
     lo = top_codes << 2
-    win = _FP6_BOUNDS_PAD[lo]
-    dec = (top_abs > win).view(np.int8).astype(np.int64)
-    dec += (top_abs > _FP6_BOUNDS_PAD[lo + 1]).view(np.int8)
-    dec += (top_abs > _FP6_BOUNDS_PAD[lo + 2]).view(np.int8)
-    dec += lo - 1
-    return FP6_E2M3.grid[dec] * 2.0
+    meta = (top_abs > _FP6_BOUNDS_PAD[lo]).view(np.int8).astype(np.int64)
+    meta += (top_abs > _FP6_BOUNDS_PAD[lo + 1]).view(np.int8)
+    meta += (top_abs > _FP6_BOUNDS_PAD[lo + 2]).view(np.int8)
+    return meta, FP6_E2M3.grid[lo + (meta - 1)] * 2.0
+
+
+def fp6_window_refine(top_abs: np.ndarray, top_codes: np.ndarray) -> np.ndarray:
+    """The doubled refined magnitudes of :func:`fp6_window_codes` alone."""
+    return fp6_window_codes(top_abs, top_codes)[1]

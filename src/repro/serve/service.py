@@ -166,7 +166,8 @@ class QuantService:
         self._stats = {"requests": 0, "batches": 0, "batched_requests": 0,
                        "elements": 0, "weight_cache_hits": 0,
                        "payload_bytes": 0, "header_bytes": 0,
-                       "packed_elements": 0}
+                       "packed_elements": 0, "fused_encodes": 0,
+                       "quantize_s": 0.0, "pack_s": 0.0}
         self._weight_cache: dict = {}
         self._closed = False
         self._collector = threading.Thread(target=self._collect_loop,
@@ -396,12 +397,16 @@ class QuantService:
 
     def _quantize_one(self, req: _Request):
         if self.packed:
-            from ..codec import encode
-            pt = encode(self.fmt, req.x, op=req.op, axis=-1)
+            from ..codec import collect_encode_stats, encode
+            with collect_encode_stats() as es:
+                pt = encode(self.fmt, req.x, op=req.op, axis=-1)
             with self._lock:
                 self._stats["payload_bytes"] += pt.payload_bytes
                 self._stats["header_bytes"] += pt.header_bytes
                 self._stats["packed_elements"] += pt.n_elements
+                self._stats["fused_encodes"] += es["fused_encodes"]
+                self._stats["quantize_s"] += es["quantize_s"]
+                self._stats["pack_s"] += es["pack_s"]
             return pt
         fn = (self.fmt.quantize_weight if req.op == "weight"
               else self.fmt.quantize_activation)

@@ -232,12 +232,14 @@ def test_packed_bytes_pinned(packed_golden, dispatch):
 
 
 # ----------------------------------------------------------------------
-# Bitstream aligned fast paths (widths 4 / 8 / 16)
+# Bitstream fast paths (aligned 4 / 8 / 16 + word-built odd widths)
 # ----------------------------------------------------------------------
 class TestBitstreamFastPaths:
-    """The nibble/byte/uint16 paths must emit the generic path's bytes."""
+    """The nibble/byte/uint16 paths and the word-accumulator paths for
+    the odd sub-byte widths (3/5/6-bit element streams) must emit the
+    generic path's bytes."""
 
-    @pytest.mark.parametrize("width", [4, 8, 16])
+    @pytest.mark.parametrize("width", [3, 4, 5, 6, 8, 16])
     @pytest.mark.parametrize("count", [0, 1, 2, 3, 7, 8, 255, 4097])
     def test_pack_matches_generic(self, width, count):
         from repro.codec.bitstream import _pack_bits_generic, pack_bits
@@ -251,7 +253,7 @@ class TestBitstreamFastPaths:
             assert fast.tobytes() == generic.tobytes()
         assert fast.dtype == np.uint8
 
-    @pytest.mark.parametrize("width", [4, 8, 16])
+    @pytest.mark.parametrize("width", [3, 4, 5, 6, 8, 16])
     @pytest.mark.parametrize("count", [0, 1, 3, 8, 255, 4097])
     def test_unpack_inverts_pack(self, width, count):
         from repro.codec.bitstream import pack_bits, unpack_bits
@@ -263,7 +265,7 @@ class TestBitstreamFastPaths:
         assert np.array_equal(back, values)
         assert back.dtype == np.int64
 
-    @pytest.mark.parametrize("width", [4, 8, 16])
+    @pytest.mark.parametrize("width", [3, 4, 5, 6, 8, 16])
     def test_unpack_matches_generic(self, width):
         from repro.codec.bitstream import (_unpack_bits_generic, pack_bits,
                                            unpack_bits)

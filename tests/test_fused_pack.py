@@ -1,0 +1,354 @@
+"""Fused quantize→pack conformance: the code-space contract end to end.
+
+Four layers, mirroring DESIGN.md §11:
+
+* **Byte identity under the knob** — for every catalog format, both
+  operand paths and the adversarial tensor family (zeros, subnormal
+  magnitudes, near-overflow-but-finite, ragged trailing groups,
+  single-element groups), the container bytes with the fused path
+  enabled equal the ``REPRO_NO_FUSED_PACK=1`` fallback bytes exactly —
+  and under the non-default dispatch modes, where plans do not compile
+  and the knob must be a no-op.
+* **Code-space contract** — for the eleven fused families the plan's
+  ``run_codes`` emits streams in the codec's declared ``code_layout``
+  order, every stream's values fit its declared bit width, the lazy
+  ``dequantized`` tensor is bit-identical to the format's own quantize
+  output, and ``encode_from_codes`` reproduces ``encode_into``'s
+  container byte for byte. Engagement is asserted through
+  ``collect_encode_stats`` so a silently-disabled fused path cannot
+  pass vacuously.
+* **Bit-pattern encoder parity** — the uint64-view masked-bit-pattern
+  encoder (``kernels.bittwiddle.encode_packed``, the BFPsim idiom and
+  the ``REPRO_BITTWIDDLE`` dispatch analog) derives exactly the codes
+  the hot path's boundary-cache ``searchsorted`` derivation emits, for
+  every mini-float block element and adversarial scale placement.
+* **Golden vectors** — the committed packed / wire / HTTP vectors are
+  reproduced byte-identically with the fused path on AND off, and a
+  ``KVCacheSession`` run fused reads back the same packed K/V bytes as
+  one run through the fallback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.codec import (FUSED_PACK_ENV, PackedTensor, collect_encode_stats,
+                         decode, encode, fused_pack_enabled)
+from repro.codec.codecs import codec_for
+from repro.kernels import fast_kernels, reference_kernels
+from repro.kernels.bittwiddle import encode_packed
+from repro.kernels.dispatch import BITTWIDDLE_ENV
+from repro.kv import KVCacheSession, KVPolicy
+from repro.mx.scale_rules import shared_scale_exponent
+from repro.plan import clear_plan_cache, get_plan
+from repro.runner.formats import FORMAT_REGISTRY, make_format
+from repro.server import protocol
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+ALL_FORMATS = sorted(FORMAT_REGISTRY)
+
+#: The families whose plan executors emit a code-space result; every
+#: one must actually *take* the fused path on plan-compilable input —
+#: pinned here so a regression that silently falls back to the legacy
+#: float path fails loudly instead of passing by byte-equality alone.
+FUSED_FORMATS = ("elem-ee", "elem-em", "m2xfp", "mxfp4", "mxfp6-e2m3",
+                 "mxfp6-e3m2", "mxfp8-e4m3", "mxfp8-e5m2", "mxint8",
+                 "sg-ee", "sg-em")
+
+
+@contextmanager
+def _fused_off():
+    old = os.environ.get(FUSED_PACK_ENV)
+    os.environ[FUSED_PACK_ENV] = "1"
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop(FUSED_PACK_ENV, None)
+        else:
+            os.environ[FUSED_PACK_ENV] = old
+
+
+@contextmanager
+def _bittwiddle_kernels():
+    old = os.environ.get(BITTWIDDLE_ENV)
+    os.environ[BITTWIDDLE_ENV] = "1"
+    try:
+        with fast_kernels():
+            yield
+    finally:
+        if old is None:
+            os.environ.pop(BITTWIDDLE_ENV, None)
+        else:
+            os.environ[BITTWIDDLE_ENV] = old
+
+
+DISPATCH = {"fast": fast_kernels, "reference": reference_kernels,
+            "bittwiddle": _bittwiddle_kernels}
+
+
+def _adversarial_cases(rng) -> dict:
+    """Tensor family stressing scale extremes and geometry edges."""
+    return {
+        "zeros": np.zeros((3, 64)),
+        "subnormal": rng.standard_normal((4, 64)) * 1e-310,
+        "huge": np.clip(rng.standard_normal((8, 64)), -2, 2) * 1e307,
+        "mixed_decades": rng.standard_normal((4, 64)) * np.exp(
+            3 * rng.standard_normal((4, 64))),
+        "ragged": rng.standard_normal((5, 50)),    # partial trailing group
+        "single_elem_groups": rng.standard_normal((6, 1)),
+        "1d": rng.standard_normal(70),
+    }
+
+
+def _both_paths(fmt, x, op):
+    """(fused PackedTensor, unfused PackedTensor) for one input."""
+    fused = encode(fmt, x, op=op, verify=True)
+    with _fused_off():
+        unfused = encode(fmt, x, op=op, verify=True)
+    return fused, unfused
+
+
+# ----------------------------------------------------------------------
+# Byte identity under the knob, whole catalog
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ALL_FORMATS)
+@pytest.mark.parametrize("op", ["weight", "activation"])
+def test_fused_bytes_match_fallback(name, op, rng):
+    fmt = make_format(name)
+
+    def outcome(x):
+        """Container bytes, or the exception type a path raises (some
+        formats reject near-overflow input — both paths must agree)."""
+        try:
+            return encode(fmt, x, op=op, verify=True).to_bytes()
+        except Exception as exc:
+            return type(exc)
+
+    with np.errstate(over="ignore"):
+        for case, x in _adversarial_cases(rng).items():
+            fused = outcome(x)
+            with _fused_off():
+                unfused = outcome(x)
+            assert fused == unfused, \
+                f"{name}:{op} fused container diverged on '{case}'"
+
+
+@pytest.mark.parametrize("dispatch", sorted(DISPATCH))
+@pytest.mark.parametrize("name", FUSED_FORMATS)
+def test_fused_bytes_match_fallback_across_dispatch(name, dispatch,
+                                                    heavy_tensor):
+    # Plans only compile under the default dispatch, so in the
+    # reference and bittwiddle modes this doubles as the proof that
+    # the knob is a no-op there — identical bytes either way.
+    fmt = make_format(name)
+    with DISPATCH[dispatch]():
+        for op in ("weight", "activation"):
+            fused, unfused = _both_paths(fmt, heavy_tensor, op)
+            assert fused.to_bytes() == unfused.to_bytes(), \
+                f"{name}:{op} fused container diverged under {dispatch}"
+
+
+def test_fused_path_engages_for_every_fused_family(rng):
+    x = rng.standard_normal((8, 64))
+    for name in FUSED_FORMATS:
+        fmt = make_format(name)
+        for op in ("weight", "activation"):
+            with collect_encode_stats() as stats:
+                encode(fmt, x, op=op)
+            assert stats["fused_encodes"] == 1, \
+                f"{name}:{op} did not take the fused quantize→pack path"
+            with _fused_off(), collect_encode_stats() as stats:
+                encode(fmt, x, op=op)
+            assert stats["fused_encodes"] == 0, \
+                f"{name}:{op} ignored {FUSED_PACK_ENV}=1"
+
+
+def test_knob_reads_environment_per_call():
+    assert fused_pack_enabled()
+    with _fused_off():
+        assert not fused_pack_enabled()
+    assert fused_pack_enabled()
+
+
+# ----------------------------------------------------------------------
+# The code-space contract itself
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", FUSED_FORMATS)
+@pytest.mark.parametrize("op", ["weight", "activation"])
+def test_code_space_result_matches_codec_contract(name, op, heavy_tensor):
+    fmt = make_format(name)
+    x = heavy_tensor
+    plan = get_plan(fmt, op, x.shape, axis=-1)
+    assert plan.run_codes is not None, f"{name}:{op} plan has no run_codes"
+    cs = plan.run_codes(x)
+
+    # Stream order is the codec's declared packing order, and every
+    # stream's codes fit the declared width.
+    codec = codec_for(fmt)
+    pt = PackedTensor(format_name=name, fingerprint=repr(fmt), op=op,
+                      shape=x.shape, axis=x.ndim - 1,
+                      group_size=int(getattr(fmt, "group_size", 1)))
+    assert cs.stream_names == codec.code_layout(fmt, pt)
+    for stream in cs.streams:
+        values = np.asarray(stream.values)
+        assert values.min() >= 0, f"{name}:{op} '{stream.name}' negative code"
+        assert values.max() < (1 << stream.width), \
+            f"{name}:{op} '{stream.name}' overflows width {stream.width}"
+
+    # The lazy dequantized view is the format's own quantize output.
+    if op == "weight":
+        expect = np.asarray(fmt.quantize_weight(x, axis=-1), np.float64)
+    else:
+        expect = np.asarray(fmt.quantize_activation(x, axis=-1), np.float64)
+    assert cs.dequantized.tobytes() == expect.tobytes(), \
+        f"{name}:{op} code-space dequantized drifted from quantize output"
+
+    # encode_from_codes packs the exact container encode_into derives
+    # from the dequantized floats.
+    codec.encode_from_codes(fmt, cs, pt)
+    legacy = PackedTensor(format_name=name, fingerprint=repr(fmt), op=op,
+                          shape=x.shape, axis=x.ndim - 1,
+                          group_size=int(getattr(fmt, "group_size", 1)))
+    codec.encode_into(fmt, x, legacy)
+    assert pt.to_bytes() == legacy.to_bytes(), \
+        f"{name}:{op} encode_from_codes container drifted from encode_into"
+    # And the packed bytes decode back to the dequantized view.
+    assert decode(PackedTensor.from_bytes(pt.to_bytes())).tobytes() \
+        == expect.tobytes()
+
+
+def test_plan_cache_serves_the_codes_sibling(rng):
+    clear_plan_cache()
+    x = rng.standard_normal((4, 64))
+    fmt = make_format("m2xfp")
+    first = get_plan(fmt, "weight", x.shape, axis=-1)
+    again = get_plan(fmt, "weight", x.shape, axis=-1)
+    assert first is again and first.run_codes is again.run_codes
+
+
+# ----------------------------------------------------------------------
+# Bit-pattern encoder parity (the REPRO_BITTWIDDLE dispatch analog)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["mxfp4", "mxfp6-e2m3", "mxfp6-e3m2",
+                                  "mxfp8-e4m3", "mxfp8-e5m2"])
+def test_encode_packed_matches_boundary_search_codes(name, rng):
+    """``encode_packed``'s uint64-view masked-bit-pattern codes equal
+    the boundary-cache ``searchsorted`` codes the fused block executor
+    packs (see ``plan/executors.py``) — same wire codes, two different
+    derivations, pinned against each other."""
+    fmt = make_format(name)
+    elem, gs = fmt.element, fmt.group_size
+    mag_bits = elem.exp_bits + elem.man_bits
+    cases = (
+        rng.standard_normal((16, gs)) * np.exp(
+            2 * rng.standard_normal((16, 1))),
+        np.zeros((2, gs)),
+        -(rng.random((2, gs)) < 0.5).astype(np.float64) * 0.0,  # -0.0s
+        rng.standard_normal((3, gs)) * 1e-300,
+        np.clip(rng.standard_normal((3, gs)), -2, 2) * 1e300,
+    )
+    for groups in cases:
+        amax = np.abs(groups).max(axis=-1)
+        e = shared_scale_exponent(amax, elem, fmt.scale_rule)
+        twiddled = encode_packed(elem, groups, exp_shift=e[:, None])
+        scaled = np.abs(groups) * np.exp2(-e.astype(np.float64))[:, None]
+        idx = np.searchsorted(elem.boundaries, scaled, side="left")
+        searched = (np.signbit(groups).astype(np.int64) << mag_bits) | idx
+        assert np.array_equal(twiddled, searched), \
+            f"{name}: bit-pattern codes diverged from boundary search"
+
+
+# ----------------------------------------------------------------------
+# Golden vectors, fused on AND off
+# ----------------------------------------------------------------------
+def _unhex_input(payload) -> np.ndarray:
+    vals = [float.fromhex(h) for h in payload["input_hex"]]
+    return np.array(vals).reshape(payload["shape"])
+
+
+def test_golden_packed_vectors_fused_and_unfused():
+    payload = json.loads((GOLDEN_DIR / "packed_vectors.json").read_text())
+    x = _unhex_input(payload)
+    for key, case in sorted(payload["cases"].items()):
+        fmt = make_format(case["format"])
+        fused, unfused = _both_paths(fmt, x, case["op"])
+        assert fused.to_bytes().hex() == case["packed_hex"], \
+            f"{key}: fused container drifted from the golden bytes"
+        assert unfused.to_bytes().hex() == case["packed_hex"], \
+            f"{key}: {FUSED_PACK_ENV}=1 container drifted from the golden bytes"
+
+
+def test_golden_wire_vectors_fused_and_unfused():
+    payload = json.loads((GOLDEN_DIR / "wire_vectors.json").read_text())
+    x = _unhex_input(payload)
+    for key, case in sorted(payload["cases"].items()):
+        if not case["packed"]:
+            continue
+        fmt = make_format(case["format"])
+        for ctx in (None, _fused_off):
+            with (ctx() if ctx else np.errstate()):
+                pt = encode(fmt, x, op=case["op"], axis=-1, verify=True)
+                frame = protocol.encode_response_packed(
+                    case["request_id"], pt.to_bytes(), fingerprint=repr(fmt))
+            mode = "unfused" if ctx else "fused"
+            assert frame.hex() == case["response_hex"], \
+                f"{key}: {mode} response frame drifted from the golden bytes"
+
+
+def test_golden_http_vectors_fused_and_unfused():
+    payload = json.loads((GOLDEN_DIR / "http_vectors.json").read_text())
+    x = _unhex_input(payload)
+    for key, case in sorted(payload["quantize"].items()):
+        if not case["packed"]:
+            continue
+        fmt = make_format(case["format"])
+        pinned = bytes.fromhex(case["response_hex"])
+        for ctx in (None, _fused_off):
+            with (ctx() if ctx else np.errstate()):
+                pt = encode(fmt, x, op=case["op"], axis=-1, verify=True)
+            mode = "unfused" if ctx else "fused"
+            assert pt.to_bytes() in pinned, \
+                f"{key}: {mode} container missing from the golden HTTP body"
+
+
+# ----------------------------------------------------------------------
+# KV sessions ride the fused path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("fmt", ["m2xfp", "mxfp4", "elem-em", "sg-em"])
+def test_kv_session_blobs_match_fallback(fmt, rng):
+    n_layers, dh = 2, 32
+    blocks = [(layer, rng.standard_normal((4, dh)),
+               rng.standard_normal((4, dh)))
+              for layer in range(n_layers) for _ in range(3)]
+
+    def run_session():
+        # The session wraps every append in its own (inner, shadowing)
+        # collect_encode_stats, so the counts come from its accessor.
+        sess = KVCacheSession(n_layers, KVPolicy(fmt), max_tokens=64,
+                              sink_tokens=2, verify=True)
+        for layer, k, v in blocks:
+            sess.append(layer, k, v)
+        out = [sess.read(layer) for layer in range(n_layers)]
+        fused_encodes = sess.encode_stage_stats()["fused_encodes"]
+        sess.close()
+        return out, fused_encodes
+
+    fused_out, fused_encodes = run_session()
+    assert fused_encodes == 2 * len(blocks), \
+        f"{fmt}: session appends did not ride the fused path"
+    with _fused_off():
+        unfused_out, unfused_encodes = run_session()
+    assert unfused_encodes == 0
+    for layer, ((kf, vf), (ku, vu)) in enumerate(zip(fused_out, unfused_out)):
+        assert kf.tobytes() == ku.tobytes(), \
+            f"{fmt}: layer {layer} K blob diverged fused vs unfused"
+        assert vf.tobytes() == vu.tobytes(), \
+            f"{fmt}: layer {layer} V blob diverged fused vs unfused"
