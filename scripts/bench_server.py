@@ -60,10 +60,23 @@ import numpy as np
 
 from repro.errors import ServerBusy
 from repro.gateway import GatewayThread, ReplicaCluster
+from repro.obs import Histogram
 from repro.server import (FaultPlan, FaultProxy, QuantClient, ServerThread,
                           WorkerPool)
 
 DEFAULT_OUT = "BENCH_server.json"
+
+
+def _latency_summary(samples) -> dict:
+    """p50/p99 (ms) through the obs :class:`Histogram`, so the bench's
+    percentile math is the repo-wide nearest-rank definition the server
+    and gateway expose (DESIGN.md §12). ``tests/test_obs.py``
+    crosschecks this helper against ``Histogram.quantile`` directly."""
+    hist = Histogram(window=max(len(samples), 1), gated=False)
+    for v in samples:
+        hist.observe(v)
+    return {"p50_ms": round(hist.quantile(0.50) * 1e3, 3),
+            "p99_ms": round(hist.quantile(0.99) * 1e3, 3)}
 
 #: (catalog name, operand path, packed) load arms.
 ARMS = (
@@ -152,14 +165,13 @@ def _run_load(port: int, fmt: str, op: str, packed: bool,
     elapsed = time.perf_counter() - t_start
     if errors:
         raise errors[0]
-    lats = np.array([v for slot in latencies for v in slot])
+    lats = [v for slot in latencies for v in slot]
     return {
         "concurrency": concurrency,
-        "requests": int(lats.size),
+        "requests": len(lats),
         "busy_rejections": int(sum(busy)),
-        "rps": round(lats.size / elapsed, 1),
-        "p50_ms": round(float(np.percentile(lats, 50)) * 1e3, 3),
-        "p99_ms": round(float(np.percentile(lats, 99)) * 1e3, 3),
+        "rps": round(len(lats) / elapsed, 1),
+        **_latency_summary(lats),
     }
 
 
@@ -260,14 +272,13 @@ def _run_http_load(port: int, concurrency: int, duration_s: float,
     elapsed = time.perf_counter() - t_start
     if errors:
         raise errors[0]
-    lats = np.array([v for slot in latencies for v in slot])
+    lats = [v for slot in latencies for v in slot]
     return {
         "concurrency": concurrency,
-        "requests": int(lats.size),
+        "requests": len(lats),
         "completed_total": int(sum(completed)),
-        "rps": round(lats.size / elapsed, 1),
-        "p50_ms": round(float(np.percentile(lats, 50)) * 1e3, 3),
-        "p99_ms": round(float(np.percentile(lats, 99)) * 1e3, 3),
+        "rps": round(len(lats) / elapsed, 1),
+        **_latency_summary(lats),
     }
 
 

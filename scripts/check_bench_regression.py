@@ -1,11 +1,13 @@
 """Fail when benchmark speedups regress against the committed baselines.
 
-Covers all five committed benchmark files — ``BENCH_kernels.json``
+Covers all six committed benchmark files — ``BENCH_kernels.json``
 (kernel fast-vs-reference speedups), ``BENCH_codec.json`` (codec /
 service / bitstream), ``BENCH_eval.json`` (compiled plans + eval
 engine), ``BENCH_server.json`` (network server load test, sharded
-vs single worker) and ``BENCH_kv.json`` (streaming KV-cache decode
-loop, structurally gated) — and exits non-zero if any recorded
+vs single worker), ``BENCH_kv.json`` (streaming KV-cache decode
+loop, structurally gated) and ``BENCH_obs.json`` (telemetry overhead,
+hard-gated: metrics-on rps may cost at most 2% vs ``REPRO_NO_METRICS=1``)
+— and exits non-zero if any recorded
 *speedup* dropped by more than the threshold (default 20%). Speedups are
 compared rather than raw throughput because both sides of a speedup
 are measured on the same machine, making the ratio portable across
@@ -13,7 +15,8 @@ hardware — the committed baseline may come from a different box than
 CI.
 
 Run:  PYTHONPATH=src python scripts/check_bench_regression.py \
-          [--suite kernels|codec|eval|server|kv|all] [--baseline PATH] \
+          [--suite kernels|codec|eval|server|kv|obs|all] \
+          [--baseline PATH] \
           [--candidate PATH] [--threshold 0.2] [--quick]
 
 With no ``--candidate``, a fresh benchmark run supplies the candidate
@@ -35,6 +38,7 @@ SUITES = {
     "eval": ("BENCH_eval.json", "bench_eval"),
     "server": ("BENCH_server.json", "bench_server"),
     "kv": ("BENCH_kv.json", "bench_kv"),
+    "obs": ("BENCH_obs.json", "bench_obs"),
 }
 
 #: suite -> payload sections a candidate run must populate. The server
@@ -52,6 +56,7 @@ REQUIRED_SECTIONS = {
     "codec": ("arms", "fused"),
     "server": ("arms", "sharded", "chaos", "gateway"),
     "kv": ("decode_loop", "wire", "fused"),
+    "obs": ("registry", "overhead"),
 }
 
 
@@ -73,6 +78,47 @@ def check_sections(suite: str, candidate: dict) -> list[str]:
         failures += _check_kv_sections(candidate)
     if suite in ("codec", "kv") and candidate.get("fused"):
         failures += _check_fused_section(suite, candidate["fused"])
+    if suite == "obs":
+        failures += _check_obs_section(candidate)
+    return failures
+
+
+#: The hard ceiling on the metrics-on throughput cost (ISSUE 10): the
+#: observability contract is that leaving the registry enabled costs at
+#: most this fraction of requests/s vs ``REPRO_NO_METRICS=1``.
+OBS_OVERHEAD_CEILING = 0.02
+
+
+def _check_obs_section(candidate: dict) -> list[str]:
+    """The telemetry bench must record per-op instrument costs for both
+    the enabled and the ``REPRO_NO_METRICS=1`` paths, and the measured
+    end-to-end overhead fraction must sit under the 2% ceiling — a hard
+    gate, no threshold grace: both sides of the ratio come from the
+    same interleaved run on the same machine."""
+    failures = []
+    registry = candidate.get("registry", {})
+    for mode in ("enabled", "disabled"):
+        ops = registry.get(mode, {})
+        for op in ("counter_inc", "histogram_observe", "snapshot"):
+            rate = ops.get(op, {}).get("ops_per_s")
+            if not (isinstance(rate, (int, float)) and rate > 0):
+                failures.append(f"obs: registry[{mode}][{op}] has no "
+                                f"positive 'ops_per_s'")
+    overhead = candidate.get("overhead", {})
+    for key in ("rps_on", "rps_off"):
+        if not (isinstance(overhead.get(key), (int, float))
+                and overhead[key] > 0):
+            failures.append(f"obs: overhead section has no positive "
+                            f"'{key}'")
+    frac = overhead.get("overhead_frac")
+    if not isinstance(frac, (int, float)):
+        failures.append("obs: overhead section has no 'overhead_frac'")
+    elif frac > OBS_OVERHEAD_CEILING:
+        failures.append(
+            f"obs: metrics-on overhead {frac:.2%} exceeds the "
+            f"{OBS_OVERHEAD_CEILING:.0%} ceiling "
+            f"({overhead.get('rps_on')} rps on vs "
+            f"{overhead.get('rps_off')} rps off)")
     return failures
 
 

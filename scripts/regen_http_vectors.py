@@ -146,6 +146,9 @@ ERROR_CASES = (
 
 
 #: Fixed synthetic cluster snapshots for /healthz and /metrics pinning.
+#: The ``health`` block mirrors what a live HEALTH reply carries,
+#: including the additive ``metrics`` registry snapshot (DESIGN.md §12)
+#: that feeds the ``repro_gateway_replica_*`` federation families.
 def _replica(state: str, failures: int = 0, ejected: bool = False,
              hits: int = 0) -> dict:
     return {"state": state, "ejected": ejected,
@@ -153,7 +156,21 @@ def _replica(state: str, failures: int = 0, ejected: bool = False,
             "health": {"draining": state == "draining",
                        "services": {"arms": 2, "requests": 10,
                                     "batches": 5,
-                                    "weight_cache_hits": hits}}}
+                                    "weight_cache_hits": hits},
+                       "stats": {"requests": 10,
+                                 "busy_rejections": 1 + failures},
+                       "sessions": {"open": 1, "max_sessions": 64},
+                       "metrics": {
+                           "plan_cache": {"compiles": 2, "entries": 2,
+                                          "evictions": 0,
+                                          "hits": 6 + hits, "misses": 2},
+                           "serve.m2xfp:inherit:packed": {
+                               "requests": 8, "batches": 4,
+                               "weight_cache_hits": hits},
+                           "serve.m2xfp:inherit:packed.latency": {
+                               "count": 8, "p50": 0.001, "p95": 0.004,
+                               "p99": 0.0045},
+                       }}}
 
 
 HEALTH_SNAPSHOTS = {

@@ -104,6 +104,15 @@ HEALTH_INFO = {
     "inflight": 0,
     "max_inflight": 64,
     "protocol_version": protocol.PROTOCOL_VERSION,
+    # HEALTH meta is additive (DESIGN.md §12): the metrics-registry
+    # snapshot rides along without a protocol version bump. A small
+    # fixed snapshot keeps the pinned frame deterministic.
+    "metrics": {
+        "plan_cache": {"compiles": 2, "entries": 2, "evictions": 0,
+                       "hits": 3, "misses": 2},
+        "serve.m2xfp:inherit:unpacked.latency": {
+            "count": 5, "p50": 0.001, "p95": 0.002, "p99": 0.002},
+    },
 }
 
 

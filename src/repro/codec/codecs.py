@@ -53,6 +53,7 @@ from contextlib import contextmanager
 
 import numpy as np
 
+from .. import obs as _obs
 from ..core.elem_em import META_BITS_PER_VALUE, ElemEM, ElemEMEncoding, \
     elem_em_decode, elem_em_encode
 from ..core.elem_ee import ElemEE
@@ -95,6 +96,15 @@ def fused_pack_enabled() -> bool:
 
 
 _STAGE_SINK = threading.local()
+
+#: Process-wide encode tally surfaced through the metrics registry as
+#: the ``codec`` collector (the per-call sink above stays the precise,
+#: caller-scoped instrument; this is the always-on global view).
+_ENCODE_TOTALS = {"encodes": 0, "fused_encodes": 0}
+_ENCODE_TOTALS_LOCK = threading.Lock()
+
+_obs.registry().register_collector(
+    "codec", lambda: dict(_ENCODE_TOTALS))
 
 
 @contextmanager
@@ -868,6 +878,7 @@ def encode(fmt, x: np.ndarray, op: str = "activation", axis: int = -1,
                       op=op, shape=x.shape, axis=axis,
                       group_size=int(getattr(fmt, "group_size", 1)))
     sink = getattr(_STAGE_SINK, "stats", None)
+    tr = _obs.current_trace()
     run_codes = None
     if not kwargs and fused_pack_enabled() \
             and codec.code_layout(fmt, pt) is not None:
@@ -875,21 +886,33 @@ def encode(fmt, x: np.ndarray, op: str = "activation", axis: int = -1,
         plan = lookup_plan(fmt, op, x, axis)
         if plan is not None and plan.run_codes is not None:
             run_codes = plan.run_codes
+    if _obs.metrics_enabled():
+        with _ENCODE_TOTALS_LOCK:
+            _ENCODE_TOTALS["encodes"] += 1
+            _ENCODE_TOTALS["fused_encodes"] += run_codes is not None
     if sink is not None:
         sink["encodes"] += 1
         sink["fused_encodes"] += run_codes is not None
+    timed = sink is not None or tr is not None
+
+    def _mark(stage: str, t0: float) -> float:
+        """Close one stage: feed the sink counter and the trace span."""
+        t1 = time.perf_counter()
+        if sink is not None:
+            sink[stage + "_s"] += t1 - t0
+        if tr is not None:
+            tr.add_span(stage, t0, t1)
+        return t1
+
+    if timed:
         t0 = time.perf_counter()
     if run_codes is not None:
         cs = run_codes(x)
-        if sink is not None:
-            t1 = time.perf_counter()
-            sink["quantize_s"] += t1 - t0
-            t0 = t1
+        if timed:
+            t0 = _mark("quantize", t0)
         codec.encode_from_codes(fmt, cs, pt)
-        if sink is not None:
-            t1 = time.perf_counter()
-            sink["pack_s"] += t1 - t0
-            t0 = t1
+        if timed:
+            t0 = _mark("pack", t0)
         if verify:
             for s in cs.streams:
                 stored = pt.stream(s.name)
@@ -899,21 +922,19 @@ def encode(fmt, x: np.ndarray, op: str = "activation", axis: int = -1,
                     raise CodecError(
                         f"fused pack round-trip mismatch for {fmt!r} "
                         f"({op}), stream {s.name!r}")
-            if sink is not None:
-                sink["verify_s"] += time.perf_counter() - t0
+            if timed:
+                _mark("verify", t0)
         return pt
     codec.encode_into(fmt, x, pt, **kwargs)
-    if sink is not None:
-        t1 = time.perf_counter()
-        sink["quantize_s"] += t1 - t0
-        t0 = t1
+    if timed:
+        t0 = _mark("quantize", t0)
     if verify:
         expect = _dispatch_quantize(fmt, x, op, axis)
         got = codec.decode(fmt, pt)
         if got.tobytes() != np.asarray(expect, dtype=np.float64).tobytes():
             raise CodecError(f"round-trip mismatch for {fmt!r} ({op})")
-        if sink is not None:
-            sink["verify_s"] += time.perf_counter() - t0
+        if timed:
+            _mark("verify", t0)
     return pt
 
 

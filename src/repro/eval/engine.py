@@ -91,6 +91,10 @@ class EvalEngine:
                        "wrapper_builds": 0,
                        "wrapper_hits": 0, "ppl_evals": 0, "ppl_hits": 0,
                        "items_builds": 0, "items_hits": 0}
+        # Last engine constructed wins the registry slot — in practice
+        # that is the process-wide default_engine().
+        from ..obs import registry as obs_registry
+        obs_registry().register_collector("eval.engine", self.stats)
 
     # ------------------------------------------------------------------
     # Cache plumbing

@@ -56,13 +56,14 @@ Example::
 from __future__ import annotations
 
 import asyncio
-import math
+import itertools
 import threading
 import time
-from collections import deque
 
 from ..errors import (ConfigError, ConnectionLost, RequestTimeout,
                       ServerBusy, ServerDraining)
+from ..obs import Histogram
+from ..obs import quantile as _obs_quantile
 from ..server.client import AsyncQuantClient
 from ..server.server import _env_float, _env_int
 from . import http as ghttp
@@ -106,20 +107,25 @@ def parse_endpoint(spec) -> tuple[str, int]:
 
 
 def _quantile(sorted_values, q: float) -> float:
-    """Nearest-rank quantile of an already-sorted sequence."""
-    if not sorted_values:
-        return 0.0
-    rank = max(1, math.ceil(q * len(sorted_values)))
-    return sorted_values[rank - 1]
+    """Nearest-rank quantile of an already-sorted sequence.
+
+    Delegates to :func:`repro.obs.quantile` — gateway p50/p99 and the
+    server-side histograms share one percentile code path by contract
+    (DESIGN.md §12)."""
+    return _obs_quantile(sorted_values, q)
 
 
 class GatewayStats:
     """Counters + bounded latency windows behind ``/metrics``.
 
     Thread-safe (the bench harness snapshots from other threads while
-    the gateway loop records). Latencies keep the most recent
+    the gateway loop records). Latencies live in
+    :class:`repro.obs.Histogram` reservoirs — explicitly bounded at
     ``window`` samples per arm, so p50/p99 are over recent traffic,
-    while counts and rps are lifetime totals.
+    while counts and rps are lifetime totals. The histograms are
+    *ungated* (``REPRO_NO_METRICS`` does not blind them): the gateway's
+    own accounting feeds routing and ops decisions, not just
+    exposition.
     """
 
     def __init__(self, window: int = DEFAULT_LATENCY_WINDOW) -> None:
@@ -138,10 +144,10 @@ class GatewayStats:
             slot = self._arms.get(arm)
             if slot is None:
                 slot = {"count": 0,
-                        "latencies": deque(maxlen=self._window)}
+                        "latencies": Histogram(self._window, gated=False)}
                 self._arms[arm] = slot
             slot["count"] += 1
-            slot["latencies"].append(float(seconds))
+            slot["latencies"].observe(float(seconds))
             self._replica_requests[replica] = \
                 self._replica_requests.get(replica, 0) + 1
 
@@ -160,7 +166,7 @@ class GatewayStats:
             elapsed = max(time.monotonic() - self._started, 1e-9)
             arms = {}
             for arm, slot in sorted(self._arms.items()):
-                lat = sorted(slot["latencies"])
+                lat = slot["latencies"].values()  # already ascending
                 arms[arm] = {
                     "requests": slot["count"],
                     "rps": round(slot["count"] / elapsed, 3),
@@ -254,6 +260,64 @@ def render_metrics(snapshot: dict) -> str:
     metric("repro_gateway_replica_weight_cache_hits_total", "counter",
            "Upstream weight-memo hits, from the replica's last HEALTH "
            "frame.", hit_samples)
+    # Federated server-side telemetry: every sample below reads the
+    # metrics-registry snapshot that rides each replica's HEALTH meta,
+    # so /metrics on the gateway is a one-stop view of the cluster.
+    plan_samples, busy_samples, sess_samples = [], [], []
+    arm_req_samples, arm_batch_samples, arm_p99_samples = [], [], []
+    for name, info in sorted(snapshot["replicas"].items()):
+        health = info.get("health") or {}
+        rmetrics = health.get("metrics") or {}
+        label = f'replica="{_esc(name)}"'
+        plan = rmetrics.get("plan_cache") or {}
+        lookups = plan.get("hits", 0) + plan.get("misses", 0)
+        rate = plan.get("hits", 0) / lookups if lookups else 0.0
+        plan_samples.append(
+            f'repro_gateway_replica_plan_cache_hit_rate{{{label}}} '
+            f'{rate:g}')
+        busy_samples.append(
+            f'repro_gateway_replica_busy_total{{{label}}} '
+            f'{(health.get("stats") or {}).get("busy_rejections", 0)}')
+        sess_samples.append(
+            f'repro_gateway_replica_sessions_open{{{label}}} '
+            f'{(health.get("sessions") or {}).get("open", 0)}')
+        for key in sorted(rmetrics):
+            if not key.startswith("serve.") or key.endswith(".latency"):
+                continue
+            svc = rmetrics[key]
+            if not isinstance(svc, dict):
+                continue
+            arm_label = f'{label},arm="{_esc(key[len("serve."):])}"'
+            requests = svc.get("requests", 0)
+            batches = svc.get("batches", 0)
+            batched = requests - svc.get("weight_cache_hits", 0)
+            lat = rmetrics.get(f"{key}.latency") or {}
+            arm_req_samples.append(
+                f'repro_gateway_replica_arm_requests_total'
+                f'{{{arm_label}}} {requests}')
+            arm_batch_samples.append(
+                f'repro_gateway_replica_arm_batch_mean{{{arm_label}}} '
+                f'{(batched / batches if batches else 0.0):g}')
+            arm_p99_samples.append(
+                f'repro_gateway_replica_arm_p99_ms{{{arm_label}}} '
+                f'{round(lat.get("p99", 0.0) * 1e3, 3):g}')
+    metric("repro_gateway_replica_plan_cache_hit_rate", "gauge",
+           "Compiled-plan cache hit rate on the replica "
+           "(hits / lookups; 0 before any lookup).", plan_samples)
+    metric("repro_gateway_replica_busy_total", "counter",
+           "BUSY admission rejections on the replica.", busy_samples)
+    metric("repro_gateway_replica_sessions_open", "gauge",
+           "Open KV-cache sessions on the replica.", sess_samples)
+    metric("repro_gateway_replica_arm_requests_total", "counter",
+           "Server-side requests per (replica, service arm).",
+           arm_req_samples)
+    metric("repro_gateway_replica_arm_batch_mean", "gauge",
+           "Mean micro-batch size per (replica, service arm): "
+           "non-memoized requests / batches.", arm_batch_samples)
+    metric("repro_gateway_replica_arm_p99_ms", "gauge",
+           "Server-side submit->finish p99 (ms) per (replica, service "
+           "arm), from the replica's latency histogram.",
+           arm_p99_samples)
     return "\n".join(lines) + "\n"
 
 
@@ -440,6 +504,7 @@ class QuantGateway:
                              **ring_kwargs)
         self.stats = GatewayStats()
         self._fingerprints: dict[str, str] = {}
+        self._request_ids = itertools.count(1)
         self._inflight = 0
         self._draining = False
         self._server: asyncio.base_events.Server | None = None
@@ -685,6 +750,17 @@ class QuantGateway:
                 if request is None:
                     break
                 response = await self._handle(request)
+                # Request-id echo: the caller's X-Request-Id (or a
+                # gateway-minted one) comes back on every response, so
+                # a trace line on any replica can be joined to the HTTP
+                # round trip that caused it. Applied here — not in the
+                # pure response builders — so the golden response bytes
+                # stay header-free and pinned.
+                rid = request.headers.get("x-request-id") \
+                    or f"gw-{next(self._request_ids)}"
+                response.extra_headers = (
+                    *tuple(response.extra_headers),
+                    ("x-request-id", rid))
                 response.keep_alive = response.keep_alive \
                     and request.keep_alive
                 await self._write(writer, response)

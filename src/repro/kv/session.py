@@ -52,6 +52,8 @@ import threading
 import numpy as np
 
 from ..errors import ConfigError
+from ..obs import measured_bits_per_element
+from ..obs import registry as obs_registry
 from ..serve.service import DISPATCH_MODES, _dispatch_scope
 
 __all__ = ["KVCacheSession", "KVPolicy"]
@@ -227,6 +229,8 @@ class KVCacheSession:
         # are not reproducible bytes.
         self._encode_stats = {"fused_encodes": 0, "quantize_s": 0.0,
                               "pack_s": 0.0, "verify_s": 0.0}
+        obs_registry().register_collector(f"kv.{self.session_id}",
+                                          self._collect_metrics)
 
     # ------------------------------------------------------------------
     # Public API
@@ -331,9 +335,10 @@ class KVCacheSession:
             out["tokens_held"] = [sum(b.tokens for b in layer)
                                   for layer in self._blocks]
             out["closed"] = self._closed
-        if out["packed_elements"]:
-            out["measured_bits_per_element"] = (
-                out["payload_bytes"] * 8 / out["packed_elements"])
+        mbpe = measured_bits_per_element(out["payload_bytes"],
+                                         out["packed_elements"])
+        if mbpe is not None:
+            out["measured_bits_per_element"] = mbpe
         return out
 
     def encode_stage_stats(self) -> dict:
@@ -347,6 +352,14 @@ class KVCacheSession:
         """
         with self._lock:
             return dict(self._encode_stats)
+
+    def _collect_metrics(self) -> dict:
+        """Registry collector view: counters plus per-stage encode cost
+        (prefixed, so the snapshot stays one flat JSON-safe dict)."""
+        out = self.stats()
+        for key, val in self.encode_stage_stats().items():
+            out[f"encode_{key}"] = val
+        return out
 
     def info(self) -> dict:
         """JSON-safe session description (wire/HTTP OPEN acks)."""
@@ -362,6 +375,7 @@ class KVCacheSession:
         """
         with self._lock:
             self._closed = True
+        obs_registry().unregister_collector(f"kv.{self.session_id}")
         return {**self.stats(), "closed": True}
 
     @property

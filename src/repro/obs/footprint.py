@@ -1,0 +1,21 @@
+"""Shared footprint arithmetic for stats views.
+
+``serve/service.py`` and ``kv/session.py`` each derived
+``measured_bits_per_element`` from their own byte counters with
+subtly copy-pasted code; this is the single definition both now use.
+The expression is kept verbatim (``payload_bytes * 8 /
+packed_elements``, no rounding) because the KV session serializes its
+``stats()`` dict into golden-pinned wire frames — the float reprs must
+not move.
+"""
+
+from __future__ import annotations
+
+
+def measured_bits_per_element(payload_bytes: int,
+                              packed_elements: int) -> float | None:
+    """Payload bits amortized per packed element; ``None`` before any
+    packed traffic (zero or missing element count)."""
+    if not packed_elements:
+        return None
+    return payload_bytes * 8 / packed_elements

@@ -1,0 +1,245 @@
+"""Unified metrics registry: counters, gauges, bounded histograms.
+
+Every serving layer used to grow its own ``stats()`` dict with its own
+shape; this module is the one place they all register into, under a
+stable dotted naming scheme (see DESIGN.md §12):
+
+* ``serve.<arm>`` — QuantService counters, one arm per
+  ``<format>:<dispatch>:<packed|unpacked>`` service instance.
+* ``serve.<arm>.latency`` — end-to-end submit→finish histogram.
+* ``kv.<session_id>`` — per-session KV-cache counters.
+* ``plan_cache`` / ``codec`` / ``eval.engine`` / ``server`` /
+  ``server.workers`` — the module- or process-wide layers.
+
+Two registration styles:
+
+* **Instruments** (:class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) are owned by the registry and written on the hot
+  path. Their writes are *gated*: with ``REPRO_NO_METRICS=1`` every
+  ``inc``/``set``/``observe`` is a no-op, so the disabled-path cost is
+  one env-cached boolean check (pinned by ``scripts/bench_obs.py``).
+  Construct with ``gated=False`` for accounting the program itself
+  relies on (e.g. gateway routing stats).
+* **Collectors** are zero-hot-path-overhead callbacks: a component
+  keeps its plain dict counters and the registry calls the collector
+  only at :meth:`MetricsRegistry.snapshot` time.
+
+Snapshots are deterministic: sorted keys, no timestamps, JSON-safe
+values — two consecutive snapshots with no traffic in between are
+identical, and a snapshot can ride in the protocol HEALTH meta as-is.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from collections import deque
+
+#: Kill switch: with ``REPRO_NO_METRICS=1`` gated instrument writes
+#: no-op and ``snapshot()`` returns ``{}`` (so HEALTH meta stays lean).
+NO_METRICS_ENV = "REPRO_NO_METRICS"
+
+#: Default bounded-reservoir window for histograms; matches the
+#: gateway's historical latency window so p99 semantics carry over.
+DEFAULT_WINDOW = 4096
+
+
+def metrics_enabled() -> bool:
+    """True unless ``REPRO_NO_METRICS=1`` (read per call: tests flip it)."""
+    return os.environ.get(NO_METRICS_ENV, "") != "1"
+
+
+def quantile(sorted_values, q: float) -> float:
+    """Nearest-rank quantile over an ascending sequence (0.0 if empty).
+
+    This is *the* percentile definition for the repo: the gateway's
+    ``/metrics`` p50/p99 and the server-side histograms must agree on
+    one code path (ISSUE 10 satellite 2), so both call here.
+    """
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+class Counter:
+    """Monotonic counter. ``inc`` is gated unless ``gated=False``."""
+
+    __slots__ = ("_value", "_lock", "_gated")
+
+    def __init__(self, *, gated: bool = True):
+        self._value = 0
+        self._lock = threading.Lock()
+        self._gated = gated
+
+    def inc(self, n: int = 1) -> None:
+        if self._gated and not metrics_enabled():
+            return
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """Point-in-time value. ``set`` is gated unless ``gated=False``."""
+
+    __slots__ = ("_value", "_lock", "_gated")
+
+    def __init__(self, *, gated: bool = True):
+        self._value = 0.0
+        self._lock = threading.Lock()
+        self._gated = gated
+
+    def set(self, v: float) -> None:
+        if self._gated and not metrics_enabled():
+            return
+        with self._lock:
+            self._value = v
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Bounded-reservoir histogram: last ``window`` observations plus a
+    lifetime count. Quantiles are nearest-rank over the reservoir."""
+
+    __slots__ = ("_window", "_values", "_count", "_lock", "_gated")
+
+    def __init__(self, window: int = DEFAULT_WINDOW, *,
+                 gated: bool = True):
+        self._window = int(window)
+        self._values: deque = deque(maxlen=self._window)
+        self._count = 0
+        self._lock = threading.Lock()
+        self._gated = gated
+
+    @property
+    def window(self) -> int:
+        return self._window
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def observe(self, v: float) -> None:
+        if self._gated and not metrics_enabled():
+            return
+        with self._lock:
+            self._values.append(float(v))
+            self._count += 1
+
+    def values(self) -> list:
+        """Ascending copy of the current reservoir."""
+        with self._lock:
+            return sorted(self._values)
+
+    def quantile(self, q: float) -> float:
+        return quantile(self.values(), q)
+
+    def summary(self) -> dict:
+        """JSON-safe ``{count, p50, p95, p99}`` in observed units."""
+        vals = self.values()
+        return {
+            "count": self._count,
+            "p50": quantile(vals, 0.50),
+            "p95": quantile(vals, 0.95),
+            "p99": quantile(vals, 0.99),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument/collector registry with one
+    deterministic ``snapshot()`` view over everything registered."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._instruments: dict = {}
+        self._collectors: dict = {}
+
+    # -- instruments ---------------------------------------------------
+    def _get_or_create(self, name: str, kind, factory):
+        with self._lock:
+            inst = self._instruments.get(name)
+            if inst is None:
+                inst = self._instruments[name] = factory()
+            elif not isinstance(inst, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(inst).__name__}, not {kind.__name__}")
+            return inst
+
+    def counter(self, name: str, *, gated: bool = True) -> Counter:
+        return self._get_or_create(name, Counter,
+                                   lambda: Counter(gated=gated))
+
+    def gauge(self, name: str, *, gated: bool = True) -> Gauge:
+        return self._get_or_create(name, Gauge,
+                                   lambda: Gauge(gated=gated))
+
+    def histogram(self, name: str, window: int = DEFAULT_WINDOW, *,
+                  gated: bool = True) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(window, gated=gated))
+
+    # -- collectors ----------------------------------------------------
+    def register_collector(self, name: str, fn) -> None:
+        """``fn()`` must return a JSON-safe dict; it is called only at
+        snapshot time. Last registration wins on a name collision (a
+        service arm restarted under the same key supersedes the old
+        one)."""
+        with self._lock:
+            self._collectors[name] = fn
+
+    def unregister_collector(self, name: str) -> None:
+        with self._lock:
+            self._collectors.pop(name, None)
+
+    def unregister_metric(self, name: str) -> None:
+        with self._lock:
+            self._instruments.pop(name, None)
+
+    def clear(self) -> None:
+        """Drop everything (tests only)."""
+        with self._lock:
+            self._instruments.clear()
+            self._collectors.clear()
+
+    # -- snapshot ------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Sorted, JSON-safe view of every instrument and collector.
+
+        Returns ``{}`` when metrics are disabled; collector errors are
+        surfaced as ``{"error": ...}`` rather than taking down the
+        caller (a HEALTH response must never fail because one stats
+        dict threw)."""
+        if not metrics_enabled():
+            return {}
+        with self._lock:
+            instruments = dict(self._instruments)
+            collectors = dict(self._collectors)
+        out: dict = {}
+        for name, inst in instruments.items():
+            if isinstance(inst, Histogram):
+                out[name] = inst.summary()
+            else:
+                out[name] = inst.value
+        for name, fn in collectors.items():
+            try:
+                out[name] = dict(fn())
+            except Exception as exc:  # pragma: no cover - defensive
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return {name: out[name] for name in sorted(out)}
+
+
+#: The process-wide default registry every serving layer registers into.
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    return _DEFAULT

@@ -144,3 +144,10 @@ def plan_cache_stats() -> dict:
     """Counters plus the current entry count."""
     with _lock:
         return {**_stats, "entries": len(_cache)}
+
+
+# The cache is module-global, so its registry entry is too: one
+# ``plan_cache`` collector per process, registered at import time.
+from ..obs import registry as _obs_registry  # noqa: E402
+
+_obs_registry().register_collector("plan_cache", plan_cache_stats)

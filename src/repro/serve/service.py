@@ -51,6 +51,9 @@ from ..models.quantized import NO_WEIGHT_CACHE_ENV
 from ..mx.base import TensorFormat
 from ..mx.max_preserve import MaxPreserving
 from ..mx.nvfp import NVFP4
+from ..obs import current_trace, measured_bits_per_element, \
+    metrics_enabled, use_trace
+from ..obs import registry as obs_registry
 
 __all__ = ["QuantService", "DISPATCH_MODES"]
 
@@ -111,12 +114,15 @@ def _digest(x: np.ndarray) -> str:
 
 
 class _Request:
-    __slots__ = ("x", "op", "future")
+    __slots__ = ("x", "op", "future", "trace", "t_enqueue", "t_dequeue")
 
     def __init__(self, x: np.ndarray, op: str, future: Future) -> None:
         self.x = x
         self.op = op
         self.future = future
+        self.trace = None       # TraceContext riding with the request
+        self.t_enqueue = None   # perf_counter stamps; None when both
+        self.t_dequeue = None   # metrics and tracing are off
 
 
 class QuantService:
@@ -146,6 +152,7 @@ class QuantService:
     def __init__(self, fmt: TensorFormat | str, *, packed: bool = False,
                  max_batch: int = 64, max_delay_s: float = 0.002,
                  workers: int = 0, dispatch: str = "inherit") -> None:
+        fmt_name = fmt if isinstance(fmt, str) else type(fmt).__name__.lower()
         if isinstance(fmt, str):
             from ..runner.formats import make_format
             fmt = make_format(fmt)
@@ -170,6 +177,15 @@ class QuantService:
                        "quantize_s": 0.0, "pack_s": 0.0}
         self._weight_cache: dict = {}
         self._closed = False
+        # Telemetry: the service registers a zero-overhead collector view
+        # of its counters under ``serve.<arm>`` and owns one gated
+        # latency histogram (submit -> finish, seconds). Naming scheme
+        # per DESIGN.md §12.
+        self.arm = (f"{fmt_name}:{dispatch}:"
+                    f"{'packed' if self.packed else 'unpacked'}")
+        self._registry = obs_registry()
+        self._registry.register_collector(f"serve.{self.arm}", self.stats)
+        self._latency = self._registry.histogram(f"serve.{self.arm}.latency")
         self._collector = threading.Thread(target=self._collect_loop,
                                            name="quant-service", daemon=True)
         self._collector.start()
@@ -177,13 +193,25 @@ class QuantService:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def submit(self, x: np.ndarray, op: str = "activation") -> Future:
+    def submit(self, x: np.ndarray, op: str = "activation", *,
+               trace=None) -> Future:
         """Enqueue one tensor; the future resolves to the quantized result
-        (a dequantized array, or a ``PackedTensor`` when ``packed=True``)."""
+        (a dequantized array, or a ``PackedTensor`` when ``packed=True``).
+
+        ``trace`` attaches a :class:`~repro.obs.TraceContext` so the
+        collector can attribute queue/batch/quantize spans to the
+        request; when omitted, the calling thread's current trace (if
+        any) is picked up. An explicit kwarg exists because servers
+        submit via ``asyncio.to_thread``, which hops threads and loses
+        the thread-local.
+        """
         if op not in _OPS:
             raise ConfigError(f"op must be one of {_OPS}, got {op!r}")
         fut: Future = Future()
         req = _Request(np.asarray(x, dtype=np.float64), op, fut)
+        req.trace = trace if trace is not None else current_trace()
+        if req.trace is not None or metrics_enabled():
+            req.t_enqueue = time.perf_counter()
         cached = self._weight_lookup(req)
         # The closed-check and the enqueue are atomic against close(), so
         # a request either lands ahead of the shutdown sentinel (and is
@@ -223,9 +251,10 @@ class QuantService:
         """Counters, plus measured-vs-nominal footprint when packing."""
         with self._lock:
             out = dict(self._stats)
-        if out["packed_elements"]:
-            out["measured_bits_per_element"] = (
-                out["payload_bytes"] * 8 / out["packed_elements"])
+        mbpe = measured_bits_per_element(out["payload_bytes"],
+                                         out["packed_elements"])
+        if mbpe is not None:
+            out["measured_bits_per_element"] = mbpe
         out["nominal_bits_per_element"] = {
             "weight": self.fmt.weight_ebw,
             "activation": self.fmt.activation_ebw,
@@ -254,6 +283,8 @@ class QuantService:
         # A dead collector leaves its queue (and sentinel) behind; error
         # the stranded futures instead of letting callers wait forever.
         self._drain_queue()
+        self._registry.unregister_collector(f"serve.{self.arm}")
+        self._registry.unregister_metric(f"serve.{self.arm}.latency")
 
     def __enter__(self) -> "QuantService":
         return self
@@ -305,6 +336,8 @@ class QuantService:
                 req = self._queue.get()
                 if req is None:
                     return
+                if req.t_enqueue is not None:
+                    req.t_dequeue = time.perf_counter()
                 batch = [req]
                 # Waiting for companions only pays when requests can
                 # actually be stacked; packed/tensor-scoped services run
@@ -323,6 +356,8 @@ class QuantService:
                         self._run_batch(batch)
                         batch = []
                         return
+                    if nxt.t_enqueue is not None:
+                        nxt.t_dequeue = time.perf_counter()
                     batch.append(nxt)
                 self._run_batch(batch)
                 batch = []
@@ -367,6 +402,16 @@ class QuantService:
 
     def _process_group(self, key, reqs: list[_Request]) -> None:
         try:
+            if any(r.trace is not None for r in reqs):
+                t_exec = time.perf_counter()
+                for req in reqs:
+                    if req.trace is None:
+                        continue
+                    # Queue wait (enqueue -> dequeue) and batch formation
+                    # (dequeue -> execution start), per the span schema.
+                    t_deq = req.t_dequeue or t_exec
+                    req.trace.add_span("queue", req.t_enqueue, t_deq)
+                    req.trace.add_span("batch", t_deq, t_exec)
             with _dispatch_scope(self.dispatch):
                 if key[0] in _OPS and len(reqs) > 1:
                     self._process_stacked(reqs, op=key[0])
@@ -389,7 +434,13 @@ class QuantService:
         stacked = np.concatenate(mats, axis=0)
         fn = (self.fmt.quantize_weight if op == "weight"
               else self.fmt.quantize_activation)
+        traced = [r for r in reqs if r.trace is not None]
+        t0 = time.perf_counter() if traced else 0.0
         out = fn(stacked, axis=-1)
+        if traced:
+            t1 = time.perf_counter()
+            for req in traced:  # one kernel pass covers the whole stack
+                req.trace.add_span("quantize", t0, t1)
         with self._lock:
             self._stats["batched_requests"] += len(reqs)
         for req, part in zip(reqs, np.split(out, rows, axis=0)):
@@ -398,7 +449,10 @@ class QuantService:
     def _quantize_one(self, req: _Request):
         if self.packed:
             from ..codec import collect_encode_stats, encode
-            with collect_encode_stats() as es:
+            # use_trace rebinds the request's context on this (collector
+            # or pool) thread so the codec's stage timers can attach
+            # quantize/pack/verify spans to the right request.
+            with use_trace(req.trace), collect_encode_stats() as es:
                 pt = encode(self.fmt, req.x, op=req.op, axis=-1)
             with self._lock:
                 self._stats["payload_bytes"] += pt.payload_bytes
@@ -410,8 +464,13 @@ class QuantService:
             return pt
         fn = (self.fmt.quantize_weight if req.op == "weight"
               else self.fmt.quantize_activation)
+        if req.trace is not None:
+            with req.trace.span("quantize"):
+                return fn(req.x, axis=-1)
         return fn(req.x, axis=-1)
 
     def _finish(self, req: _Request, result) -> None:
         self._weight_store(req, result)
         req.future.set_result(result)
+        if req.t_enqueue is not None:
+            self._latency.observe(time.perf_counter() - req.t_enqueue)

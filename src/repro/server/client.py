@@ -382,6 +382,19 @@ class QuantClient:
                 self._wait_frame(rid, deadline_s))
         return self._with_retries("ping", once, retries=retries)
 
+    def server_stats(self, *, deadline_s: float | None = None,
+                     retries: int | None = None) -> dict:
+        """The server-side telemetry subset of the HEALTH meta.
+
+        ``{"stats", "services", "sessions", "metrics"}`` — the raw
+        counters, the per-arm service aggregate, the KV session
+        occupancy, and the full metrics-registry snapshot (empty under
+        ``REPRO_NO_METRICS=1`` on the server). One PING round trip.
+        """
+        health = self.ping(deadline_s=deadline_s, retries=retries)
+        return {key: health.get(key, {})
+                for key in ("stats", "services", "sessions", "metrics")}
+
     def drain(self, *, deadline_s: float | None = None) -> dict:
         """Ask the server to drain gracefully; returns its health ack."""
         rid = self._send(protocol.encode_drain)
@@ -711,6 +724,14 @@ class AsyncQuantClient:
             return protocol.decode_health(
                 await self._await_frame(fut, deadline_s))
         return await self._with_retries("ping", once, retries=retries)
+
+    async def server_stats(self, *, deadline_s: float | None = None,
+                           retries: int | None = None) -> dict:
+        """The server-side telemetry subset of the HEALTH meta (see
+        :meth:`QuantClient.server_stats`)."""
+        health = await self.ping(deadline_s=deadline_s, retries=retries)
+        return {key: health.get(key, {})
+                for key in ("stats", "services", "sessions", "metrics")}
 
     async def drain(self, *, deadline_s: float | None = None) -> dict:
         """Ask the server to drain gracefully; returns its health ack."""

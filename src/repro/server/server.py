@@ -67,7 +67,9 @@ import asyncio
 import os
 import signal
 import threading
+import time
 
+from .. import obs
 from ..errors import ConfigError, ProtocolError, ServerBusy, SessionLost
 from . import protocol
 from .protocol import Status
@@ -225,6 +227,8 @@ class QuantServer:
             self._server = await asyncio.start_server(
                 self._on_connection, host=self.host, port=self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        obs.registry().register_collector("server",
+                                          lambda: dict(self.stats))
 
     async def run(self, sock=None) -> None:
         """Start (if needed), serve until :meth:`request_stop`, clean up."""
@@ -238,6 +242,7 @@ class QuantServer:
             for svc in self._services.values():
                 svc.close()
             self._services.clear()
+            obs.registry().unregister_collector("server")
 
     def request_stop(self) -> None:
         """Ask the server to exit :meth:`run`; safe from any thread."""
@@ -289,7 +294,11 @@ class QuantServer:
                 "stats": dict(self.stats),
                 "services": services,
                 "sessions": {"open": len(self._sessions),
-                             "max_sessions": self.max_sessions}}
+                             "max_sessions": self.max_sessions},
+                # HEALTH meta is additive (DESIGN.md §12): the registry
+                # snapshot rides along without a protocol version bump.
+                # {} with REPRO_NO_METRICS=1.
+                "metrics": obs.registry().snapshot()}
 
     def _start_drain(self) -> None:
         """Loop-side drain entry (idempotent)."""
@@ -430,10 +439,15 @@ class QuantServer:
                        writer: asyncio.StreamWriter,
                        wlock: asyncio.Lock) -> None:
         rid = frame.request_id
+        # The trace id is the protocol's own request id — the span tree
+        # is correlated with the wire frame for free.
+        tr = obs.start_trace(rid, "quantize")
         try:
             try:
                 req = protocol.decode_request(frame)
                 svc = self._get_service(req)
+                if tr is not None:
+                    tr.arm = svc.arm
                 if req.fingerprint and req.fingerprint != repr(svc.fmt):
                     raise ConfigError(
                         f"format fingerprint mismatch: request pinned "
@@ -443,11 +457,19 @@ class QuantServer:
                     # memo — do that off the loop so big weight uploads
                     # cannot stall other connections.
                     fut = await asyncio.to_thread(svc.submit, req.x,
-                                                  req.op)
+                                                  req.op, trace=tr)
                 else:
-                    fut = svc.submit(req.x, op=req.op)
+                    fut = svc.submit(req.x, op=req.op, trace=tr)
                 result = await asyncio.wrap_future(fut)
-                if req.packed:
+                if tr is not None:
+                    with tr.span("serialize"):
+                        data = protocol.encode_response_packed(
+                            rid, result.to_bytes(),
+                            fingerprint=repr(svc.fmt)) if req.packed \
+                            else protocol.encode_response_array(
+                                rid, result, fingerprint=repr(svc.fmt))
+                    obs.export(tr)
+                elif req.packed:
                     data = protocol.encode_response_packed(
                         rid, result.to_bytes(), fingerprint=repr(svc.fmt))
                 else:
@@ -561,10 +583,26 @@ class QuantServer:
             frame.request_id, {**session.info(), "resumed": False,
                                "next_seq": 0})
 
+    @staticmethod
+    def _traced_append(session, req: dict, tr) -> dict:
+        """Worker-thread append with the trace rebound (``to_thread``
+        hops threads, so the thread-local must be reinstalled here for
+        the codec's stage timers to see it)."""
+        if tr is None:
+            return session.append(req["layer"], req["k"], req["v"])
+        with obs.use_trace(tr):
+            # Everything between frame receipt and the append actually
+            # starting (loop scheduling, session lock) is queue wait.
+            tr.add_span("queue", tr.t0, time.perf_counter())
+            return session.append(req["layer"], req["k"], req["v"])
+
     async def _session_append(self, frame: protocol.Frame) -> bytes:
         req = protocol.decode_session_append(frame)
         self.stats["session_appends"] += 1
+        tr = obs.start_trace(frame.request_id, "kv_append")
         entry = self._get_session(req["session_id"])
+        if tr is not None:
+            tr.arm = entry.session.policy.name_for(req["layer"])
         async with entry.lock:
             seq = req["seq"]
             if seq == entry.next_seq:
@@ -574,8 +612,7 @@ class QuantServer:
                 entry.next_seq += 1
                 entry.last_ack = None
                 ack = await asyncio.to_thread(
-                    entry.session.append, req["layer"], req["k"],
-                    req["v"])
+                    self._traced_append, entry.session, req, tr)
                 ack = {**ack, "seq": seq, "duplicate": False}
                 entry.last_ack = ack
             elif seq == entry.next_seq - 1 and entry.last_ack is not None:
@@ -588,6 +625,11 @@ class QuantServer:
                     f"session {req['session_id']!r} expected append seq "
                     f"{entry.next_seq}, got {seq}; the stream cannot be "
                     f"reconciled — reopen and replay")
+        if tr is not None:
+            with tr.span("serialize"):
+                data = protocol.encode_session_ack(frame.request_id, ack)
+            obs.export(tr)
+            return data
         return protocol.encode_session_ack(frame.request_id, ack)
 
     async def _session_read(self, frame: protocol.Frame) -> bytes:

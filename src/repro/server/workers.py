@@ -176,6 +176,9 @@ class WorkerPool:
                 target=self._supervise, name="quant-pool-supervisor",
                 daemon=True)
             self._supervisor.start()
+        from ..obs import registry as obs_registry
+        obs_registry().register_collector("server.workers",
+                                          self._collect_metrics)
         return self
 
     def _spawn(self, port: int):
@@ -283,6 +286,14 @@ class WorkerPool:
             return {"restarts": self._stats["restarts"],
                     "exits": [dict(e) for e in self._stats["exits"]]}
 
+    def _collect_metrics(self) -> dict:
+        """Registry collector view: exits flattened to a count so the
+        snapshot stays a flat JSON-safe dict."""
+        with self._lock:
+            return {"restarts": self._stats["restarts"],
+                    "exits": len(self._stats["exits"]),
+                    "workers": len(self._procs)}
+
     def check(self) -> None:
         """Raise :class:`WorkerCrashLoop` if the restart budget tripped."""
         if self._failure is not None:
@@ -321,6 +332,8 @@ class WorkerPool:
         self._slot_restarts = []
         self._slot_spawned_at = []
         self._done_slots = set()
+        from ..obs import registry as obs_registry
+        obs_registry().unregister_collector("server.workers")
 
     def alive(self) -> int:
         """How many workers are currently running."""

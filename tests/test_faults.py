@@ -521,7 +521,7 @@ class _StalledKVService:
         self.futures: list = []
         self.released = threading.Event()
 
-    def submit(self, x, op="activation"):
+    def submit(self, x, op="activation", *, trace=None):
         from concurrent.futures import Future
         fut: Future = Future()
         self.futures.append((fut, np.zeros_like(x)))

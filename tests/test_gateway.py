@@ -333,6 +333,142 @@ def test_upstream_cache_hit_stats_surface_in_metrics(cluster, rng):
     assert "repro_gateway_replica_weight_cache_hits_total" in text
 
 
+def _federated_view(health: dict) -> dict:
+    """The subset of a replica health dict that feeds the federated
+    ``repro_gateway_replica_*`` families — shared between the probed
+    snapshot and a direct ``server_stats()`` read so the two can be
+    compared for exact equality."""
+    metrics = health.get("metrics") or {}
+    return {
+        "plan_cache": metrics.get("plan_cache"),
+        "arms": {key: (metrics[key], metrics.get(f"{key}.latency"))
+                 for key in metrics
+                 if key.startswith("serve.")
+                 and not key.endswith(".latency")},
+        "busy": (health.get("stats") or {}).get("busy_rejections", 0),
+        "open": (health.get("sessions") or {}).get("open", 0),
+    }
+
+
+def test_federated_replica_metrics_match_server_stats_exactly(cluster,
+                                                              rng):
+    """The acceptance crosscheck (ISSUE 10): every federated value on
+    ``GET /metrics`` — plan-cache hit rate, per-arm batch size and p99,
+    BUSY counts, KV session occupancy — equals a direct
+    ``QuantClient.server_stats()`` read of the replica, exactly."""
+    import time
+
+    from repro.server import QuantClient
+
+    x = rng.standard_normal((2, 32))
+    conn = _conn(cluster)
+    try:
+        for fmt in ("m2xfp", "elem-em"):
+            for _ in range(3):
+                assert _quantize(conn, x, fmt=fmt, packed=True)[0] == 200
+        # an open session so occupancy is nonzero on its home replica
+        conn.request("POST", "/v1/session/open", json.dumps({
+            "session_id": "fed-kv", "n_layers": 1,
+            "policy": {"default": "m2xfp", "op": "weight"}}),
+            {"Content-Type": "application/json"})
+        assert conn.getresponse().read() and True
+        # traffic stops here: the compared values are now quiescent.
+        replicas = sorted(cluster.gateway.snapshot()["replicas"])
+        direct = {}
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            snap = cluster.gateway.snapshot()
+            for name in replicas:
+                port = int(name.rsplit(":", 1)[1])
+                with QuantClient(port=port) as cli:
+                    direct[name] = cli.server_stats()
+            views = {name: _federated_view(
+                         snap["replicas"][name].get("health") or {})
+                     for name in replicas}
+            if all(views[name] == _federated_view(direct[name])
+                   and views[name]["arms"] for name in replicas) \
+                    and any(views[name]["open"] for name in replicas):
+                break
+            time.sleep(0.1)
+        else:
+            pytest.fail("probed health never converged with direct "
+                        "server_stats() reads")
+        conn.request("GET", "/metrics")
+        resp = conn.getresponse()
+        text = resp.read().decode()
+        assert resp.status == 200
+        # Build every expected sample line from the *direct* reads with
+        # the renderer's own formulas; each must appear verbatim.
+        for name in replicas:
+            stats = direct[name]
+            label = f'replica="{name}"'
+            plan = stats["metrics"]["plan_cache"]
+            lookups = plan["hits"] + plan["misses"]
+            rate = plan["hits"] / lookups if lookups else 0.0
+            assert (f'repro_gateway_replica_plan_cache_hit_rate'
+                    f'{{{label}}} {rate:g}') in text
+            busy = stats["stats"].get("busy_rejections", 0)
+            assert (f'repro_gateway_replica_busy_total{{{label}}} '
+                    f'{busy}') in text
+            open_sessions = stats["sessions"].get("open", 0)
+            assert (f'repro_gateway_replica_sessions_open{{{label}}} '
+                    f'{open_sessions}') in text
+            for key, (svc, lat) in \
+                    _federated_view(stats)["arms"].items():
+                arm_label = f'{label},arm="{key[len("serve."):]}"'
+                assert (f'repro_gateway_replica_arm_requests_total'
+                        f'{{{arm_label}}} {svc["requests"]}') in text
+                batched = svc["requests"] - svc.get(
+                    "weight_cache_hits", 0)
+                mean = (batched / svc["batches"]
+                        if svc.get("batches") else 0.0)
+                assert (f'repro_gateway_replica_arm_batch_mean'
+                        f'{{{arm_label}}} {mean:g}') in text
+                p99 = round((lat or {}).get("p99", 0.0) * 1e3, 3)
+                assert (f'repro_gateway_replica_arm_p99_ms'
+                        f'{{{arm_label}}} {p99:g}') in text
+    finally:
+        try:
+            conn.request("POST", "/v1/session/close",
+                         json.dumps({"session_id": "fed-kv"}),
+                         {"Content-Type": "application/json"})
+            conn.getresponse().read()
+        finally:
+            conn.close()
+
+
+def test_request_id_echoed_or_minted(cluster, rng):
+    """The gateway echoes a caller's X-Request-Id header back on the
+    response (wire-propagated tracing); absent one, it mints gw-<n>."""
+    x = rng.standard_normal((2, 16))
+    conn = _conn(cluster)
+    try:
+        conn.request("POST", "/v1/quantize", json.dumps({
+            "format": "m2xfp", "op": "activation", "packed": False,
+            "shape": list(x.shape),
+            "data_b64": base64.b64encode(x.tobytes()).decode()}),
+            {"Content-Type": "application/json",
+             "X-Request-Id": "trace-me-42"})
+        resp = conn.getresponse()
+        resp.read()
+        assert resp.status == 200
+        assert resp.getheader("X-Request-Id") == "trace-me-42"
+        status, headers, _ = _quantize(conn, x, fmt="m2xfp")
+        assert status == 200
+        minted = {k.lower(): v for k, v in headers.items()}[
+            "x-request-id"]
+        assert minted.startswith("gw-")
+        # errors carry the id too: the trace covers failed requests
+        conn.request("GET", "/nope", None,
+                     {"X-Request-Id": "err-7"})
+        resp = conn.getresponse()
+        resp.read()
+        assert resp.status == 404
+        assert resp.getheader("X-Request-Id") == "err-7"
+    finally:
+        conn.close()
+
+
 # ----------------------------------------------------------------------
 # Routing invariants observable from outside
 # ----------------------------------------------------------------------
